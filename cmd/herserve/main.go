@@ -1,0 +1,96 @@
+// Command herserve trains a HER system over a generated dataset and
+// serves the query modes over HTTP (see internal/server for the
+// endpoint reference):
+//
+//	herserve -dataset DBLP -entities 200 -addr :8080
+//	curl 'localhost:8080/vpair?rel=paper&tuple=3'
+//
+// With -models the learned parameters are loaded from (or, with
+// -save-models, written to) a model file, so training happens once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"her"
+	"her/internal/dataset"
+	"her/internal/learn"
+	"her/internal/server"
+)
+
+func main() {
+	name := flag.String("dataset", "Synthetic", "dataset name")
+	entities := flag.Int("entities", 150, "matchable entity count")
+	addr := flag.String("addr", ":8080", "listen address")
+	models := flag.String("models", "", "load learned parameters from this file instead of training")
+	saveModels := flag.String("save-models", "", "write learned parameters to this file after training")
+	flag.Parse()
+
+	cfg, ok := dataset.ByName(*name, *entities)
+	if !ok {
+		log.Fatalf("herserve: unknown dataset %q", *name)
+	}
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := her.New(d.DB, d.G, her.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *models != "" {
+		f, err := os.Open(*models)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.LoadModels(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		log.Printf("loaded models from %s", *models)
+	} else {
+		var training []her.PathPair
+		for i := 0; i < 20; i++ {
+			training = append(training, d.PathPairs...)
+		}
+		if err := sys.TrainPathModel(training, 0); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.TrainRanker(150, 10); err != nil {
+			log.Fatal(err)
+		}
+		train, val, _, err := learn.Split(d.Truth, 0.5, 0.15, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		th, f, err := sys.LearnThresholds(append(train, val...), learn.SearchSpace{
+			SigmaMin: 0.5, SigmaMax: 0.95, DeltaMin: 0.4, DeltaMax: 3.2, KMin: 8, KMax: 20,
+		}, 30)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trained: sigma=%.2f delta=%.2f k=%d (F=%.3f)", th.Sigma, th.Delta, th.K, f)
+		if *saveModels != "" {
+			f, err := os.Create(*saveModels)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sys.SaveModels(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("saved models to %s", *saveModels)
+		}
+	}
+
+	fmt.Printf("serving %s (%d tuples, |V|=%d) on %s\n",
+		cfg.Name, d.DB.NumTuples(), d.G.NumVertices(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(sys)))
+}

@@ -1,0 +1,67 @@
+package her_test
+
+import (
+	"fmt"
+	"log"
+
+	"her"
+)
+
+// Example links a one-product database against a small catalog graph:
+// the complete New → Train → SetThresholds → SPair/Explain flow.
+func Example() {
+	schema, err := her.NewSchema("product", []string{"name", "color"}, "name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := her.NewDatabase(schema)
+	db.Relation("product").MustInsert("Aurora Trail Runner 7", "red")
+
+	g := her.NewGraph()
+	p := g.AddVertex("product")
+	g.MustAddEdge(p, g.AddVertex("Aurora Trail Runner"), "productName")
+	g.MustAddEdge(p, g.AddVertex("red"), "hasColor")
+
+	sys, err := her.New(db, g, her.Options{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := []her.PathPair{
+		{A: []string{"name"}, B: []string{"productName"}, Match: true},
+		{A: []string{"color"}, B: []string{"hasColor"}, Match: true},
+		{A: []string{"name"}, B: []string{"hasColor"}, Match: false},
+		{A: []string{"color"}, B: []string{"productName"}, Match: false},
+	}
+	var training []her.PathPair
+	for i := 0; i < 30; i++ {
+		training = append(training, pairs...)
+	}
+	if err := sys.TrainPathModel(training, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.TrainRanker(50, 120); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.SetThresholds(her.Thresholds{Sigma: 0.75, Delta: 0.9, K: 5}); err != nil {
+		log.Fatal(err)
+	}
+
+	match, err := sys.SPair("product", 0, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("match:", match)
+
+	u, _ := sys.Mapping.VertexOf("product", 0)
+	ex, err := sys.Explain(u, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sm := range ex.SchemaMatches {
+		fmt.Printf("%s -> %s\n", sm.Attr, sm.Rho.LabelString())
+	}
+	// Output:
+	// match: true
+	// color -> hasColor
+	// name -> productName
+}

@@ -1,0 +1,64 @@
+// Feedback demonstrates Exp-4: the user-interaction refinement loop.
+// Five simulated annotators (10% individual error rate) inspect 50 pairs
+// per round; majority voting filters their noise; the voted verdicts
+// become verified matches and fine-tune the M_ρ metric network with a
+// triplet loss. F-measure climbs toward 1.0 within five rounds, as in
+// Fig. 6(p).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"her"
+)
+
+func main() {
+	d, err := her.GenerateDataset("UKGOV", 150)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := her.New(d.DB, d.G, her.Options{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var training []her.PathPair
+	for i := 0; i < 20; i++ {
+		training = append(training, d.PathPairs...)
+	}
+	if err := sys.TrainPathModel(training, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.TrainRanker(150, 10); err != nil {
+		log.Fatal(err)
+	}
+	train, val, _, err := her.SplitAnnotations(d.Truth, 0.5, 0.15, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := sys.LearnThresholds(append(train, val...), her.SearchSpace{
+		SigmaMin: 0.5, SigmaMax: 0.95, DeltaMin: 0.4, DeltaMax: 3.2, KMin: 8, KMax: 20,
+	}, 30); err != nil {
+		log.Fatal(err)
+	}
+
+	users, err := her.NewAnnotators(5, 0.1, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pool := d.Truth
+	fmt.Printf("round 0: F = %.3f\n", sys.Evaluate(pool).F1())
+	for round := 1; round <= 5; round++ {
+		batch := her.SelectFeedbackRound(sys.Predictor(), pool, 50, int64(round))
+		feedback := users.Inspect(batch)
+		sys.Refine(feedback)
+		f := sys.Evaluate(pool).F1()
+		fmt.Printf("round %d: F = %.3f (%d pairs inspected, %d verified overrides)\n",
+			round, f, len(batch), sys.Overrides())
+		if f >= 1 {
+			fmt.Println("reached perfect F-measure — the paper's '5 rounds suffice'")
+			break
+		}
+	}
+}

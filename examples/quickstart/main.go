@@ -1,0 +1,110 @@
+// Quickstart: link tuples of a small relational database to vertices of
+// a knowledge graph with HER. It builds both inputs by hand, trains the
+// path metric from a handful of annotated predicate correspondences,
+// and runs the SPair and VPair modes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"her"
+)
+
+func main() {
+	// A tiny product database: one relation with three attributes.
+	schema, err := her.NewSchema("product", []string{"name", "color", "made_in"}, "name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := her.NewDatabase(schema)
+	products := db.Relation("product")
+	products.MustInsert("Aurora Trail Runner 7", "red", "Portugal")
+	products.MustInsert("Comet Road Cruiser 2", "blue", "Vietnam")
+
+	// A knowledge graph describing the same catalog with different
+	// vocabulary and structure: the country hangs off a factory vertex.
+	g := her.NewGraph()
+	p1 := g.AddVertex("product")
+	name1 := g.AddVertex("Aurora Trail Runner")
+	color1 := g.AddVertex("red")
+	factory1 := g.AddVertex("Plant 12")
+	country1 := g.AddVertex("Portugal")
+	g.MustAddEdge(p1, name1, "productName")
+	g.MustAddEdge(p1, color1, "hasColor")
+	g.MustAddEdge(p1, factory1, "assembledAt")
+	g.MustAddEdge(factory1, country1, "locatedIn")
+
+	p2 := g.AddVertex("product")
+	name2 := g.AddVertex("Comet Road Cruiser")
+	color2 := g.AddVertex("blue")
+	factory2 := g.AddVertex("Plant 9")
+	country2 := g.AddVertex("Vietnam")
+	g.MustAddEdge(p2, name2, "productName")
+	g.MustAddEdge(p2, color2, "hasColor")
+	g.MustAddEdge(p2, factory2, "assembledAt")
+	g.MustAddEdge(factory2, country2, "locatedIn")
+
+	// Assemble the system: RDB2RDF conversion happens inside New.
+	sys, err := her.New(db, g, her.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Teach M_ρ which relational attributes correspond to which graph
+	// predicates (and which do not) — the annotated path pairs of
+	// Section IV.
+	pairs := []her.PathPair{
+		{A: []string{"name"}, B: []string{"productName"}, Match: true},
+		{A: []string{"color"}, B: []string{"hasColor"}, Match: true},
+		{A: []string{"made_in"}, B: []string{"assembledAt", "locatedIn"}, Match: true},
+		{A: []string{"name"}, B: []string{"hasColor"}, Match: false},
+		{A: []string{"color"}, B: []string{"assembledAt", "locatedIn"}, Match: false},
+		{A: []string{"made_in"}, B: []string{"productName"}, Match: false},
+	}
+	var training []her.PathPair
+	for i := 0; i < 30; i++ {
+		training = append(training, pairs...)
+	}
+	if err := sys.TrainPathModel(training, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.TrainRanker(50, 120); err != nil {
+		log.Fatal(err)
+	}
+	// Thresholds: σ for vertex closeness, δ for the aggregate
+	// association score, k for the number of inspected properties.
+	if err := sys.SetThresholds(her.Thresholds{Sigma: 0.75, Delta: 1.0, K: 5}); err != nil {
+		log.Fatal(err)
+	}
+
+	// SPair: does tuple 0 ("Aurora Trail Runner 7") denote p1?
+	match, err := sys.SPair("product", 0, p1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SPair(product/0, p1) = %v\n", match)
+	wrong, _ := sys.SPair("product", 0, p2)
+	fmt.Printf("SPair(product/0, p2) = %v\n", wrong)
+
+	// VPair: all graph vertices matching tuple 1.
+	matches, err := sys.VPair("product", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("VPair(product/1) -> vertex %d (%s)\n", m.V, g.Label(m.V))
+	}
+
+	// Explain the confirmed match: the witness relation and the schema
+	// matches Γ mapping attributes to graph paths.
+	u, _ := sys.Mapping.VertexOf("product", 0)
+	ex, err := sys.Explain(u, p1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("witness size = %d\n", len(ex.Witness))
+	for _, sm := range ex.SchemaMatches {
+		fmt.Printf("schema match: %s -> %s\n", sm.Attr, sm.Rho.LabelString())
+	}
+}

@@ -1,0 +1,3 @@
+module her
+
+go 1.22

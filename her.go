@@ -1,0 +1,393 @@
+// Package her implements HER (Heterogeneous Entity Resolution), the
+// system of "Linking Entities across Relations and Graphs" (ICDE 2022):
+// it links tuples of a relational database D to vertices of a graph G
+// that refer to the same real-world entity, via parametric simulation.
+//
+// A System is assembled from a database and a graph (Fig. 2): the
+// RDB2RDF module converts D to a canonical graph G_D; the Learn module
+// trains the parameter functions (M_v, M_ρ, M_r) and selects the
+// thresholds (σ, δ, k); and three query modes answer requests:
+//
+//   - SPair: does tuple t match vertex v?
+//   - VPair: all vertices of G matching tuple t.
+//   - APair: all matches across D and G, sequentially or in parallel on
+//     the BSP engine.
+//
+// Matches are explainable: Explain returns the witness relation Π, the
+// lineage set and the schema matches Γ of a confirmed pair.
+package her
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"her/internal/bsp"
+	"her/internal/core"
+	"her/internal/dataset"
+	"her/internal/embed"
+	"her/internal/graph"
+	"her/internal/index"
+	"her/internal/learn"
+	"her/internal/lstm"
+	"her/internal/ranking"
+	"her/internal/rdb2rdf"
+	"her/internal/relational"
+)
+
+// Public aliases so downstream users can name the library's types
+// without importing internal packages.
+type (
+	// VertexID identifies a vertex of G_D or G.
+	VertexID = graph.VID
+	// Pair is a candidate or confirmed match (U in G_D, V in G).
+	Pair = core.Pair
+	// TupleRef identifies a tuple of the database.
+	TupleRef = rdb2rdf.TupleRef
+	// Annotation is a ground-truth labeled pair.
+	Annotation = learn.Annotation
+	// Feedback is a user-annotated pair from the interaction loop.
+	Feedback = learn.Feedback
+	// Thresholds bundles (σ, δ, k).
+	Thresholds = learn.Thresholds
+	// PathPair is an annotated edge-label-sequence pair for training M_ρ.
+	PathPair = dataset.PathPair
+	// SchemaMatch maps an attribute to the G path encoding it.
+	SchemaMatch = core.SchemaMatch
+	// ParallelStats reports a parallel APair run.
+	ParallelStats = bsp.Stats
+	// Counters reports matcher work.
+	Counters = core.Counters
+)
+
+// System is one HER instance over a database D and a graph G.
+type System struct {
+	opts Options
+
+	DB      *relational.Database
+	GD      *graph.Graph
+	Mapping *rdb2rdf.Mapping
+	G       *graph.Graph
+
+	sc      *scorers
+	lm      *lstm.Model
+	rankerD *ranking.Ranker
+	rankerG *ranking.Ranker
+
+	mu        sync.Mutex // guards matcher and overrides
+	matcher   *core.Matcher
+	gen       core.CandidateGen
+	overrides map[core.Pair]bool // user-verified pairs (Section IV refinement)
+}
+
+// New builds a System from a relational database and a graph, converting
+// the database with the RDB2RDF canonical mapping.
+func New(db *relational.Database, g *graph.Graph, opts Options) (*System, error) {
+	if db == nil || g == nil {
+		return nil, fmt.Errorf("her: database and graph must be non-nil")
+	}
+	gd, mapping, err := rdb2rdf.Map(db)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewFromGraphs(gd, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.DB = db
+	s.Mapping = mapping
+	return s, nil
+}
+
+// NewFromGraphs builds a System directly over a pre-converted canonical
+// graph G_D and a graph G (no tuple-level API in this mode).
+func NewFromGraphs(gd, g *graph.Graph, opts Options) (*System, error) {
+	if gd == nil || g == nil {
+		return nil, fmt.Errorf("her: graphs must be non-nil")
+	}
+	o := opts.Normalize()
+	s := &System{
+		opts:      o,
+		GD:        gd,
+		G:         g,
+		sc:        newScorers(embed.NewEncoder(o.EmbeddingDim)),
+		rankerD:   ranking.NewRanker(gd, nil, o.MaxPathLen),
+		rankerG:   ranking.NewRanker(g, nil, o.MaxPathLen),
+		overrides: make(map[core.Pair]bool),
+	}
+	s.buildCandidateGen()
+	if err := s.resetMatcherLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Options returns the normalized options in effect.
+func (s *System) Options() Options { return s.opts }
+
+// params assembles the core parameters from the current scorers and
+// thresholds.
+func (s *System) params() core.Params {
+	return core.Params{
+		Mv:    s.sc.Mv,
+		Mrho:  s.sc.Mrho,
+		Sigma: s.opts.Sigma,
+		Delta: s.opts.Delta,
+		K:     s.opts.K,
+	}
+}
+
+// buildCandidateGen constructs the blocking inverted index: non-leaf
+// vertices of G indexed by their own label plus 1-hop neighbor labels
+// ("critical information"), queried with the tuple vertex's label plus
+// its attribute values.
+func (s *System) buildCandidateGen() {
+	ix := index.BuildDocs(s.G,
+		func(v graph.VID) bool { return !s.G.IsLeaf(v) },
+		index.NeighborhoodDoc(s.G))
+	docD := index.NeighborhoodDoc(s.GD)
+	min := s.opts.MinSharedTokens
+	s.gen = func(u graph.VID) []graph.VID {
+		return ix.Lookup(docD(u), min)
+	}
+}
+
+func (s *System) resetMatcherLocked() error {
+	m, err := core.NewMatcher(s.GD, s.G, s.rankerD, s.rankerG, s.params())
+	if err != nil {
+		return err
+	}
+	s.matcher = m
+	return nil
+}
+
+// ResetMatchState drops all cached match decisions (e.g. after the
+// underlying scorers changed).
+func (s *System) ResetMatchState() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.resetMatcherLocked()
+}
+
+// Thresholds returns the current (σ, δ, k).
+func (s *System) Thresholds() Thresholds {
+	return Thresholds{Sigma: s.opts.Sigma, Delta: s.opts.Delta, K: s.opts.K}
+}
+
+// SetThresholds installs new thresholds and resets cached decisions.
+func (s *System) SetThresholds(th Thresholds) error {
+	if th.Sigma < 0 || th.Sigma > 1 || th.Delta < 0 || th.K <= 0 {
+		return fmt.Errorf("her: invalid thresholds %+v", th)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opts.Sigma, s.opts.Delta, s.opts.K = th.Sigma, th.Delta, th.K
+	return s.resetMatcherLocked()
+}
+
+// tupleVertex resolves a tuple to its canonical-graph vertex via f_D.
+func (s *System) tupleVertex(rel string, tupleID int) (graph.VID, error) {
+	if s.Mapping == nil {
+		return graph.NoVertex, fmt.Errorf("her: no tuple mapping (built with NewFromGraphs)")
+	}
+	u, ok := s.Mapping.VertexOf(rel, tupleID)
+	if !ok {
+		return graph.NoVertex, fmt.Errorf("her: unknown tuple %s/%d", rel, tupleID)
+	}
+	return u, nil
+}
+
+// SPair checks whether tuple (rel, tupleID) and vertex v refer to the
+// same entity (mode SPair of Fig. 2).
+func (s *System) SPair(rel string, tupleID int, v VertexID) (bool, error) {
+	u, err := s.tupleVertex(rel, tupleID)
+	if err != nil {
+		return false, err
+	}
+	return s.SPairVertices(u, v), nil
+}
+
+// SPairVertices is SPair addressed by vertex ids.
+func (s *System) SPairVertices(u, v VertexID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if verdict, ok := s.overrides[core.Pair{U: u, V: v}]; ok {
+		return verdict
+	}
+	return s.matcher.Match(u, v)
+}
+
+// VPair finds all vertices of G matching tuple (rel, tupleID).
+func (s *System) VPair(rel string, tupleID int) ([]Pair, error) {
+	u, err := s.tupleVertex(rel, tupleID)
+	if err != nil {
+		return nil, err
+	}
+	return s.VPairVertex(u), nil
+}
+
+// VPairVertex is VPair addressed by the tuple's canonical vertex.
+func (s *System) VPairVertex(u VertexID) []Pair {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyOverrides(s.matcher.VPair(u, s.gen), u)
+}
+
+// sources returns the G_D vertices APair ranges over: the tuple vertices
+// when a mapping exists, every vertex otherwise.
+func (s *System) sources() []graph.VID {
+	if s.Mapping == nil {
+		return nil
+	}
+	var out []graph.VID
+	for _, relName := range s.DB.RelationNames() {
+		rel := s.DB.Relation(relName)
+		out = append(out, s.Mapping.TupleVertices(relName, len(rel.Tuples))...)
+	}
+	return out
+}
+
+// APair computes all matches across D and G sequentially.
+func (s *System) APair() []Pair {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyOverrides(s.matcher.APair(s.sources(), s.gen), graph.NoVertex)
+}
+
+// APairOf computes all matches for an explicit set of G_D source
+// vertices — the entry point for data formats without a tuple mapping,
+// such as JSON documents converted with NewFromJSON.
+func (s *System) APairOf(sources []VertexID) []Pair {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyOverrides(s.matcher.APair(sources, s.gen), graph.NoVertex)
+}
+
+// APairParallel computes all matches with the BSP engine on n workers.
+func (s *System) APairParallel(workers int) ([]Pair, ParallelStats, error) {
+	eng, err := bsp.NewEngine(s.GD, s.G, s.rankerD, s.rankerG, s.params())
+	if err != nil {
+		return nil, ParallelStats{}, err
+	}
+	matches, stats, err := eng.Run(s.sources(), s.gen, bsp.Config{Workers: workers})
+	if err != nil {
+		return nil, stats, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyOverrides(matches, graph.NoVertex), stats, nil
+}
+
+// APairParallelAsync computes all matches with the asynchronous engine
+// (Section VI-B remark 1): no superstep barriers; workers exchange
+// messages as they arrive until quiescence.
+func (s *System) APairParallelAsync(workers int) ([]Pair, ParallelStats, error) {
+	eng, err := bsp.NewEngine(s.GD, s.G, s.rankerD, s.rankerG, s.params())
+	if err != nil {
+		return nil, ParallelStats{}, err
+	}
+	matches, stats, err := eng.RunAsync(s.sources(), s.gen, bsp.Config{Workers: workers})
+	if err != nil {
+		return nil, stats, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyOverrides(matches, graph.NoVertex), stats, nil
+}
+
+// applyOverrides reconciles algorithmic matches with user-verified
+// verdicts: refuted pairs are removed; confirmed pairs for the scoped
+// vertex (or any vertex when scope is NoVertex) are added.
+func (s *System) applyOverrides(matches []Pair, scope graph.VID) []Pair {
+	if len(s.overrides) == 0 {
+		return matches
+	}
+	out := matches[:0]
+	have := make(map[core.Pair]bool, len(matches))
+	for _, p := range matches {
+		if verdict, ok := s.overrides[p]; ok && !verdict {
+			continue
+		}
+		out = append(out, p)
+		have[p] = true
+	}
+	for p, verdict := range s.overrides {
+		if verdict && !have[p] && (scope == graph.NoVertex || p.U == scope) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Candidates exposes the blocking candidate generator: the G vertices
+// considered for a G_D vertex before the σ filter. Baselines reuse it so
+// efficiency comparisons share the same blocking.
+func (s *System) Candidates(u VertexID) []VertexID {
+	return s.gen(u)
+}
+
+// RankerD exposes the G_D-side ranking function h_r (for harnesses that
+// assemble custom matchers over this system's learned parameters).
+func (s *System) RankerD() *ranking.Ranker { return s.rankerD }
+
+// RankerG exposes the G-side ranking function h_r.
+func (s *System) RankerG() *ranking.Ranker { return s.rankerG }
+
+// CoreParams exposes the assembled parametric-simulation parameters.
+func (s *System) CoreParams() core.Params { return s.params() }
+
+// Stats reports the sequential matcher's work counters.
+func (s *System) Stats() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.matcher.Stats()
+}
+
+// Explanation explains why a pair matches.
+type Explanation struct {
+	Witness       []Pair        // the match relation Π(u, v)
+	Lineage       []Pair        // the lineage set S(u, v)
+	SchemaMatches []SchemaMatch // Γ(u, v): attribute → path
+}
+
+// Render writes a human-readable explanation, resolving vertex ids to
+// labels through the system's graphs — the paper's "showing why two
+// vertices match based on matching vertex pairs and the accumulated
+// score".
+func (e *Explanation) Render(sys *System) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "witness Pi: %d pairs\nlineage S:\n", len(e.Witness))
+	for _, p := range e.Lineage {
+		fmt.Fprintf(&b, "  (%q, %q)\n", sys.GD.Label(p.U), sys.G.Label(p.V))
+	}
+	b.WriteString("schema matches Gamma:\n")
+	for _, sm := range e.SchemaMatches {
+		fmt.Fprintf(&b, "  %s -> %s\n", sm.Attr, sm.Rho.LabelString())
+	}
+	return b.String()
+}
+
+// Explain returns the explanation of a confirmed match (running the
+// match first if needed).
+func (s *System) Explain(u, v VertexID) (*Explanation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.matcher.Match(u, v) {
+		return nil, fmt.Errorf("her: (%d, %d) is not a match", u, v)
+	}
+	sm, err := s.matcher.SchemaMatches(u, v)
+	if err != nil {
+		return nil, err
+	}
+	return &Explanation{
+		Witness:       s.matcher.Witness(u, v),
+		Lineage:       s.matcher.Lineage(u, v),
+		SchemaMatches: sm,
+	}, nil
+}
+
+// Predictor returns a learn.Predictor over the current system state,
+// including overrides — the function the evaluation harness scores.
+func (s *System) Predictor() learn.Predictor {
+	return func(p core.Pair) bool { return s.SPairVertices(p.U, p.V) }
+}

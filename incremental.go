@@ -1,0 +1,89 @@
+package her
+
+import (
+	"fmt"
+
+	"her/internal/graph"
+	"her/internal/rdb2rdf"
+)
+
+// This file implements the paper's Section VI-B remark 2: IncPSim
+// extended to incrementally link entities in response to updates to D
+// and G. New tuples only ADD a fresh region to G_D (their canonical
+// vertices have no incoming edges from old vertices), so no cached
+// decision is affected and queries about the new tuple evaluate lazily.
+// New graph edges can change the top-k selections — and hence the match
+// status — of every vertex within MaxPathLen reverse hops of the edge's
+// source, so exactly those vertices' ranker entries and cached
+// decisions (plus their dependants) are dropped and recomputed on the
+// next query.
+
+// AddTuple appends a tuple to the database and extends the canonical
+// graph incrementally, returning the new tuple's id. Existing match
+// decisions stay valid; matches of the new tuple are computed on demand.
+func (s *System) AddTuple(rel string, values ...string) (int, error) {
+	if s.Mapping == nil {
+		return 0, fmt.Errorf("her: no tuple mapping (built with NewFromGraphs)")
+	}
+	r := s.DB.Relation(rel)
+	if r == nil {
+		return 0, fmt.Errorf("her: unknown relation %s", rel)
+	}
+	id, err := r.Insert(values...)
+	if err != nil {
+		return 0, err
+	}
+	if err := rdb2rdf.AddTuple(s.GD, s.Mapping, s.DB, rel, id); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// AddGraphVertex appends a vertex to G. It becomes matchable once it is
+// connected; the blocking index picks it up immediately.
+func (s *System) AddGraphVertex(label string) VertexID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.G.AddVertex(label)
+	s.buildCandidateGen()
+	return v
+}
+
+// AddGraphEdge adds an edge to G and performs incremental maintenance:
+// every vertex that can reach the edge's source within MaxPathLen hops
+// may select different top-k properties now, so its ranker entry and its
+// cached match decisions (with dependants) are dropped.
+func (s *System) AddGraphEdge(from, to VertexID, label string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.G.AddEdge(from, to, label); err != nil {
+		return err
+	}
+	affected := s.reverseRegion(from, s.opts.MaxPathLen)
+	for v := range affected {
+		s.rankerG.Invalidate(v)
+	}
+	s.matcher.ForgetVertices(func(v graph.VID) bool { return affected[v] })
+	s.buildCandidateGen()
+	return nil
+}
+
+// reverseRegion collects v and every vertex that reaches v within the
+// given number of hops (following edges backwards).
+func (s *System) reverseRegion(v VertexID, hops int) map[graph.VID]bool {
+	affected := map[graph.VID]bool{v: true}
+	frontier := []graph.VID{v}
+	for d := 0; d < hops; d++ {
+		var next []graph.VID
+		for _, x := range frontier {
+			for _, in := range s.G.In(x) {
+				if !affected[in] {
+					affected[in] = true
+					next = append(next, in)
+				}
+			}
+		}
+		frontier = next
+	}
+	return affected
+}

@@ -1,0 +1,142 @@
+package her
+
+import (
+	"testing"
+)
+
+// incrementalFixture builds a small trained system plus its parallel
+// from-scratch twin for equivalence checks.
+func incrementalFixture(t *testing.T) (*System, []PathPair) {
+	t.Helper()
+	schema, err := NewSchema("product", []string{"name", "color"}, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(schema)
+	db.Relation("product").MustInsert("Aurora Trail Runner 7", "red")
+
+	g := NewGraph()
+	p1 := g.AddVertex("product")
+	g.MustAddEdge(p1, g.AddVertex("Aurora Trail Runner"), "productName")
+	g.MustAddEdge(p1, g.AddVertex("red"), "hasColor")
+
+	sys, err := New(db, g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []PathPair{
+		{A: []string{"name"}, B: []string{"productName"}, Match: true},
+		{A: []string{"color"}, B: []string{"hasColor"}, Match: true},
+		{A: []string{"name"}, B: []string{"hasColor"}, Match: false},
+		{A: []string{"color"}, B: []string{"productName"}, Match: false},
+	}
+	var training []PathPair
+	for i := 0; i < 30; i++ {
+		training = append(training, pairs...)
+	}
+	if err := sys.TrainPathModel(training, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainRanker(50, 120); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetThresholds(Thresholds{Sigma: 0.75, Delta: 0.9, K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	return sys, pairs
+}
+
+func TestAddTupleIncrementally(t *testing.T) {
+	sys, _ := incrementalFixture(t)
+	// Baseline decision for the original tuple.
+	m0, err := sys.VPair("product", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m0) != 1 {
+		t.Fatalf("original tuple should match once, got %v", m0)
+	}
+
+	// New graph entity plus a new tuple denoting it.
+	p2 := sys.AddGraphVertex("product")
+	n2 := sys.AddGraphVertex("Comet Road Cruiser")
+	c2 := sys.AddGraphVertex("blue")
+	if err := sys.AddGraphEdge(p2, n2, "productName"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddGraphEdge(p2, c2, "hasColor"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := sys.AddTuple("product", "Comet Road Cruiser 2", "blue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := sys.VPair("product", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].V != p2 {
+		t.Fatalf("new tuple should match the new entity: %v", matches)
+	}
+	// The old decision survives.
+	m1, err := sys.VPair("product", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1) != 1 || m1[0].V != m0[0].V {
+		t.Errorf("old decision changed: %v vs %v", m1, m0)
+	}
+	// Errors.
+	if _, err := sys.AddTuple("nonexistent", "x"); err == nil {
+		t.Error("unknown relation should fail")
+	}
+	if _, err := sys.AddTuple("product", "only-one-value"); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := sys.AddTuple("product", "Aurora Trail Runner 7", "red"); err == nil {
+		t.Error("duplicate key should fail")
+	}
+}
+
+// TestAddGraphEdgeFlipsDecision: a tuple whose match previously failed
+// for lack of a color property starts matching after the graph gains
+// the missing edge — incremental maintenance must notice.
+func TestAddGraphEdgeFlipsDecision(t *testing.T) {
+	sys, _ := incrementalFixture(t)
+	// A second entity with only a name: δ = 0.9 needs both properties.
+	p2 := sys.AddGraphVertex("product")
+	n2 := sys.AddGraphVertex("Comet Road Cruiser")
+	if err := sys.AddGraphEdge(p2, n2, "productName"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := sys.AddTuple("product", "Comet Road Cruiser 2", "blue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := sys.SPair("product", id, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before {
+		t.Fatal("pair should not match with the color property missing")
+	}
+	// Add the missing property; the cached negative must be forgotten.
+	c2 := sys.AddGraphVertex("blue")
+	if err := sys.AddGraphEdge(p2, c2, "hasColor"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sys.SPair("product", id, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after {
+		t.Error("pair should match after the edge update")
+	}
+}
+
+func TestAddGraphEdgeValidation(t *testing.T) {
+	sys, _ := incrementalFixture(t)
+	if err := sys.AddGraphEdge(0, VertexID(10_000), "x"); err == nil {
+		t.Error("edge to invalid vertex should fail")
+	}
+}

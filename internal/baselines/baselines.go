@@ -1,0 +1,176 @@
+// Package baselines re-implements the comparison methods of Section VII
+// (Exp-1/Exp-2): bounded simulation (Bsim), the rule-based JedAI
+// workflow, the Magellan random-forest matcher (MAG), the
+// DeepMatcher-style neural matcher (DEEP), the MAGNN-style metapath
+// embedding matcher, and the LexMa lexical cell matcher. Each follows
+// the configuration the paper describes, adapted to this repository's
+// substrates (DESIGN.md systems S13–S18).
+package baselines
+
+import (
+	"sort"
+	"strings"
+
+	"her/internal/core"
+	"her/internal/embed"
+	"her/internal/graph"
+	"her/internal/learn"
+)
+
+// TrainingData is what a baseline may learn from: the two graphs, the
+// training annotations (same ones HER uses), and a shared encoder.
+type TrainingData struct {
+	GD, G   *graph.Graph
+	Train   []learn.Annotation
+	Encoder *embed.Encoder
+}
+
+// Method is a baseline entity matcher over (G_D, G).
+type Method interface {
+	Name() string
+	// Train fits the method; rule-based methods may ignore the
+	// annotations.
+	Train(data *TrainingData) error
+	// SPair decides one pair.
+	SPair(p core.Pair) bool
+	// VPair finds all matches of one G_D vertex among the candidates.
+	VPair(u graph.VID, candidates []graph.VID) []graph.VID
+	// APair finds all matches for the given sources and candidate
+	// generator.
+	APair(sources []graph.VID, gen core.CandidateGen) []core.Pair
+}
+
+// pairScorer is the common shape of score-and-threshold matchers; the
+// generic mode implementations below are built on it.
+type pairScorer interface {
+	score(p core.Pair) float64
+	threshold() float64
+}
+
+func genericSPair(s pairScorer, p core.Pair) bool {
+	return s.score(p) >= s.threshold()
+}
+
+func genericVPair(s pairScorer, u graph.VID, candidates []graph.VID) []graph.VID {
+	var out []graph.VID
+	for _, v := range candidates {
+		if genericSPair(s, core.Pair{U: u, V: v}) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func genericAPair(s pairScorer, sources []graph.VID, gen core.CandidateGen) []core.Pair {
+	var out []core.Pair
+	for _, u := range sources {
+		var cands []graph.VID
+		if gen != nil {
+			cands = gen(u)
+		}
+		for _, v := range cands {
+			p := core.Pair{U: u, V: v}
+			if genericSPair(s, p) {
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].U != out[b].U {
+			return out[a].U < out[b].U
+		}
+		return out[a].V < out[b].V
+	})
+	return out
+}
+
+// flatten packs a vertex and its neighbors within the given hop count
+// into a pseudo-tuple of label strings — the preprocessing the paper
+// applies so relational matchers (MAG, DEEP) can consume graph vertices
+// ("we took v along with its 2-hop neighbors and flattened them into a
+// tuple t_v").
+func flatten(g *graph.Graph, v graph.VID, hops int) []string {
+	var fields []string
+	type item struct {
+		v graph.VID
+		d int
+	}
+	seen := map[graph.VID]bool{v: true}
+	queue := []item{{v, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		fields = append(fields, g.Label(cur.v))
+		if cur.d >= hops {
+			continue
+		}
+		for _, e := range g.Out(cur.v) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, item{e.To, cur.d + 1})
+			}
+		}
+	}
+	return fields
+}
+
+// flatText joins a flattened pseudo-tuple into one document.
+func flatText(fields []string) string { return strings.Join(fields, " ") }
+
+// bestFieldSim returns the maximum of sim(a, field) over the fields.
+func bestFieldSim(a string, fields []string, sim func(x, y string) float64) float64 {
+	best := 0.0
+	for _, f := range fields {
+		if s := sim(a, f); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// tuneThreshold picks the score cutoff maximizing F1 on the training
+// annotations — the "random parameter search on the validation set" the
+// paper applies to every learned baseline.
+func tuneThreshold(scores []float64, truth []bool) float64 {
+	type sc struct {
+		s float64
+		m bool
+	}
+	items := make([]sc, len(scores))
+	totalPos := 0
+	for i := range scores {
+		items[i] = sc{scores[i], truth[i]}
+		if truth[i] {
+			totalPos++
+		}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].s > items[b].s })
+	bestF, bestT := -1.0, 0.5
+	tp, fp := 0, 0
+	for i, it := range items {
+		if it.m {
+			tp++
+		} else {
+			fp++
+		}
+		// Threshold just below items[i].s keeps items[0..i].
+		if i+1 < len(items) && items[i+1].s == it.s {
+			continue
+		}
+		if tp == 0 {
+			continue
+		}
+		prec := float64(tp) / float64(tp+fp)
+		rec := float64(tp) / float64(totalPos)
+		f := 2 * prec * rec / (prec + rec)
+		if f > bestF {
+			bestF = f
+			if i+1 < len(items) {
+				bestT = (it.s + items[i+1].s) / 2
+			} else {
+				bestT = it.s - 1e-9
+			}
+		}
+	}
+	return bestT
+}

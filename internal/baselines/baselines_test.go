@@ -1,0 +1,247 @@
+package baselines
+
+import (
+	"testing"
+
+	"her/internal/core"
+	"her/internal/dataset"
+	"her/internal/embed"
+	"her/internal/graph"
+	"her/internal/learn"
+)
+
+// smallData generates a small dataset and splits its annotations.
+func smallData(t *testing.T, name string, entities int) (*TrainingData, []learn.Annotation, *dataset.Generated) {
+	t.Helper()
+	cfg, ok := dataset.ByName(name, entities)
+	if !ok {
+		t.Fatalf("unknown dataset %s", name)
+	}
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _, test, err := learn.Split(d.Truth, 0.6, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := &TrainingData{GD: d.GD, G: d.G, Train: train, Encoder: embed.NewEncoder(64)}
+	return td, test, d
+}
+
+// evalF1 scores a method's SPair on annotations.
+func evalF1(m Method, anns []learn.Annotation) float64 {
+	return learn.Evaluate(func(p core.Pair) bool { return m.SPair(p) }, anns).F1()
+}
+
+func TestLearnedBaselinesBeatChance(t *testing.T) {
+	td, test, _ := smallData(t, "Synthetic", 60)
+	for _, m := range []Method{&MAG{}, &DEEP{}, &MAGNN{}, &JedAI{}} {
+		if err := m.Train(td); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		f := evalF1(m, test)
+		t.Logf("%s F1 = %.3f", m.Name(), f)
+		if f < 0.5 {
+			t.Errorf("%s F1 = %.3f, want ≥ 0.5", m.Name(), f)
+		}
+	}
+}
+
+func TestBaselinesRequireTraining(t *testing.T) {
+	if err := (&MAG{}).Train(nil); err == nil {
+		t.Error("MAG should require annotations")
+	}
+	if err := (&DEEP{}).Train(&TrainingData{}); err == nil {
+		t.Error("DEEP should require annotations")
+	}
+	if err := (&MAGNN{}).Train(&TrainingData{}); err == nil {
+		t.Error("MAGNN should require annotations")
+	}
+	if err := (&JedAI{}).Train(nil); err == nil {
+		t.Error("JedAI should require graphs")
+	}
+	if err := (&LexMa{}).Train(nil); err == nil {
+		t.Error("LexMa should require graphs")
+	}
+	if err := (&Bsim{}).Train(nil); err == nil {
+		t.Error("Bsim should require graphs")
+	}
+}
+
+func TestVPairAndAPairModes(t *testing.T) {
+	td, test, d := smallData(t, "Synthetic", 40)
+	m := &MAG{}
+	if err := m.Train(td); err != nil {
+		t.Fatal(err)
+	}
+	// VPair is consistent with SPair.
+	var u graph.VID
+	for _, a := range test {
+		u = a.Pair.U
+		break
+	}
+	cands := d.EntityVertices
+	got := m.VPair(u, cands)
+	for _, v := range got {
+		if !m.SPair(core.Pair{U: u, V: v}) {
+			t.Errorf("VPair returned a pair SPair rejects: (%d,%d)", u, v)
+		}
+	}
+	// APair over two sources with a static candidate generator.
+	gen := func(graph.VID) []graph.VID { return cands }
+	all := m.APair(d.TupleVertices[:2], gen)
+	for _, p := range all {
+		if !m.SPair(p) {
+			t.Errorf("APair returned a pair SPair rejects: %v", p)
+		}
+	}
+}
+
+func TestLexMaIndependentCells(t *testing.T) {
+	// On the typo-heavy 2T shape, independent lexical cell votes must be
+	// clearly weaker than the learned methods — the Table V shape.
+	td, test, _ := smallData(t, "2T", 80)
+	m := &LexMa{}
+	if err := m.Train(td); err != nil {
+		t.Fatal(err)
+	}
+	f := evalF1(m, test)
+	t.Logf("LexMa F1 on 2T = %.3f", f)
+	if f > 0.9 {
+		t.Errorf("LexMa F1 = %.3f; independent cell votes should degrade on noisy data", f)
+	}
+}
+
+func TestBsimRunsOnTinyGraphs(t *testing.T) {
+	gd := graph.New()
+	u1 := gd.AddVertex("A")
+	u2 := gd.AddVertex("B")
+	gd.MustAddEdge(u1, u2, "e")
+	g := graph.New()
+	v1 := g.AddVertex("A")
+	vm := g.AddVertex("M")
+	v2 := g.AddVertex("B")
+	g.MustAddEdge(v1, vm, "x")
+	g.MustAddEdge(vm, v2, "y")
+	b := &Bsim{Bound: 2, MemBudget: 1 << 16, Sigma: 1}
+	if err := b.Train(&TrainingData{GD: gd, G: g}); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (u1, v1) holds: edge u1→u2 maps to the 2-hop path v1→vm→v2.
+	if !rel[core.Pair{U: u1, V: v1}] {
+		t.Errorf("bounded simulation missed (u1,v1): %v", rel)
+	}
+	// With bound 1 it must fail.
+	b1 := &Bsim{Bound: 1, MemBudget: 1 << 16, Sigma: 1}
+	if err := b1.Train(&TrainingData{GD: gd, G: g}); err != nil {
+		t.Fatal(err)
+	}
+	rel1, err := b1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel1[core.Pair{U: u1, V: v1}] {
+		t.Error("bound-1 simulation should reject the 2-hop mapping")
+	}
+	// SPair/VPair are unsupported (Table VI "NA").
+	if b.SPair(core.Pair{U: u1, V: v1}) {
+		t.Error("Bsim SPair should be unsupported")
+	}
+	if b.VPair(u1, nil) != nil {
+		t.Error("Bsim VPair should be unsupported")
+	}
+}
+
+func TestBsimOutOfMemory(t *testing.T) {
+	td, _, _ := smallData(t, "Synthetic", 60)
+	b := &Bsim{Bound: 2, MemBudget: 1000}
+	if err := b.Train(td); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(); err != ErrOutOfMemory {
+		t.Errorf("expected OM, got %v", err)
+	}
+	if got := b.APair(nil, nil); got != nil {
+		t.Errorf("OM APair should be nil, got %d pairs", len(got))
+	}
+}
+
+func TestTuneThreshold(t *testing.T) {
+	// Scores separate perfectly at 0.5.
+	scores := []float64{0.9, 0.8, 0.7, 0.3, 0.2, 0.1}
+	truth := []bool{true, true, true, false, false, false}
+	th := tuneThreshold(scores, truth)
+	if th <= 0.3 || th >= 0.7 {
+		t.Errorf("threshold = %f, want in (0.3, 0.7)", th)
+	}
+	// All negatives: any threshold, must not panic.
+	tuneThreshold([]float64{0.5, 0.4}, []bool{false, false})
+	// Ties.
+	tuneThreshold([]float64{0.5, 0.5, 0.5}, []bool{true, false, true})
+}
+
+func TestFlatten(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("a")
+	b := g.AddVertex("b")
+	c := g.AddVertex("c")
+	g.MustAddEdge(a, b, "e1")
+	g.MustAddEdge(b, c, "e2")
+	if got := flatten(g, a, 1); len(got) != 2 {
+		t.Errorf("1-hop flatten = %v", got)
+	}
+	if got := flatten(g, a, 2); len(got) != 3 {
+		t.Errorf("2-hop flatten = %v", got)
+	}
+	if flatText([]string{"x", "y"}) != "x y" {
+		t.Error("flatText wrong")
+	}
+}
+
+func TestGram3Cosine(t *testing.T) {
+	if s := gram3Cosine("hello", "hello"); s < 0.999 {
+		t.Errorf("identical strings = %f", s)
+	}
+	if s := gram3Cosine("abc", ""); s != 0 {
+		t.Errorf("empty side = %f", s)
+	}
+	if s := gram3Cosine("hello", "help"); s <= 0 || s >= 1 {
+		t.Errorf("related strings = %f", s)
+	}
+}
+
+func TestRandomForest(t *testing.T) {
+	// Learn x0 > 0.5.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := float64(i%100) / 100
+		x = append(x, []float64{v, float64(i % 7)})
+		if v > 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	f := trainForest(x, y, defaultRFConfig())
+	correct := 0
+	for i := range x {
+		p := f.predict(x[i])
+		if (p >= 0.5) == (y[i] >= 0.5) {
+			correct++
+		}
+	}
+	if float64(correct)/float64(len(x)) < 0.95 {
+		t.Errorf("forest accuracy = %d/%d", correct, len(x))
+	}
+	// Degenerate inputs.
+	empty := trainForest(nil, nil, defaultRFConfig())
+	if empty.predict([]float64{1}) != 0 {
+		t.Error("empty forest should predict 0")
+	}
+}

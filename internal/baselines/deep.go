@@ -1,0 +1,144 @@
+package baselines
+
+import (
+	"fmt"
+
+	"her/internal/core"
+	"her/internal/embed"
+	"her/internal/graph"
+	"her/internal/nn"
+)
+
+// DEEP is the DeepMatcher-style baseline: each side of a pair is
+// summarized by attribute-level embeddings (the "hybrid" model's
+// aggregated representations), compared with the standard
+// [x1, x2, |x1-x2|, x1⊙x2] composition and classified by an MLP trained
+// on the annotations.
+type DEEP struct {
+	Hops   int // flattening depth (default 2)
+	Hidden int // classifier hidden width (default 32)
+	Epochs int // training epochs (default 40)
+	Seed   int64
+
+	data   *TrainingData
+	model  *nn.MLP
+	cutoff float64
+}
+
+// Name implements Method.
+func (d *DEEP) Name() string { return "DEEP" }
+
+// encode embeds one side as the normalized sum of its field embeddings.
+func (d *DEEP) encode(g *graph.Graph, v graph.VID, hops int) []float64 {
+	fields := flatten(g, v, hops)
+	acc := make([]float64, d.data.Encoder.Dim())
+	for _, f := range fields {
+		embed.Add(acc, d.data.Encoder.Embed(f))
+	}
+	return embed.Normalize(acc)
+}
+
+func (d *DEEP) features(p core.Pair) []float64 {
+	x1 := d.encode(d.data.GD, p.U, 1)
+	x2 := d.encode(d.data.G, p.V, d.Hops)
+	// Hybrid model, pooled: record-level embedding composition statistics
+	// plus attribute-summarization signals (per-attribute best embedding
+	// similarity against the flattened fields), as DeepMatcher's hybrid
+	// variant combines summaries with attribute alignment. The pooled
+	// head keeps the capacity matched to the small training sets.
+	cos := embed.Cosine(x1, x2)
+	diff := embed.AbsDiff(x1, x2)
+	had := embed.Hadamard(x1, x2)
+	var diffMean, hadMean float64
+	for i := range diff {
+		diffMean += diff[i]
+		hadMean += had[i]
+	}
+	diffMean /= float64(len(diff))
+	hadMean /= float64(len(had))
+
+	uFields := flatten(d.data.GD, p.U, 1)
+	vFields := flatten(d.data.G, p.V, d.Hops)
+	vEmb := make([][]float64, len(vFields))
+	for i, f := range vFields {
+		vEmb[i] = d.data.Encoder.Embed(f)
+	}
+	var sum, max float64
+	for _, uf := range uFields {
+		ue := d.data.Encoder.Embed(uf)
+		best := 0.0
+		for _, ve := range vEmb {
+			if c := embed.Cosine(ue, ve); c > best {
+				best = c
+			}
+		}
+		sum += best
+		if best > max {
+			max = best
+		}
+	}
+	mean := 0.0
+	if len(uFields) > 0 {
+		mean = sum / float64(len(uFields))
+	}
+	return []float64{cos, diffMean, hadMean, mean, max}
+}
+
+// Train fits the classifier on the training annotations.
+func (d *DEEP) Train(data *TrainingData) error {
+	if data == nil || len(data.Train) == 0 {
+		return fmt.Errorf("deep: needs training annotations")
+	}
+	if data.Encoder == nil {
+		return fmt.Errorf("deep: needs an encoder")
+	}
+	d.data = data
+	if d.Hops <= 0 {
+		d.Hops = 2
+	}
+	if d.Hidden <= 0 {
+		d.Hidden = 32
+	}
+	if d.Epochs <= 0 {
+		d.Epochs = 120
+	}
+	if d.Seed == 0 {
+		d.Seed = 1
+	}
+	var samples []nn.Sample
+	for _, a := range data.Train {
+		y := 0.0
+		if a.Match {
+			y = 1
+		}
+		samples = append(samples, nn.Sample{X: d.features(a.Pair), Y: y})
+	}
+	d.model = nn.MustMLP([]int{5, d.Hidden, 1}, nn.ReLU, d.Seed)
+	d.model.TrainBCE(samples, nn.TrainConfig{
+		Epochs: d.Epochs, LearnRate: 0.005, BatchSize: 8, Seed: d.Seed,
+	})
+	scores := make([]float64, len(samples))
+	truth := make([]bool, len(samples))
+	for i, s := range samples {
+		scores[i] = d.model.Score(s.X)
+		truth[i] = s.Y >= 0.5
+	}
+	d.cutoff = tuneThreshold(scores, truth)
+	return nil
+}
+
+func (d *DEEP) score(p core.Pair) float64 { return d.model.Score(d.features(p)) }
+func (d *DEEP) threshold() float64        { return d.cutoff }
+
+// SPair implements Method.
+func (d *DEEP) SPair(p core.Pair) bool { return genericSPair(d, p) }
+
+// VPair implements Method.
+func (d *DEEP) VPair(u graph.VID, candidates []graph.VID) []graph.VID {
+	return genericVPair(d, u, candidates)
+}
+
+// APair implements Method.
+func (d *DEEP) APair(sources []graph.VID, gen core.CandidateGen) []core.Pair {
+	return genericAPair(d, sources, gen)
+}

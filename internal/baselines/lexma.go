@@ -1,0 +1,129 @@
+package baselines
+
+import (
+	"fmt"
+
+	"her/internal/core"
+	"her/internal/graph"
+	"her/internal/text"
+)
+
+// LexMa is the lexical cell-matching baseline: each attribute value
+// (cell) of the tuple is looked up independently among the graph's
+// vertex labels by normalized lexical equality, and the cell votes for
+// every entity adjacent to a matching value vertex. A pair is declared a
+// match when the vertex collects the (strict) majority of the tuple's
+// cell votes. Because cells vote independently — the method never checks
+// the semantic relations between them — common values ("London", years,
+// colors) scatter votes to unrelated entities, reproducing the low
+// precision Table V reports ("cells in the same tuple may be mapped to
+// disconnected and different entities").
+type LexMa struct {
+	data *TrainingData
+	// byLabel indexes G's vertices by their normalized label.
+	byLabel map[string][]graph.VID
+}
+
+// Name implements Method.
+func (l *LexMa) Name() string { return "LexMa" }
+
+// Train builds the label lookup; annotations are ignored (lexical
+// technique).
+func (l *LexMa) Train(data *TrainingData) error {
+	if data == nil || data.GD == nil || data.G == nil {
+		return fmt.Errorf("lexma: missing graphs")
+	}
+	l.data = data
+	l.byLabel = make(map[string][]graph.VID)
+	for v := 0; v < data.G.NumVertices(); v++ {
+		key := text.NormalizeLabel(data.G.Label(graph.VID(v)))
+		l.byLabel[key] = append(l.byLabel[key], graph.VID(v))
+	}
+	return nil
+}
+
+// votes maps each entity vertex to the number of cells of u that
+// lexically land on it. Faithful to LexMa's failure mode, each cell is
+// mapped INDEPENDENTLY to a single graph entity: the first exact
+// normalized-label hit, attributed to its first in-neighbor owner. With
+// common values ("London", years, colors) the arbitrary owner is usually
+// the wrong entity, so votes scatter — the paper's "cells in the same
+// tuple may be mapped to disconnected and different entities".
+func (l *LexMa) votes(u graph.VID) map[graph.VID]int {
+	out := make(map[graph.VID]int)
+	cells := l.data.GD.Out(u)
+	for _, cell := range cells {
+		key := text.NormalizeLabel(l.data.GD.Label(cell.To))
+		if key == "" {
+			continue
+		}
+		hits := l.byLabel[key]
+		if len(hits) == 0 {
+			continue
+		}
+		hit := hits[0]
+		if owners := l.data.G.In(hit); len(owners) > 0 {
+			// Every entity carrying this value is an equally plausible
+			// cell target — "a cell 'London' may be mapped to different
+			// 'London's" — which is what destroys precision.
+			for _, o := range owners {
+				out[o]++
+			}
+		} else if !l.data.G.IsLeaf(hit) {
+			out[hit]++
+		}
+	}
+	return out
+}
+
+// decide reduces the independent cell matches to one entity: the vote
+// argmax with ties broken arbitrarily (lowest id). This is the step the
+// paper identifies as hopeless — "given such 'independent' cell matches
+// of one tuple, one can hardly decide to which entity the tuple should
+// be mapped" — since common values hand equal votes to many entities.
+func (l *LexMa) decide(u graph.VID) (graph.VID, bool) {
+	votes := l.votes(u)
+	best := graph.NoVertex
+	bestVotes := 0
+	for v, c := range votes {
+		if c > bestVotes || (c == bestVotes && best != graph.NoVertex && v < best) {
+			best, bestVotes = v, c
+		}
+	}
+	return best, bestVotes > 0
+}
+
+// SPair implements Method.
+func (l *LexMa) SPair(p core.Pair) bool {
+	winner, ok := l.decide(p.U)
+	return ok && winner == p.V
+}
+
+// VPair implements Method.
+func (l *LexMa) VPair(u graph.VID, candidates []graph.VID) []graph.VID {
+	winner, ok := l.decide(u)
+	if !ok {
+		return nil
+	}
+	for _, v := range candidates {
+		if v == winner {
+			return []graph.VID{winner}
+		}
+	}
+	return nil
+}
+
+// APair implements Method.
+func (l *LexMa) APair(sources []graph.VID, gen core.CandidateGen) []core.Pair {
+	var out []core.Pair
+	for _, u := range sources {
+		var cands []graph.VID
+		if gen != nil {
+			cands = gen(u)
+		}
+		for _, v := range l.VPair(u, cands) {
+			out = append(out, core.Pair{U: u, V: v})
+		}
+	}
+	return out
+}

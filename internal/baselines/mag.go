@@ -1,0 +1,129 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"her/internal/core"
+	"her/internal/graph"
+	"her/internal/text"
+)
+
+// MAG is the Magellan-style baseline: hand-built feature tables over the
+// tuple's attribute values vs the flattened 2-hop pseudo-tuple of the
+// graph vertex, classified by a random forest, with the decision
+// threshold tuned on the training annotations.
+type MAG struct {
+	Hops int // flattening depth (default 2)
+
+	data   *TrainingData
+	model  *forest
+	cutoff float64
+}
+
+// Name implements Method.
+func (m *MAG) Name() string { return "MAG" }
+
+// features builds the Magellan-style feature vector of one pair: for
+// each of the tuple side's fields (its label and attribute values), the
+// best Levenshtein, Jaccard and 3-gram-cosine similarity against the
+// flattened graph fields, aggregated as (mean, max), plus whole-record
+// similarities.
+func (m *MAG) features(p core.Pair) []float64 {
+	uFields := flatten(m.data.GD, p.U, 1) // tuple vertex + its attributes
+	vFields := flatten(m.data.G, p.V, m.Hops)
+	sims := []func(a, b string) float64{
+		text.LevenshteinSim,
+		text.JaccardTokens,
+		gram3Cosine,
+	}
+	out := make([]float64, 0, 2*len(sims)+2)
+	for _, sim := range sims {
+		var sum, max float64
+		for _, a := range uFields {
+			s := bestFieldSim(a, vFields, sim)
+			sum += s
+			if s > max {
+				max = s
+			}
+		}
+		out = append(out, sum/float64(len(uFields)), max)
+	}
+	// Whole-record features.
+	ua, va := flatText(uFields), flatText(vFields)
+	out = append(out, text.JaccardTokens(ua, va), text.OverlapTokens(ua, va))
+	return out
+}
+
+func gram3Cosine(a, b string) float64 {
+	ga, gb := text.NGrams(a, 3), text.NGrams(b, 3)
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	sa := map[string]int{}
+	for _, g := range ga {
+		sa[g]++
+	}
+	sb := map[string]int{}
+	for _, g := range gb {
+		sb[g]++
+	}
+	var dot, na, nb float64
+	for g, c := range sa {
+		dot += float64(c * sb[g])
+		na += float64(c * c)
+	}
+	for _, c := range sb {
+		nb += float64(c * c)
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Train fits the random forest on the training annotations.
+func (m *MAG) Train(data *TrainingData) error {
+	if data == nil || len(data.Train) == 0 {
+		return fmt.Errorf("mag: needs training annotations")
+	}
+	m.data = data
+	if m.Hops <= 0 {
+		m.Hops = 2
+	}
+	var x [][]float64
+	var y []float64
+	for _, a := range data.Train {
+		x = append(x, m.features(a.Pair))
+		if a.Match {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	m.model = trainForest(x, y, defaultRFConfig())
+	scores := make([]float64, len(x))
+	truth := make([]bool, len(x))
+	for i := range x {
+		scores[i] = m.model.predict(x[i])
+		truth[i] = y[i] >= 0.5
+	}
+	m.cutoff = tuneThreshold(scores, truth)
+	return nil
+}
+
+func (m *MAG) score(p core.Pair) float64 { return m.model.predict(m.features(p)) }
+func (m *MAG) threshold() float64        { return m.cutoff }
+
+// SPair implements Method.
+func (m *MAG) SPair(p core.Pair) bool { return genericSPair(m, p) }
+
+// VPair implements Method.
+func (m *MAG) VPair(u graph.VID, candidates []graph.VID) []graph.VID {
+	return genericVPair(m, u, candidates)
+}
+
+// APair implements Method.
+func (m *MAG) APair(sources []graph.VID, gen core.CandidateGen) []core.Pair {
+	return genericAPair(m, sources, gen)
+}

@@ -1,0 +1,157 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"her/internal/core"
+	"her/internal/embed"
+	"her/internal/graph"
+	"her/internal/learn"
+)
+
+func TestJedAIProfileContainsNameValuePairs(t *testing.T) {
+	g := graph.New()
+	e := g.AddVertex("item")
+	v := g.AddVertex("red")
+	g.MustAddEdge(e, v, "hasColor")
+	j := &JedAI{}
+	if err := j.Train(&TrainingData{GD: g, G: g}); err != nil {
+		t.Fatal(err)
+	}
+	doc := j.profile(g, e)
+	for _, want := range []string{"item", "hasColor", "red"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("profile %q missing %q", doc, want)
+		}
+	}
+}
+
+func TestJedAIScoreSymmetryOfIdenticalProfiles(t *testing.T) {
+	gd := graph.New()
+	u := gd.AddVertex("item")
+	uv := gd.AddVertex("red")
+	gd.MustAddEdge(u, uv, "color")
+	g := graph.New()
+	v := g.AddVertex("item")
+	vv := g.AddVertex("red")
+	g.MustAddEdge(v, vv, "color")
+	j := &JedAI{}
+	if err := j.Train(&TrainingData{GD: gd, G: g}); err != nil {
+		t.Fatal(err)
+	}
+	if s := j.score(core.Pair{U: u, V: v}); s < 0.99 {
+		t.Errorf("identical profiles score %f", s)
+	}
+}
+
+func TestMAGNNEmbeddingDeterministic(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("alpha")
+	b := g.AddVertex("beta")
+	g.MustAddEdge(a, b, "rel")
+	m := &MAGNN{}
+	td := &TrainingData{GD: g, G: g, Encoder: embed.NewEncoder(32),
+		Train: []learn.Annotation{{Pair: core.Pair{U: a, V: a}, Match: true},
+			{Pair: core.Pair{U: a, V: b}, Match: false}}}
+	if err := m.Train(td); err != nil {
+		t.Fatal(err)
+	}
+	e1 := m.embedVertex(g, a)
+	e2 := m.embedVertex(g, a)
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("embedding not deterministic")
+		}
+	}
+	// Self-similarity is maximal.
+	if s := m.score(core.Pair{U: a, V: a}); s < 0.99 {
+		t.Errorf("self score = %f", s)
+	}
+}
+
+func TestMAGFeatureVectorShape(t *testing.T) {
+	td, _, _ := smallData(t, "Synthetic", 30)
+	m := &MAG{}
+	if err := m.Train(td); err != nil {
+		t.Fatal(err)
+	}
+	f := m.features(td.Train[0].Pair)
+	if len(f) != 8 { // 3 sims × (mean,max) + 2 whole-record features
+		t.Fatalf("feature vector length = %d", len(f))
+	}
+	for i, x := range f {
+		if x < 0 || x > 1.0001 {
+			t.Errorf("feature %d out of range: %f", i, x)
+		}
+	}
+}
+
+func TestDEEPFeatureVectorShape(t *testing.T) {
+	td, _, _ := smallData(t, "Synthetic", 30)
+	d := &DEEP{}
+	if err := d.Train(td); err != nil {
+		t.Fatal(err)
+	}
+	f := d.features(td.Train[0].Pair)
+	if len(f) != 5 {
+		t.Fatalf("feature vector length = %d", len(f))
+	}
+}
+
+func TestBsimRespectsSigmaScorer(t *testing.T) {
+	gd := graph.New()
+	u := gd.AddVertex("Almost")
+	g := graph.New()
+	v := g.AddVertex("almost")
+	b := &Bsim{Bound: 1, MemBudget: 1 << 12, Sigma: 0.5,
+		LabelSim: func(a, bb string) float64 {
+			if a == "Almost" && bb == "almost" {
+				return 0.8
+			}
+			return 0
+		}}
+	if err := b.Train(&TrainingData{GD: gd, G: g}); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel[core.Pair{U: u, V: v}] {
+		t.Error("custom label scorer ignored")
+	}
+}
+
+func TestLexMaNoCells(t *testing.T) {
+	gd := graph.New()
+	u := gd.AddVertex("lonely") // no outgoing cells
+	g := graph.New()
+	v := g.AddVertex("lonely")
+	l := &LexMa{}
+	if err := l.Train(&TrainingData{GD: gd, G: g}); err != nil {
+		t.Fatal(err)
+	}
+	if l.SPair(core.Pair{U: u, V: v}) {
+		t.Error("tuple without cells should not match")
+	}
+	if got := l.VPair(u, []graph.VID{v}); got != nil {
+		t.Errorf("VPair without cells = %v", got)
+	}
+}
+
+func TestGenericAPairSorted(t *testing.T) {
+	td, _, d := smallData(t, "Synthetic", 30)
+	m := &MAGNN{}
+	if err := m.Train(td); err != nil {
+		t.Fatal(err)
+	}
+	gen := func(graph.VID) []graph.VID { return d.EntityVertices[:5] }
+	out := m.APair(d.TupleVertices[:3], gen)
+	for i := 1; i < len(out); i++ {
+		a, b := out[i-1], out[i]
+		if a.U > b.U || (a.U == b.U && a.V >= b.V) {
+			t.Fatalf("APair not sorted at %d: %v %v", i, a, b)
+		}
+	}
+}

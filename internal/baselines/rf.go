@@ -1,0 +1,168 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// forest is a small random forest (bagged CART trees with random feature
+// subsets and gini splits), the classifier behind the MAG baseline.
+type forest struct {
+	trees []*rfNode
+}
+
+type rfNode struct {
+	leaf   bool
+	prob   float64
+	feat   int
+	thresh float64
+	left   *rfNode
+	right  *rfNode
+}
+
+type rfConfig struct {
+	trees    int
+	maxDepth int
+	minLeaf  int
+	seed     int64
+}
+
+func defaultRFConfig() rfConfig {
+	return rfConfig{trees: 20, maxDepth: 6, minLeaf: 2, seed: 1}
+}
+
+func trainForest(x [][]float64, y []float64, cfg rfConfig) *forest {
+	if cfg.trees <= 0 {
+		cfg.trees = 20
+	}
+	if cfg.maxDepth <= 0 {
+		cfg.maxDepth = 6
+	}
+	if cfg.minLeaf <= 0 {
+		cfg.minLeaf = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	f := &forest{}
+	n := len(x)
+	if n == 0 {
+		return f
+	}
+	d := len(x[0])
+	mtry := int(math.Sqrt(float64(d)))
+	if mtry < 1 {
+		mtry = 1
+	}
+	for t := 0; t < cfg.trees; t++ {
+		// Bootstrap sample.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		f.trees = append(f.trees, growTree(x, y, idx, cfg, mtry, rng, 0))
+	}
+	return f
+}
+
+func growTree(x [][]float64, y []float64, idx []int, cfg rfConfig, mtry int, rng *rand.Rand, depth int) *rfNode {
+	pos := 0
+	for _, i := range idx {
+		if y[i] >= 0.5 {
+			pos++
+		}
+	}
+	prob := float64(pos) / float64(len(idx))
+	if depth >= cfg.maxDepth || len(idx) <= cfg.minLeaf || pos == 0 || pos == len(idx) {
+		return &rfNode{leaf: true, prob: prob}
+	}
+	d := len(x[0])
+	bestGain := 0.0
+	bestFeat, bestThresh := -1, 0.0
+	baseGini := gini(prob)
+	feats := rng.Perm(d)[:mtry]
+	for _, f := range feats {
+		vals := make([]float64, len(idx))
+		for i, ix := range idx {
+			vals[i] = x[ix][f]
+		}
+		sort.Float64s(vals)
+		// Candidate thresholds: up to 8 quantile midpoints.
+		step := len(vals) / 9
+		if step < 1 {
+			step = 1
+		}
+		for q := step; q < len(vals); q += step {
+			if vals[q] == vals[q-1] {
+				continue
+			}
+			th := (vals[q] + vals[q-1]) / 2
+			lp, ln, rp, rn := 0, 0, 0, 0
+			for _, ix := range idx {
+				if x[ix][f] < th {
+					if y[ix] >= 0.5 {
+						lp++
+					} else {
+						ln++
+					}
+				} else {
+					if y[ix] >= 0.5 {
+						rp++
+					} else {
+						rn++
+					}
+				}
+			}
+			l, r := lp+ln, rp+rn
+			if l == 0 || r == 0 {
+				continue
+			}
+			gl := gini(float64(lp) / float64(l))
+			gr := gini(float64(rp) / float64(r))
+			gain := baseGini - (float64(l)*gl+float64(r)*gr)/float64(len(idx))
+			if gain > bestGain {
+				bestGain, bestFeat, bestThresh = gain, f, th
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &rfNode{leaf: true, prob: prob}
+	}
+	var li, ri []int
+	for _, ix := range idx {
+		if x[ix][bestFeat] < bestThresh {
+			li = append(li, ix)
+		} else {
+			ri = append(ri, ix)
+		}
+	}
+	return &rfNode{
+		feat: bestFeat, thresh: bestThresh,
+		left:  growTree(x, y, li, cfg, mtry, rng, depth+1),
+		right: growTree(x, y, ri, cfg, mtry, rng, depth+1),
+	}
+}
+
+func gini(p float64) float64 { return 2 * p * (1 - p) }
+
+// predict returns the mean positive probability across trees.
+func (f *forest) predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range f.trees {
+		s += t.predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+func (n *rfNode) predict(x []float64) float64 {
+	for !n.leaf {
+		if x[n.feat] < n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.prob
+}

@@ -1,0 +1,103 @@
+package bsp
+
+import (
+	"math/rand"
+	"testing"
+
+	"her/internal/core"
+	"her/internal/graph"
+	"her/internal/ranking"
+)
+
+// TestAsyncEqualsSequential: the asynchronous PAllMatch (remark 1 of
+// Section VI-B) computes the same Π as sequential AllParaMatch, for
+// every worker count and across random graphs.
+func TestAsyncEqualsSequential(t *testing.T) {
+	labels := []string{"P", "Q", "R", "S"}
+	edgeLabels := []string{"x", "y", "z"}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		nv := 4 + rng.Intn(8)
+		ne := rng.Intn(2 * nv)
+		gd := randomGraph(rng, nv, ne, labels, edgeLabels)
+		g := randomGraph(rng, nv, ne, labels, edgeLabels)
+		delta := []float64{0.3, 0.5, 1.0}[rng.Intn(3)]
+		p := core.Params{Mv: exactMv, Mrho: exactMrho, Sigma: 1, Delta: delta, K: 3}
+		want := sequentialAPair(t, gd, g, p, nil, 3)
+		for _, n := range []int{1, 2, 4} {
+			eng, err := NewEngine(gd, g, ranking.NewRanker(gd, nil, 3), ranking.NewRanker(g, nil, 3), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, st, err := eng.RunAsync(nil, nil, Config{Workers: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pairsEqual(got, want) {
+				t.Fatalf("trial %d n=%d δ=%.1f: async %v != sequential %v (stats %+v)",
+					trial, n, delta, got, want, st)
+			}
+		}
+	}
+}
+
+func TestAsyncCrossFragmentChain(t *testing.T) {
+	const n = 12
+	gd := graph.New()
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		gd.AddVertex("N")
+		g.AddVertex("N")
+	}
+	for i := 0; i+1 < n; i++ {
+		gd.MustAddEdge(graph.VID(i), graph.VID(i+1), "e")
+		g.MustAddEdge(graph.VID(i), graph.VID(i+1), "e")
+	}
+	p := core.Params{Mv: exactMv, Mrho: exactMrho, Sigma: 1, Delta: 0.2, K: 2}
+	want := sequentialAPair(t, gd, g, p, nil, 2)
+	for _, workers := range []int{2, 3, 5} {
+		eng, _ := NewEngine(gd, g, ranking.NewRanker(gd, nil, 2), ranking.NewRanker(g, nil, 2), p)
+		got, st, err := eng.RunAsync(nil, nil, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pairsEqual(got, want) {
+			t.Errorf("workers=%d: %v != %v", workers, got, want)
+		}
+		if workers > 1 && st.Requests == 0 {
+			t.Errorf("workers=%d: expected cross-fragment requests, stats %+v", workers, st)
+		}
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	g := graph.New()
+	g.AddVertex("a")
+	p := core.Params{Mv: exactMv, Mrho: exactMrho, Sigma: 1, Delta: 0.5, K: 3}
+	eng, _ := NewEngine(g, g, ranking.NewRanker(g, nil, 3), ranking.NewRanker(g, nil, 3), p)
+	if _, _, err := eng.RunAsync(nil, nil, Config{Workers: 0}); err == nil {
+		t.Error("Workers=0 should fail")
+	}
+}
+
+func TestAsyncStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	gd := randomGraph(rng, 10, 20, []string{"A", "B"}, []string{"x"})
+	g := randomGraph(rng, 10, 20, []string{"A", "B"}, []string{"x"})
+	p := core.Params{Mv: exactMv, Mrho: exactMrho, Sigma: 1, Delta: 0.5, K: 3}
+	eng, _ := NewEngine(gd, g, ranking.NewRanker(gd, nil, 3), ranking.NewRanker(g, nil, 3), p)
+	_, st, err := eng.RunAsync(nil, nil, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 4 || st.Calls == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	total := 0
+	for _, c := range st.PerWorkerPairs {
+		total += c
+	}
+	if total != st.CandidatePairs {
+		t.Errorf("per-worker accounting broken: %+v", st)
+	}
+}

@@ -1,0 +1,44 @@
+package bsp
+
+import (
+	"math/rand"
+	"testing"
+
+	"her/internal/core"
+	"her/internal/ranking"
+)
+
+func TestStressEquality(t *testing.T) {
+	labels := []string{"P", "Q", "R", "S"}
+	edgeLabels := []string{"x", "y", "z"}
+	for seed := int64(1); seed <= 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 8; trial++ {
+			nv := 4 + rng.Intn(12)
+			ne := rng.Intn(3 * nv)
+			gd := randomGraph(rng, nv, ne, labels, edgeLabels)
+			g := randomGraph(rng, nv, ne, labels, edgeLabels)
+			delta := []float64{0.3, 0.5, 1.0}[rng.Intn(3)]
+			p := core.Params{Mv: exactMv, Mrho: exactMrho, Sigma: 1, Delta: delta, K: 3}
+			want := sequentialAPair(t, gd, g, p, nil, 3)
+			for _, n := range []int{2, 4} {
+				eng, _ := NewEngine(gd, g, ranking.NewRanker(gd, nil, 3), ranking.NewRanker(g, nil, 3), p)
+				got, _, err := eng.Run(nil, nil, Config{Workers: n})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !pairsEqual(got, want) {
+					t.Fatalf("seed %d trial %d n=%d SYNC: %v != %v", seed, trial, n, got, want)
+				}
+				eng2, _ := NewEngine(gd, g, ranking.NewRanker(gd, nil, 3), ranking.NewRanker(g, nil, 3), p)
+				got2, _, err := eng2.RunAsync(nil, nil, Config{Workers: n})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !pairsEqual(got2, want) {
+					t.Fatalf("seed %d trial %d n=%d ASYNC: %v != %v", seed, trial, n, got2, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,548 @@
+// Package core implements the paper's primary contribution: parametric
+// simulation (Section III) and the quadratic-time ParaMatch algorithm
+// (Section V, Fig. 4), plus the all-match algorithms VParaMatch and
+// AllParaMatch (Section VI, Figs. 5 and 8) and schema-match extraction
+// (appendix D).
+//
+// Parametric simulation takes score functions (h_v, h_ρ, h_r) and
+// thresholds (σ, δ, k) as parameters. A pair (u0, v0) of vertices across
+// two graphs matches iff there is a relation Π(u0, v0) containing (u0, v0)
+// such that every (u, v) ∈ Π satisfies h_v(u, v) ≥ σ and, when u is not a
+// leaf, some partial injective lineage set S(u,v) ⊆ V_u^k × V_v^k has
+// aggregate h_ρ score ≥ δ with all its pairs in Π.
+package core
+
+import (
+	"fmt"
+
+	"her/internal/graph"
+	"her/internal/ranking"
+)
+
+// VertexScorer is M_v: it scores the semantic closeness of two vertex
+// labels in [0, 1]. Implementations must be safe for concurrent use.
+type VertexScorer func(a, b string) float64
+
+// PathScorer is M_ρ: it scores the closeness of two edge-label sequences
+// in [0, 1]. Implementations must be safe for concurrent use.
+type PathScorer func(a, b []string) float64
+
+// Pair is a candidate match: U is a vertex of G_D (or G1), V of G (G2).
+type Pair struct {
+	U graph.VID
+	V graph.VID
+}
+
+// Params bundles the parameters of parametric simulation.
+type Params struct {
+	Mv    VertexScorer
+	Mrho  PathScorer
+	Sigma float64 // σ: vertex-closeness threshold
+	Delta float64 // δ: aggregate association threshold
+	K     int     // k: number of important properties
+}
+
+// Validate checks the parameter ranges.
+func (p Params) Validate() error {
+	if p.Mv == nil || p.Mrho == nil {
+		return fmt.Errorf("core: Mv and Mrho must be set")
+	}
+	if p.Sigma < 0 || p.Sigma > 1 {
+		return fmt.Errorf("core: sigma %f out of [0,1]", p.Sigma)
+	}
+	if p.Delta < 0 {
+		return fmt.Errorf("core: delta %f must be non-negative", p.Delta)
+	}
+	if p.K <= 0 {
+		return fmt.Errorf("core: k must be positive, got %d", p.K)
+	}
+	return nil
+}
+
+// Counters reports work done by a Matcher, for tests and benchmarks.
+type Counters struct {
+	Calls     int // ParaMatch invocations (including reruns)
+	CacheHits int // candidate validities answered from cache
+	Cleanups  int // cleanup-stage invocations
+	Rechecks  int // dependant pairs re-run by cleanup
+}
+
+// entry is one cache cell: the current validity of a pair and, when
+// valid, the lineage set W that witnesses it.
+type entry struct {
+	valid bool
+	w     []Pair
+}
+
+// Matcher runs parametric simulation between two graphs. It owns the
+// cache and ecache hash maps of Fig. 4 and is NOT safe for concurrent
+// use; the BSP engine creates one Matcher per worker.
+type Matcher struct {
+	GD *graph.Graph // G_D (or G1)
+	G  *graph.Graph // G (or G2)
+	RD *ranking.Ranker
+	RG *ranking.Ranker
+	P  Params
+
+	cache      map[Pair]*entry
+	dependents map[Pair]map[Pair]bool // p → pairs whose W contains p
+	recheck    map[Pair]int
+	assumed    map[Pair]bool // border-node assumptions seeded by the BSP engine
+
+	// Read tracking (enabled by the parallel engines): p → pairs whose
+	// evaluation consulted p's verdict. The paper's IncPSim re-checks
+	// only lineage (W) dependants, but under optimistic border
+	// assumptions a refuted assumption can also flip a NEGATIVE verdict
+	// computed under it — the assumed-valid candidate may have consumed
+	// an injectivity slot — so the engines re-check every reader.
+	trackReads bool
+	readers    map[Pair]map[Pair]bool
+	rerunQueue []Pair
+	draining   bool
+	// frozen pairs exhausted their recheck budget and keep their
+	// conservative-invalid verdict permanently, guaranteeing the
+	// refinement terminates.
+	frozen map[Pair]bool
+
+	// onInvalid, when set, observes pairs whose cached state becomes
+	// false (used by the BSP engine to emit messages).
+	onInvalid func(Pair)
+	// onRevalid observes pairs whose cached state flips back from false
+	// to true during a tracked re-run, so the engine can notify
+	// subscribers holding a stale invalidation.
+	onRevalid func(Pair)
+	// delegate, when set, is consulted before evaluating a pair this
+	// matcher does not own; returning true makes the matcher assume the
+	// pair valid (the BSP engine's optimistic border initialization) and
+	// leave its decision to the owning worker.
+	delegate func(Pair) bool
+
+	stats Counters
+}
+
+// NewMatcher creates a matcher over (gd, g) with rankers rd, rg and
+// parameters p.
+func NewMatcher(gd, g *graph.Graph, rd, rg *ranking.Ranker, p Params) (*Matcher, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if gd == nil || g == nil || rd == nil || rg == nil {
+		return nil, fmt.Errorf("core: graphs and rankers must be non-nil")
+	}
+	m := &Matcher{GD: gd, G: g, RD: rd, RG: rg, P: p}
+	m.resetState()
+	return m, nil
+}
+
+func (m *Matcher) resetState() {
+	m.cache = make(map[Pair]*entry)
+	m.dependents = make(map[Pair]map[Pair]bool)
+	m.recheck = make(map[Pair]int)
+	m.assumed = make(map[Pair]bool)
+	m.readers = make(map[Pair]map[Pair]bool)
+	m.frozen = make(map[Pair]bool)
+	m.rerunQueue = nil
+}
+
+// EnableReadTracking turns on full read-dependency tracking, required
+// for correctness when verdicts can rest on optimistic assumptions that
+// are refuted later (the parallel engines).
+func (m *Matcher) EnableReadTracking() { m.trackReads = true }
+
+// noteRead records that evaluating reader consulted the verdict of q.
+func (m *Matcher) noteRead(reader, q Pair) {
+	if !m.trackReads || reader == q {
+		return
+	}
+	set := m.readers[q]
+	if set == nil {
+		set = make(map[Pair]bool)
+		m.readers[q] = set
+	}
+	set[reader] = true
+}
+
+// Reset clears all cached match state (not the rankers' ecache).
+func (m *Matcher) Reset() {
+	m.resetState()
+	m.stats = Counters{}
+}
+
+// Stats returns the work counters.
+func (m *Matcher) Stats() Counters { return m.stats }
+
+// Hv computes h_v(u, v) = M_v(L_D(u), L(v)).
+func (m *Matcher) Hv(u, v graph.VID) float64 {
+	return m.P.Mv(m.GD.Label(u), m.G.Label(v))
+}
+
+// Hrho computes h_ρ(ρ1, ρ2) = M_ρ(L(ρ1), L(ρ2)) / (len(ρ1) + len(ρ2)).
+func (m *Matcher) Hrho(p1, p2 graph.Path) float64 {
+	l := p1.Len() + p2.Len()
+	if l == 0 {
+		return 0
+	}
+	return m.P.Mrho(p1.EdgeLabels, p2.EdgeLabels) / float64(l)
+}
+
+// Cached returns the cached validity of p, if any.
+func (m *Matcher) Cached(p Pair) (valid bool, ok bool) {
+	if e, found := m.cache[p]; found {
+		return e.valid, true
+	}
+	return false, false
+}
+
+// Assume seeds p as an assumed-valid pair (the BSP engine's optimistic
+// border initialization). Assumed pairs answer true from the cache until
+// invalidated.
+func (m *Matcher) Assume(p Pair) {
+	m.assumed[p] = true
+	if _, ok := m.cache[p]; !ok {
+		m.cache[p] = &entry{valid: true}
+	}
+}
+
+// IsAssumed reports whether p is an (un-invalidated) assumption.
+func (m *Matcher) IsAssumed(p Pair) bool { return m.assumed[p] }
+
+// SetOnInvalid installs an observer called whenever a pair's cached
+// state becomes false.
+func (m *Matcher) SetOnInvalid(fn func(Pair)) { m.onInvalid = fn }
+
+// SetDelegate installs the ownership filter used by the BSP engine: fn
+// returns true for pairs this matcher must not decide itself, which are
+// then assumed valid until an external Invalidate rectifies them.
+func (m *Matcher) SetDelegate(fn func(Pair) bool) { m.delegate = fn }
+
+// Invalidate marks p invalid and rectifies its dependants — the IncPSim
+// refinement step applied when a message reports p invalid elsewhere.
+func (m *Matcher) Invalidate(p Pair) {
+	if e, ok := m.cache[p]; ok && !e.valid {
+		return // already known invalid
+	}
+	m.fail(p)
+}
+
+// Revalidate restores an assumed-valid verdict for p — applied when the
+// owner reports that a previously invalidated pair flipped back to true
+// — and re-runs every local pair whose decision consulted p.
+func (m *Matcher) Revalidate(p Pair) {
+	if m.frozen[p] {
+		return // conservatively settled; stays invalid
+	}
+	if e, ok := m.cache[p]; ok && e.valid {
+		return // already valid locally
+	}
+	m.unregister(p)
+	delete(m.cache, p)
+	m.Assume(p)
+	m.scheduleAffected(p)
+	m.drainReruns()
+}
+
+// SetOnRevalid installs the false→true flip observer.
+func (m *Matcher) SetOnRevalid(fn func(Pair)) { m.onRevalid = fn }
+
+// ForgetVertices drops every cached decision whose G-side vertex the
+// predicate selects, together with (transitively) every pair whose
+// lineage depended on a dropped pair — the IncPSim maintenance step for
+// updates to graph G (Section VI-B, remark 2). Dropped pairs are simply
+// re-evaluated on the next query; unlike Invalidate, forgetting erases
+// both valid and invalid decisions, since an added edge can flip either
+// way.
+func (m *Matcher) ForgetVertices(affected func(v graph.VID) bool) {
+	var queue []Pair
+	for p := range m.cache {
+		if affected(p.V) {
+			queue = append(queue, p)
+		}
+	}
+	seen := make(map[Pair]bool, len(queue))
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if _, ok := m.cache[p]; !ok {
+			continue
+		}
+		for q := range m.dependents[p] {
+			queue = append(queue, q)
+		}
+		m.unregister(p)
+		delete(m.cache, p)
+		delete(m.assumed, p)
+		delete(m.recheck, p)
+	}
+}
+
+// Match is ParaMatch (Fig. 4): it decides whether (u, v) makes a match by
+// parametric simulation, reusing and extending the cache across calls.
+func (m *Matcher) Match(u, v graph.VID) bool {
+	p := Pair{U: u, V: v}
+	if e, ok := m.cache[p]; ok {
+		m.stats.CacheHits++
+		return e.valid
+	}
+	return m.match(p)
+}
+
+// maxRechecks bounds cleanup-triggered re-runs per pair, implementing the
+// paper's k²+1 bounded-call analysis. With read tracking (the parallel
+// engines), verdicts can legitimately flip both ways while refuted
+// assumptions propagate through cyclic cross-fragment dependencies, so
+// the convergence budget is widened; exhaustion still falls back to the
+// conservative invalidation.
+func (m *Matcher) maxRechecks() int {
+	base := m.P.K*m.P.K + 1
+	if m.trackReads {
+		return 64 * base
+	}
+	return base
+}
+
+func (m *Matcher) setInvalid(p Pair) {
+	m.unregister(p)
+	m.cache[p] = &entry{valid: false}
+	delete(m.assumed, p)
+	if m.onInvalid != nil {
+		m.onInvalid(p)
+	}
+}
+
+func (m *Matcher) setValid(p Pair, w []Pair) {
+	m.unregister(p)
+	m.cache[p] = &entry{valid: true, w: w}
+	for _, q := range w {
+		deps := m.dependents[q]
+		if deps == nil {
+			deps = make(map[Pair]bool)
+			m.dependents[q] = deps
+		}
+		deps[p] = true
+	}
+}
+
+// unregister removes p's dependency registrations from its old W.
+func (m *Matcher) unregister(p Pair) {
+	if e, ok := m.cache[p]; ok {
+		for _, q := range e.w {
+			delete(m.dependents[q], p)
+		}
+	}
+}
+
+// match implements the three stages of Fig. 4 for one pair.
+func (m *Matcher) match(p Pair) bool {
+	if m.delegate != nil && m.delegate(p) {
+		m.Assume(p)
+		return true
+	}
+	m.stats.Calls++
+	u, v := p.U, p.V
+
+	// Initial stage (lines 1-11).
+	if m.Hv(u, v) < m.P.Sigma {
+		m.setInvalid(p)
+		return false
+	}
+	if m.GD.IsLeaf(u) {
+		m.setValid(p, nil)
+		return true
+	}
+	// Optimistic entry so interdependent candidates (strongly connected
+	// components across both graphs) can self-support coinductively.
+	m.cache[p] = &entry{valid: true}
+
+	vuk := m.RD.TopK(u, m.P.K) // ecache-backed V_u^k
+	vvk := m.RG.TopK(v, m.P.K) // ecache-backed V_v^k
+
+	// Build the candidate list l_{u'} for each selected descendant u',
+	// sorted by descending h_ρ of the selected paths (line 11).
+	lists := make([][]scored, len(vuk))
+	for j, su := range vuk {
+		lists[j] = m.candidateList(su, vvk)
+	}
+
+	// Matching stage (lines 12-27). MaxSco is an upper bound on the
+	// achievable aggregate score: the head of each remaining list plus
+	// the already-achieved contributions.
+	maxSco := 0.0
+	for _, l := range lists {
+		if len(l) > 0 {
+			maxSco += l[0].score
+		}
+	}
+	if maxSco < m.P.Delta {
+		m.setInvalid(p)
+		return false
+	}
+
+	sum := 0.0
+	var w []Pair
+	used := make(map[graph.VID]bool) // injectivity of the lineage set
+
+	for j := range lists {
+		l := lists[j]
+		for idx := 0; idx < len(l); idx++ {
+			cand := l[idx]
+			next := 0.0
+			if idx+1 < len(l) {
+				next = l[idx+1].score
+			}
+			if used[cand.v] {
+				// Taken by an earlier property; demote this list's head.
+				maxSco += next - cand.score
+				if maxSco < m.P.Delta {
+					return m.fail(p)
+				}
+				continue
+			}
+			cp := Pair{U: cand.u, V: cand.v}
+			var ok bool
+			if e, found := m.cache[cp]; found {
+				m.stats.CacheHits++
+				ok = e.valid
+			} else {
+				ok = m.match(cp)
+			}
+			m.noteRead(p, cp)
+			if ok {
+				sum += cand.score
+				w = append(w, cp)
+				used[cand.v] = true
+				if sum >= m.P.Delta {
+					m.setValid(p, w)
+					return true
+				}
+				break // property u'_j settled; move on (line 24)
+			}
+			// Candidate failed: replace head contribution (line 25).
+			maxSco += next - cand.score
+			if maxSco < m.P.Delta {
+				return m.fail(p)
+			}
+		}
+	}
+	return m.fail(p)
+}
+
+// fail runs the cleanup stage (lines 28-32): mark p invalid, then re-run
+// every pair that directly depended on p, transitively rectifying stale
+// optimistic state. With read tracking enabled, readers of p — including
+// pairs that concluded FALSE under p's optimistic verdict — are re-run
+// as well, and any verdict they flip cascades. Cascades are processed
+// through an iterative worklist so deep refutation chains cannot
+// overflow the stack.
+func (m *Matcher) fail(p Pair) bool {
+	m.stats.Cleanups++
+	m.setInvalid(p)
+	m.scheduleAffected(p)
+	m.drainReruns()
+	return false
+}
+
+// scheduleAffected enqueues the pairs whose decision rested on p: the
+// lineage dependants (the paper's cleanup set) and, with read tracking,
+// every reader of p's verdict.
+func (m *Matcher) scheduleAffected(p Pair) {
+	for q := range m.dependents[p] {
+		m.rerunQueue = append(m.rerunQueue, q)
+	}
+	if m.trackReads {
+		for q := range m.readers[p] {
+			m.rerunQueue = append(m.rerunQueue, q)
+		}
+	}
+}
+
+// drainReruns processes the rerun worklist. Only the outermost call
+// drains; nested fail/revalidation events just enqueue more work.
+func (m *Matcher) drainReruns() {
+	if m.draining {
+		return
+	}
+	m.draining = true
+	defer func() { m.draining = false }()
+	for len(m.rerunQueue) > 0 {
+		q := m.rerunQueue[len(m.rerunQueue)-1]
+		m.rerunQueue = m.rerunQueue[:len(m.rerunQueue)-1]
+		if m.frozen[q] {
+			continue
+		}
+		e, ok := m.cache[q]
+		if !ok {
+			continue
+		}
+		if !m.trackReads && !e.valid {
+			continue // the paper's cleanup re-runs valid dependants only
+		}
+		if m.assumed[q] {
+			// Delegated pairs are decided by their owner; the local
+			// assumption stands until an invalidation message arrives.
+			continue
+		}
+		old := e.valid
+		m.unregister(q)
+		delete(m.cache, q)
+		delete(m.assumed, q)
+		m.recheck[q]++
+		m.stats.Rechecks++
+		if m.recheck[q] > m.maxRechecks() {
+			// Bounded-call safeguard: freeze the pair at a conservative
+			// invalid verdict (permanently — re-scheduling a capped pair
+			// could otherwise ping-pong forever) and rectify its
+			// dependants one final time.
+			m.frozen[q] = true
+			m.stats.Cleanups++
+			m.setInvalid(q)
+			m.scheduleAffected(q)
+			continue
+		}
+		now := m.match(q) // a false conclusion inside re-enqueues via fail
+		if m.trackReads && now && !old {
+			// false → true flip: pairs that consulted the old negative
+			// verdict may deserve a different answer now.
+			if m.onRevalid != nil {
+				m.onRevalid(q)
+			}
+			m.scheduleAffected(q)
+		}
+	}
+}
+
+// scored is one candidate v' for a selected descendant u', with the h_ρ
+// association score of their selected paths.
+type scored struct {
+	u, v  graph.VID
+	score float64
+	pathU graph.Path
+	pathV graph.Path
+}
+
+// candidateList builds l_{u'}: candidates v' ∈ V_v^k with
+// h_v(u', v') ≥ σ, sorted by descending h_ρ (ties by v' id).
+func (m *Matcher) candidateList(su ranking.Selected, vvk []ranking.Selected) []scored {
+	var l []scored
+	for _, sv := range vvk {
+		if m.Hv(su.Desc, sv.Desc) < m.P.Sigma {
+			continue
+		}
+		l = append(l, scored{
+			u: su.Desc, v: sv.Desc,
+			score: m.Hrho(su.Path, sv.Path),
+			pathU: su.Path, pathV: sv.Path,
+		})
+	}
+	// Insertion sort: lists are at most k long.
+	for i := 1; i < len(l); i++ {
+		for j := i; j > 0 && (l[j].score > l[j-1].score ||
+			(l[j].score == l[j-1].score && l[j].v < l[j-1].v)); j-- {
+			l[j], l[j-1] = l[j-1], l[j]
+		}
+	}
+	return l
+}

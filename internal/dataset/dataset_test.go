@@ -1,0 +1,420 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"her/internal/graph"
+	"her/internal/relational"
+)
+
+func TestAllNamedDatasetsGenerate(t *testing.T) {
+	for _, name := range append([]string{"Synthetic"}, Names...) {
+		cfg, ok := ByName(name, 50)
+		if !ok {
+			t.Fatalf("unknown dataset %s", name)
+		}
+		d, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := d.DB.Validate(); err != nil {
+			t.Errorf("%s: referential integrity: %v", name, err)
+		}
+		vd, ed, v, e := d.Sizes()
+		if vd == 0 || ed == 0 || v == 0 || e == 0 {
+			t.Errorf("%s: degenerate sizes %d/%d/%d/%d", name, vd, ed, v, e)
+		}
+		if len(d.TupleVertices) != cfg.NumEntities+cfg.ExtraTuples {
+			t.Errorf("%s: tuple vertices = %d", name, len(d.TupleVertices))
+		}
+		if len(d.EntityVertices) != cfg.NumEntities+cfg.ExtraEntities {
+			t.Errorf("%s: entity vertices = %d", name, len(d.EntityVertices))
+		}
+		// Match/non-match ratio 1.
+		matches, mismatches := 0, 0
+		for _, a := range d.Truth {
+			if a.Match {
+				matches++
+			} else {
+				mismatches++
+			}
+		}
+		if matches == 0 || matches != mismatches {
+			t.Errorf("%s: annotation balance %d/%d", name, matches, mismatches)
+		}
+		if len(d.PathPairs) == 0 {
+			t.Errorf("%s: no path pairs", name)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName("NoSuchDataset", 0); ok {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg, _ := ByName("DBLP", 40)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.G.NumVertices() != b.G.NumVertices() || a.G.NumEdges() != b.G.NumEdges() {
+		t.Error("graph generation not deterministic")
+	}
+	for i := range a.Truth {
+		if a.Truth[i] != b.Truth[i] {
+			t.Fatal("truth not deterministic")
+		}
+	}
+	for v := 0; v < a.G.NumVertices(); v++ {
+		if a.G.Label(int32VID(v)) != b.G.Label(int32VID(v)) {
+			t.Fatal("labels not deterministic")
+		}
+	}
+}
+
+func int32VID(i int) graph.VID { return graph.VID(i) }
+
+func TestTruthPairsAreWellFormed(t *testing.T) {
+	cfg, _ := ByName("IMDB", 40)
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range d.Truth {
+		if !d.GD.Valid(a.Pair.U) || !d.G.Valid(a.Pair.V) {
+			t.Fatalf("annotation references invalid vertices: %+v", a)
+		}
+		if _, ok := d.Mapping.TupleOf(a.Pair.U); !ok {
+			t.Fatalf("annotation U side is not a tuple vertex: %+v", a)
+		}
+		if d.G.Label(a.Pair.V) != cfg.GraphLabel {
+			t.Fatalf("annotation V side is not an entity vertex: %+v", a)
+		}
+	}
+}
+
+func TestPathExpansionShape(t *testing.T) {
+	cfg, _ := ByName("FBWIKI", 30)
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FBWIKI has a 3-predicate birthplace path: from any entity vertex
+	// with a bornAt edge, the chain bornAt → locatedIn → placeName must
+	// exist.
+	found := false
+	for _, ev := range d.EntityVertices {
+		for _, e1 := range d.G.Out(ev) {
+			if e1.Label != "bornAt" {
+				continue
+			}
+			for _, e2 := range d.G.Out(e1.To) {
+				if e2.Label != "locatedIn" {
+					continue
+				}
+				for _, e3 := range d.G.Out(e2.To) {
+					if e3.Label == "placeName" && d.G.IsLeaf(e3.To) {
+						found = true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no bornAt→locatedIn→placeName chain found")
+	}
+}
+
+func TestNoiseLevelsDiffer(t *testing.T) {
+	clean, _ := ByName("DBpediaP", 60)
+	noisy, _ := ByName("2T", 60)
+	dc, err := Generate(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn, err := Generate(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure how often a graph-side value exactly equals some
+	// relational value: noisy data should have fewer exact overlaps.
+	exact := func(d *Generated) float64 {
+		vals := map[string]bool{}
+		for _, rel := range d.DB.Relations {
+			for _, tu := range rel.Tuples {
+				for _, v := range tu.Values {
+					if !relational.IsNull(v) {
+						vals[v] = true
+					}
+				}
+			}
+		}
+		hits, total := 0, 0
+		for i := 0; i < d.G.NumVertices(); i++ {
+			if d.G.IsLeaf(int32VID(i)) {
+				total++
+				if vals[d.G.Label(int32VID(i))] {
+					hits++
+				}
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(hits) / float64(total)
+	}
+	if exact(dn) >= exact(dc) {
+		t.Errorf("2T (%f) should have fewer exact label overlaps than DBpediaP (%f)",
+			exact(dn), exact(dc))
+	}
+}
+
+func TestScale(t *testing.T) {
+	base := Synthetic()
+	big := Scale(base, 2000)
+	if big.NumEntities != 2000 {
+		t.Errorf("NumEntities = %d", big.NumEntities)
+	}
+	if big.Dim.Count <= base.Dim.Count {
+		t.Errorf("dimension did not scale: %d", big.Dim.Count)
+	}
+	if Scale(base, 0).NumEntities != base.NumEntities {
+		t.Error("Scale(0) should be identity")
+	}
+	small := Scale(base, 10)
+	if small.Annotations < 10 {
+		t.Errorf("annotations floor violated: %d", small.Annotations)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Synthetic()
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	bad := good
+	bad.NumEntities = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero entities accepted")
+	}
+	bad = good
+	bad.Attrs = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no attributes accepted")
+	}
+	bad = good
+	bad.NoiseLevel = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("noise > 1 accepted")
+	}
+	bad = good
+	bad.Attrs = []AttrSpec{{Name: "x", Predicates: []string{"a", "b", "c", "d"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("4-predicate path accepted")
+	}
+}
+
+func TestPerturb(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := perturb(rng, "Hello World", 0); got != "Hello World" {
+		t.Errorf("zero noise changed label: %q", got)
+	}
+	if got := perturb(rng, "", 0.9); got != "" {
+		t.Errorf("empty label perturbed: %q", got)
+	}
+	// High noise frequently changes the label.
+	changed := 0
+	for i := 0; i < 100; i++ {
+		if perturb(rng, "Silver Harbor Works 42", 0.9) != "Silver Harbor Works 42" {
+			changed++
+		}
+	}
+	if changed < 50 {
+		t.Errorf("high noise changed only %d/100", changed)
+	}
+	// Typos keep length within one.
+	for i := 0; i < 50; i++ {
+		out := typo(rng, "abcdef")
+		if len(out) != 6 {
+			t.Errorf("typo changed length: %q", out)
+		}
+	}
+	if typo(rng, "ab") != "ab" {
+		t.Error("short strings should be typo-stable")
+	}
+}
+
+func TestExample1(t *testing.T) {
+	ex, err := BuildExample1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.DB.NumTuples() != 5 {
+		t.Errorf("tuples = %d", ex.DB.NumTuples())
+	}
+	if err := ex.DB.Validate(); err != nil {
+		t.Error(err)
+	}
+	if ex.G.Label(ex.V1) != "item" || ex.G.Label(ex.V10) != "brand" {
+		t.Error("example vertex labels wrong")
+	}
+	// The made_in path exists.
+	foundPath := false
+	for _, e1 := range ex.G.Out(ex.V10) {
+		if e1.Label == "factorySite" {
+			for _, e2 := range ex.G.Out(e1.To) {
+				if e2.Label == "isIn" && !ex.G.IsLeaf(e2.To) {
+					foundPath = true
+				}
+			}
+		}
+	}
+	if !foundPath {
+		t.Error("factorySite/isIn path missing")
+	}
+	// Tuple t1 maps to a vertex labeled "item".
+	u1, ok := ex.Mapping.VertexOf("item", 0)
+	if !ok || ex.GD.Label(u1) != "item" {
+		t.Error("t1 mapping broken")
+	}
+}
+
+func TestPathPairsBalanced(t *testing.T) {
+	cfg := Synthetic()
+	d, err := Generate(Scale(cfg, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := 0, 0
+	for _, p := range d.PathPairs {
+		if len(p.A) == 0 || len(p.B) == 0 {
+			t.Fatalf("empty path pair %+v", p)
+		}
+		if p.Match {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg < pos {
+		t.Errorf("path pair balance %d/%d", pos, neg)
+	}
+	// Positives include the FK + dimension combination.
+	foundCombined := false
+	for _, p := range d.PathPairs {
+		if p.Match && len(p.A) == 2 && strings.HasPrefix(p.A[0], "supplier") {
+			foundCombined = true
+		}
+	}
+	if !foundCombined {
+		t.Error("combined FK+dimension path pair missing")
+	}
+}
+
+// TestEachDatasetHasDeepAttribute: the hard-negative design requires at
+// least one 3-predicate attribute per dataset — the property only
+// recursive descendant checking can see past a 2-hop flatten.
+func TestEachDatasetHasDeepAttribute(t *testing.T) {
+	for _, name := range append([]string{"Synthetic"}, Names...) {
+		cfg, _ := ByName(name, 0)
+		deep := 0
+		for _, a := range cfg.Attrs {
+			if len(a.Predicates) >= 3 {
+				deep++
+			}
+		}
+		if deep == 0 {
+			t.Errorf("%s has no 3-predicate attribute", name)
+		}
+	}
+}
+
+// TestDimensionsRichEnoughForGlobalDelta: recursion applies the same δ
+// at every level, so a dimension must carry enough properties to clear
+// a realistic entity-level δ (the paper's brand relation has 4).
+func TestDimensionsRichEnoughForGlobalDelta(t *testing.T) {
+	for _, name := range append([]string{"Synthetic"}, Names...) {
+		cfg, _ := ByName(name, 0)
+		if cfg.Dim == nil {
+			continue
+		}
+		// Maximum achievable aggregate: Σ 1/(1+len(predicates)).
+		max := 0.0
+		for _, a := range cfg.Dim.Attrs {
+			max += 1.0 / float64(1+len(a.Predicates))
+		}
+		if max < 1.5 {
+			t.Errorf("%s dimension %s max aggregate %.2f < 1.5", name, cfg.Dim.Relation, max)
+		}
+	}
+}
+
+func TestTwinsShareShallowDifferDeep(t *testing.T) {
+	cfg, _ := ByName("Synthetic", 60)
+	cfg.TwinRate = 1 // every entity gets a twin
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.TwinVertices) != cfg.NumEntities {
+		t.Fatalf("twins = %d, want %d", len(d.TwinVertices), cfg.NumEntities)
+	}
+	// Every twin is annotated as a mismatch.
+	twinSet := map[int32]bool{}
+	for _, tv := range d.TwinVertices {
+		twinSet[int32(tv)] = true
+	}
+	annotated := 0
+	for _, a := range d.Truth {
+		if a.Match && twinSet[int32(a.Pair.V)] {
+			t.Fatalf("twin annotated as a match: %+v", a)
+		}
+		if !a.Match && twinSet[int32(a.Pair.V)] {
+			annotated++
+		}
+	}
+	if annotated == 0 {
+		t.Error("no twin appears among the mismatch annotations")
+	}
+}
+
+func TestGraphIdentityStripsID(t *testing.T) {
+	if got := graphIdentity("Royal Amber systems 17"); got != "Royal Amber systems" {
+		t.Errorf("graphIdentity = %q", got)
+	}
+	if got := graphIdentity("NoTrailingNumber"); got != "NoTrailingNumber" {
+		t.Errorf("short label changed: %q", got)
+	}
+	if got := graphIdentity("London"); got != "London" {
+		t.Errorf("single token changed: %q", got)
+	}
+}
+
+func TestTwinNameVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sawHard, sawMedium := false, false
+	for i := 0; i < 60; i++ {
+		base := "Royal Amber systems 17"
+		tn := twinName(rng, base)
+		if tn == base {
+			t.Fatalf("twin name identical to base")
+		}
+		if graphIdentity(tn) == graphIdentity(base) {
+			sawHard = true // only the id changed
+		} else {
+			sawMedium = true // a word was swapped too
+		}
+	}
+	if !sawHard || !sawMedium {
+		t.Errorf("twin name mix: hard=%v medium=%v", sawHard, sawMedium)
+	}
+}

@@ -1,0 +1,264 @@
+package dataset
+
+// The named configurations below model the shape of the paper's six
+// real-life datasets (Table IV) at laptop scale, plus the TPC-H-style
+// synthetic generator. Scale is the only deliberate departure: sizes are
+// divided by roughly 10^3–10^4 so experiments run on one machine
+// (DESIGN.md substitution 3). NumEntities can be overridden via the
+// Scale helper for scalability sweeps.
+
+// Names lists the real-life dataset generators in Table IV/V order.
+var Names = []string{"UKGOV", "DBpediaP", "DBLP", "IMDB", "FBWIKI", "2T"}
+
+// ByName returns the configuration of a named dataset with the given
+// number of matchable entities (0 means the dataset's default).
+func ByName(name string, entities int) (Config, bool) {
+	var c Config
+	switch name {
+	case "UKGOV":
+		c = UKGOV()
+	case "DBpediaP":
+		c = DBpediaP()
+	case "DBLP":
+		c = DBLP()
+	case "IMDB":
+		c = IMDB()
+	case "FBWIKI":
+		c = FBWIKI()
+	case "2T":
+		c = ToughTables()
+	case "Synthetic":
+		c = Synthetic()
+	default:
+		return Config{}, false
+	}
+	if entities > 0 {
+		c = Scale(c, entities)
+	}
+	return c, true
+}
+
+// Scale resizes a configuration to n matchable entities, keeping the
+// extras and annotation budget proportional.
+func Scale(c Config, n int) Config {
+	if n <= 0 {
+		return c
+	}
+	ratio := float64(n) / float64(c.NumEntities)
+	c.NumEntities = n
+	c.ExtraTuples = int(float64(c.ExtraTuples) * ratio)
+	c.ExtraEntities = int(float64(c.ExtraEntities) * ratio)
+	c.CrossLinks = int(float64(c.CrossLinks) * ratio)
+	if c.Annotations > 0 {
+		c.Annotations = int(float64(c.Annotations) * ratio)
+		if c.Annotations < 10 {
+			c.Annotations = 10
+		}
+	}
+	if c.Dim != nil {
+		d := *c.Dim
+		d.Count = int(float64(d.Count) * ratio)
+		if d.Count < 2 {
+			d.Count = 2
+		}
+		c.Dim = &d
+	}
+	return c
+}
+
+// UKGOV models the Camden Council open-data collection: commercial
+// contracts with supplier organisations, flat attributes plus a
+// ward-location path.
+func UKGOV() Config {
+	return Config{
+		Name: "UKGOV", Seed: 101,
+		NumEntities: 300, ExtraTuples: 30, ExtraEntities: 30,
+		MainRelation: "contract", GraphLabel: "contract",
+		Attrs: []AttrSpec{
+			{Name: "title", Predicates: []string{"contractTitle"}, Identity: true},
+			{Name: "service", Predicates: []string{"procuredService"}, Pool: nounWords},
+			{Name: "ward", Predicates: []string{"deliveredIn", "inWard", "wardName"}, Pool: cities},
+			{Name: "start_year", Predicates: []string{"startsIn"}, Pool: years, NullRate: 0.1},
+			{Name: "department", Predicates: []string{"managedBy", "unitOf", "deptName"}, Pool: nounWords},
+		},
+		Dim: &DimSpec{
+			Relation: "organisation", GraphLabel: "organisation",
+			FKAttr: "supplier", Predicate: "suppliedBy", Count: 30,
+			Attrs: []AttrSpec{
+				{Name: "org_name", Predicates: []string{"orgName"}, Identity: true},
+				{Name: "org_city", Predicates: []string{"registeredIn", "cityName"}, Pool: cities},
+				{Name: "org_type", Predicates: []string{"orgType"}, Pool: nounWords},
+				{Name: "founded", Predicates: []string{"foundedIn"}, Pool: years},
+			},
+		},
+		NoiseLevel:  0.2,
+		CrossLinks:  300,
+		Distractors: 3,
+		TwinRate:    0.45,
+		Annotations: 240,
+	}
+}
+
+// DBpediaP models the DBpedia athletes/politicians subset: people with
+// nationality and affiliation, moderately clean labels.
+func DBpediaP() Config {
+	return Config{
+		Name: "DBpediaP", Seed: 102,
+		NumEntities: 300, ExtraTuples: 40, ExtraEntities: 40,
+		MainRelation: "person", GraphLabel: "person",
+		Attrs: []AttrSpec{
+			{Name: "name", Predicates: []string{"fullName"}, Identity: true},
+			{Name: "birth_year", Predicates: []string{"bornIn"}, Pool: years},
+			{Name: "birthplace", Predicates: []string{"bornAt", "locatedIn", "placeName"}, Pool: cities},
+			{Name: "country", Predicates: []string{"citizenOf", "locatedIn", "countryName"}, Pool: countries, NullRate: 0.05},
+		},
+		Dim: &DimSpec{
+			Relation: "team", GraphLabel: "team",
+			FKAttr: "team", Predicate: "playsFor", Count: 25,
+			Attrs: []AttrSpec{
+				{Name: "team_name", Predicates: []string{"teamName"}, Identity: true},
+				{Name: "team_city", Predicates: []string{"basedIn"}, Pool: cities},
+				{Name: "founded", Predicates: []string{"foundedIn"}, Pool: years},
+				{Name: "team_color", Predicates: []string{"teamColor"}, Pool: colors},
+			},
+		},
+		NoiseLevel:  0.15,
+		CrossLinks:  300,
+		Distractors: 3,
+		TwinRate:    0.45,
+		Annotations: 240,
+	}
+}
+
+// DBLP models the citation network: papers with venues and years, with
+// citation cross-links creating cycles in G.
+func DBLP() Config {
+	return Config{
+		Name: "DBLP", Seed: 103,
+		NumEntities: 350, ExtraTuples: 40, ExtraEntities: 40,
+		MainRelation: "paper", GraphLabel: "paper",
+		Attrs: []AttrSpec{
+			{Name: "title", Predicates: []string{"hasTitle"}, Identity: true},
+			{Name: "year", Predicates: []string{"publishedIn"}, Pool: years},
+			{Name: "first_author", Predicates: []string{"writtenBy", "knownAs", "authorName"}, Identity: true},
+			{Name: "area", Predicates: []string{"inField", "subFieldOf", "fieldName"}, Pool: nounWords},
+		},
+		Dim: &DimSpec{
+			Relation: "venue", GraphLabel: "venue",
+			FKAttr: "venue", Predicate: "appearsIn", Count: 20,
+			Attrs: []AttrSpec{
+				{Name: "venue_name", Predicates: []string{"venueName"}, Identity: true},
+				{Name: "venue_city", Predicates: []string{"heldIn", "cityName"}, Pool: cities, DropRate: 0.2},
+				{Name: "since", Predicates: []string{"establishedIn"}, Pool: years},
+				{Name: "publisher", Predicates: []string{"publishedBy"}, Pool: nounWords},
+			},
+		},
+		NoiseLevel:  0.25,
+		CrossLinks:  700,
+		Distractors: 4,
+		TwinRate:    0.45,
+		Annotations: 240,
+	}
+}
+
+// IMDB models the movie dataset: films with genre, year and a studio
+// dimension.
+func IMDB() Config {
+	return Config{
+		Name: "IMDB", Seed: 104,
+		NumEntities: 300, ExtraTuples: 30, ExtraEntities: 50,
+		MainRelation: "movie", GraphLabel: "movie",
+		Attrs: []AttrSpec{
+			{Name: "title", Predicates: []string{"movieTitle"}, Identity: true},
+			{Name: "year", Predicates: []string{"releasedIn"}, Pool: years},
+			{Name: "genre", Predicates: []string{"hasGenre"}, Pool: []string{
+				"drama", "comedy", "thriller", "action", "documentary", "romance"}, NullRate: 0.05},
+			{Name: "director", Predicates: []string{"directedBy", "hasProfile", "personName"}, Identity: true, DropRate: 0.05},
+			{Name: "lead_actor", Predicates: []string{"starring", "hasProfile", "personName"}, Identity: true},
+		},
+		Dim: &DimSpec{
+			Relation: "studio", GraphLabel: "studio",
+			FKAttr: "studio", Predicate: "producedBy", Count: 20,
+			Attrs: []AttrSpec{
+				{Name: "studio_name", Predicates: []string{"studioName"}, Identity: true},
+				{Name: "studio_country", Predicates: []string{"locatedIn"}, Pool: countries},
+				{Name: "founded", Predicates: []string{"foundedIn"}, Pool: years},
+				{Name: "studio_city", Predicates: []string{"basedIn"}, Pool: cities},
+			},
+		},
+		NoiseLevel:  0.25,
+		CrossLinks:  600,
+		Distractors: 4,
+		TwinRate:    0.45,
+		Annotations: 240,
+	}
+}
+
+// FBWIKI models the Freebase/Wikidata people subset: a knowledge base
+// with long property paths (its "matching paths are much longer", as the
+// paper notes for the δ sweep).
+func FBWIKI() Config {
+	return Config{
+		Name: "FBWIKI", Seed: 105,
+		NumEntities: 300, ExtraTuples: 30, ExtraEntities: 60,
+		MainRelation: "person", GraphLabel: "person",
+		Attrs: []AttrSpec{
+			{Name: "name", Predicates: []string{"label"}, Identity: true},
+			{Name: "birthplace", Predicates: []string{"bornAt", "locatedIn", "placeName"}, Pool: cities},
+			{Name: "occupation", Predicates: []string{"hasOccupation", "occupationName"}, Pool: []string{
+				"engineer", "actor", "writer", "politician", "athlete", "musician"}},
+			{Name: "country", Predicates: []string{"citizenOf", "isIn", "countryName"}, Pool: countries, DropRate: 0.15},
+		},
+		NoiseLevel:  0.25,
+		CrossLinks:  300,
+		Distractors: 3,
+		TwinRate:    0.45,
+		Annotations: 240,
+	}
+}
+
+// ToughTables models the SemTab 2020 "2T" dataset: the same shape as
+// DBpediaP but with heavy misspellings and typos, the property that made
+// spell-checker-assisted systems win the CEA task.
+func ToughTables() Config {
+	c := DBpediaP()
+	c.Name = "2T"
+	c.Seed = 106
+	c.NoiseLevel = 0.75
+	return c
+}
+
+// Synthetic is the TPC-H-flavoured scalable generator: parts with
+// suppliers, controlled by NumEntities (vertex labels drawn from the
+// word pools, edge labels from a fixed predicate set).
+func Synthetic() Config {
+	return Config{
+		Name: "Synthetic", Seed: 107,
+		NumEntities: 1000, ExtraTuples: 100, ExtraEntities: 100,
+		MainRelation: "part", GraphLabel: "part",
+		Attrs: []AttrSpec{
+			{Name: "part_name", Predicates: []string{"partName"}, Identity: true},
+			{Name: "brand", Predicates: []string{"hasBrand"}, Pool: nameWords},
+			{Name: "container", Predicates: []string{"packedIn"}, Pool: nounWords},
+			{Name: "size", Predicates: []string{"hasSize"}, Pool: []string{
+				"1", "2", "5", "10", "20", "50"}},
+			{Name: "origin", Predicates: []string{"madeIn", "locatedIn", "countryName"}, Pool: countries},
+			{Name: "material", Predicates: []string{"madeOf", "gradeOf", "materialName"}, Pool: nounWords},
+		},
+		Dim: &DimSpec{
+			Relation: "supplier", GraphLabel: "supplier",
+			FKAttr: "supplier", Predicate: "suppliedBy", Count: 50,
+			Attrs: []AttrSpec{
+				{Name: "supp_name", Predicates: []string{"supplierName"}, Identity: true},
+				{Name: "nation", Predicates: []string{"inNation", "nationName"}, Pool: countries},
+				{Name: "rating", Predicates: []string{"hasRating"}, Pool: []string{"1", "2", "3", "4", "5"}},
+				{Name: "founded", Predicates: []string{"foundedIn"}, Pool: years},
+			},
+		},
+		NoiseLevel:  0.15,
+		CrossLinks:  500,
+		Distractors: 2,
+		TwinRate:    0.3,
+		Annotations: 200,
+	}
+}

@@ -1,0 +1,81 @@
+package dataset
+
+import (
+	"her/internal/graph"
+	"her/internal/rdb2rdf"
+	"her/internal/relational"
+)
+
+// Example1 is the paper's running example: the procurement-order
+// database of Tables I and II and the product knowledge graph of Fig. 1
+// (the neighborhood the examples describe). It is used by the
+// examples/procurement program and by integration tests.
+type Example1 struct {
+	DB      *relational.Database
+	GD      *graph.Graph
+	Mapping *rdb2rdf.Mapping
+	G       *graph.Graph
+
+	// Named vertices of G following the paper's numbering.
+	V1, V3, V10 graph.VID // matching item, decoy item, brand entity
+}
+
+// BuildExample1 constructs the fixture.
+func BuildExample1() (*Example1, error) {
+	brand := relational.MustSchema("brand",
+		[]string{"name", "country", "manufacturer", "made_in"}, "name")
+	item := relational.MustSchema("item",
+		[]string{"item", "material", "color", "type", "brand", "qty"}, "item",
+		relational.ForeignKey{Attr: "brand", RefRelation: "brand"})
+	db := relational.NewDatabase(item, brand)
+	db.Relation("brand").MustInsert("Addidas Originals", "Germany", "Addidas AG", "Can Duoc, VN")
+	db.Relation("brand").MustInsert("Addidas", "Germany", "Addidas AG", "Long An, Vietnam")
+	db.Relation("item").MustInsert("Dame Basketball Shoes D7", "phylon foam", "white", "Dame 7", "Addidas Originals", "500")
+	db.Relation("item").MustInsert("Lightweight Running Shoes", "synthetic", "red", "DD8505", "Addidas Originals", "100")
+	db.Relation("item").MustInsert("Mid-cut Basketball Shoes Ultra Comfortable", "phylon foam", "red", relational.Null, "Addidas", "200")
+
+	gd, mapping, err := rdb2rdf.Map(db)
+	if err != nil {
+		return nil, err
+	}
+
+	g := graph.New()
+	v1 := g.AddVertex("item")
+	v0 := g.AddVertex("Dame Basketball Shoes")
+	v6 := g.AddVertex("phylon foam")
+	v8 := g.AddVertex("Dame Gen 7")
+	v10 := g.AddVertex("brand")
+	v12 := g.AddVertex("white")
+	v2 := g.AddVertex("Basketball Shoes")
+	g.MustAddEdge(v1, v0, "names")
+	g.MustAddEdge(v1, v6, "soleMadeBy")
+	g.MustAddEdge(v1, v8, "typeNo")
+	g.MustAddEdge(v1, v10, "brandName")
+	g.MustAddEdge(v1, v12, "hasColor")
+	g.MustAddEdge(v1, v2, "IsA")
+
+	v18 := g.AddVertex("Addidas Originals")
+	v20 := g.AddVertex("Germany")
+	v17 := g.AddVertex("Addidas AG")
+	v15 := g.AddVertex("Factory 9")
+	v19 := g.AddVertex("Can Duoc")
+	v9 := g.AddVertex("Can Duoc, VN")
+	g.MustAddEdge(v10, v18, "type")
+	g.MustAddEdge(v10, v20, "brandCountry")
+	g.MustAddEdge(v10, v17, "belongsTo")
+	g.MustAddEdge(v10, v15, "factorySite")
+	g.MustAddEdge(v15, v19, "isIn")
+	g.MustAddEdge(v19, v9, "isIn")
+
+	// The decoy item (Mid-cut basketball shoes, red) the procurement
+	// scenario must distinguish from t1.
+	v3 := g.AddVertex("item")
+	v21 := g.AddVertex("Mid-cut Basketball Shoes")
+	v22 := g.AddVertex("red")
+	g.MustAddEdge(v3, v21, "names")
+	g.MustAddEdge(v3, v22, "hasColor")
+	g.MustAddEdge(v3, v2, "IsA")
+	g.MustAddEdge(v3, v10, "brandName")
+
+	return &Example1{DB: db, GD: gd, Mapping: mapping, G: g, V1: v1, V3: v3, V10: v10}, nil
+}

@@ -1,0 +1,431 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"her/internal/core"
+	"her/internal/graph"
+	"her/internal/learn"
+	"her/internal/rdb2rdf"
+	"her/internal/relational"
+)
+
+// PathPair is one annotated path-label pair used to train the M_ρ metric
+// model: A is a G_D-side edge-label sequence, B a G-side one.
+type PathPair struct {
+	A, B  []string
+	Match bool
+}
+
+// Generated bundles everything one experiment needs.
+type Generated struct {
+	Config  Config
+	DB      *relational.Database
+	GD      *graph.Graph
+	Mapping *rdb2rdf.Mapping
+	G       *graph.Graph
+
+	// Truth holds the annotated match/mismatch pairs (tuple vertex in
+	// G_D × entity vertex in G), match/non-match ratio 1, as in the
+	// paper's evaluation setup.
+	Truth []learn.Annotation
+
+	// TupleVertices are the main-relation tuple vertices of G_D (the
+	// sources for APair); EntityVertices the entity vertices of G.
+	TupleVertices  []graph.VID
+	EntityVertices []graph.VID
+	// TwinVertices are the near-duplicate hard-negative entities of G.
+	TwinVertices []graph.VID
+
+	// PathPairs are annotated (ρ_D, ρ_G) label-sequence pairs for
+	// training M_ρ.
+	PathPairs []PathPair
+}
+
+// Sizes reports |V_D|, |E_D|, |V|, |E| as in Table IV.
+func (g *Generated) Sizes() (vd, ed, v, e int) {
+	return g.GD.NumVertices(), g.GD.NumEdges(), g.G.NumVertices(), g.G.NumEdges()
+}
+
+// Generate builds the dataset described by cfg. It is deterministic for
+// a given configuration.
+func Generate(cfg Config) (*Generated, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// ---- Relational side -------------------------------------------------
+	var schemas []*relational.Schema
+	mainAttrs := make([]string, 0, len(cfg.Attrs)+1)
+	for _, a := range cfg.Attrs {
+		mainAttrs = append(mainAttrs, a.Name)
+	}
+	var fks []relational.ForeignKey
+	if cfg.Dim != nil {
+		mainAttrs = append(mainAttrs, cfg.Dim.FKAttr)
+		fks = append(fks, relational.ForeignKey{Attr: cfg.Dim.FKAttr, RefRelation: cfg.Dim.Relation})
+		dimAttrs := make([]string, 0, len(cfg.Dim.Attrs))
+		for _, a := range cfg.Dim.Attrs {
+			dimAttrs = append(dimAttrs, a.Name)
+		}
+		ds, err := relational.NewSchema(cfg.Dim.Relation, dimAttrs, cfg.Dim.Attrs[0].Name)
+		if err != nil {
+			return nil, err
+		}
+		schemas = append(schemas, ds)
+	}
+	ms, err := relational.NewSchema(cfg.MainRelation, mainAttrs, cfg.Attrs[0].Name, fks...)
+	if err != nil {
+		return nil, err
+	}
+	schemas = append(schemas, ms)
+	db := relational.NewDatabase(schemas...)
+
+	// Dimension entities: base values shared by both sides.
+	var dimValues [][]string
+	if cfg.Dim != nil {
+		rel := db.Relation(cfg.Dim.Relation)
+		for d := 0; d < cfg.Dim.Count; d++ {
+			row := make([]string, len(cfg.Dim.Attrs))
+			for i, a := range cfg.Dim.Attrs {
+				row[i] = baseValue(rng, a, 100000+d)
+			}
+			rel.MustInsert(row...)
+			dimValues = append(dimValues, row)
+		}
+	}
+
+	// Main entities: ids [0, NumEntities) exist on both sides; ids
+	// [NumEntities, NumEntities+ExtraTuples) are relation-only.
+	nTuples := cfg.NumEntities + cfg.ExtraTuples
+	values := make([][]string, nTuples) // base attribute values per entity
+	dimOf := make([]int, nTuples)
+	rel := db.Relation(cfg.MainRelation)
+	for e := 0; e < nTuples; e++ {
+		row := make([]string, 0, len(mainAttrs))
+		vals := make([]string, len(cfg.Attrs))
+		for i, a := range cfg.Attrs {
+			vals[i] = baseValue(rng, a, e)
+			v := vals[i]
+			if !a.Identity && rng.Float64() < a.NullRate {
+				v = relational.Null
+			}
+			row = append(row, v)
+		}
+		values[e] = vals
+		if cfg.Dim != nil {
+			dimOf[e] = rng.Intn(cfg.Dim.Count)
+			row = append(row, dimValues[dimOf[e]][0])
+		}
+		rel.MustInsert(row...)
+	}
+
+	gd, mapping, err := rdb2rdf.Map(db)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Graph side -------------------------------------------------------
+	g := graph.New()
+	valueNodes := make(map[string]graph.VID) // shared value vertices
+
+	valueNode := func(label string) graph.VID {
+		if v, ok := valueNodes[label]; ok {
+			return v
+		}
+		v := g.AddVertex(label)
+		valueNodes[label] = v
+		return v
+	}
+
+	// addProperty encodes one attribute as a path from owner.
+	addProperty := func(owner graph.VID, a AttrSpec, value string) {
+		cur := owner
+		for i := 0; i+1 < len(a.Predicates); i++ {
+			mid := g.AddVertex(fmt.Sprintf("%s node %d", a.Predicates[i], g.NumVertices()))
+			g.MustAddEdge(cur, mid, a.Predicates[i])
+			cur = mid
+		}
+		g.MustAddEdge(cur, valueNode(value), a.Predicates[len(a.Predicates)-1])
+	}
+
+	// Dimension vertices in G.
+	var dimVerts []graph.VID
+	if cfg.Dim != nil {
+		for d := 0; d < cfg.Dim.Count; d++ {
+			dv := g.AddVertex(cfg.Dim.GraphLabel)
+			dimVerts = append(dimVerts, dv)
+			for i, a := range cfg.Dim.Attrs {
+				if rng.Float64() < a.DropRate {
+					continue
+				}
+				val := dimValues[d][i]
+				if a.Identity {
+					val = graphIdentity(val)
+				}
+				addProperty(dv, a, perturb(rng, val, cfg.NoiseLevel))
+			}
+		}
+	}
+
+	// Entity vertices: matchable core plus graph-only extras.
+	nEntities := cfg.NumEntities + cfg.ExtraEntities
+	entityVerts := make([]graph.VID, nEntities)
+	for e := 0; e < nEntities; e++ {
+		ev := g.AddVertex(cfg.GraphLabel)
+		entityVerts[e] = ev
+		var vals []string
+		if e < cfg.NumEntities {
+			vals = values[e]
+		} else {
+			// Graph-only entities get fresh values in a disjoint id range.
+			vals = make([]string, len(cfg.Attrs))
+			for i, a := range cfg.Attrs {
+				vals[i] = baseValue(rng, a, 500000+e)
+			}
+		}
+		for i, a := range cfg.Attrs {
+			if rng.Float64() < a.DropRate {
+				continue
+			}
+			val := vals[i]
+			if a.Identity {
+				val = graphIdentity(val)
+			}
+			addProperty(ev, a, perturb(rng, val, cfg.NoiseLevel))
+		}
+		if cfg.Dim != nil {
+			d := 0
+			if e < cfg.NumEntities {
+				d = dimOf[e]
+			} else {
+				d = rng.Intn(cfg.Dim.Count)
+			}
+			g.MustAddEdge(ev, dimVerts[d], cfg.Dim.Predicate)
+		}
+	}
+
+	// Distractor properties: junk predicates whose values are other
+	// entities' identity values, contaminating flattened neighborhoods
+	// and bag-of-words profiles.
+	if cfg.Distractors > 0 && cfg.NumEntities > 1 {
+		for e := 0; e < nEntities; e++ {
+			for i := 0; i < cfg.Distractors; i++ {
+				other := rng.Intn(cfg.NumEntities)
+				val := perturb(rng, values[other][0], cfg.NoiseLevel)
+				pred := junkPredicates[rng.Intn(len(junkPredicates))]
+				g.MustAddEdge(entityVerts[e], valueNode(val), pred)
+			}
+		}
+	}
+
+	// Twins: near-duplicate entities that only deep inspection can tell
+	// apart — same dimension and shallow values, near-miss name,
+	// different deep (path-expanded) values.
+	twinOf := make(map[int]graph.VID)
+	if cfg.TwinRate > 0 {
+		for e := 0; e < cfg.NumEntities; e++ {
+			if rng.Float64() >= cfg.TwinRate {
+				continue
+			}
+			tv := g.AddVertex(cfg.GraphLabel)
+			twinOf[e] = tv
+			for i, a := range cfg.Attrs {
+				val := values[e][i]
+				switch {
+				case a.Identity:
+					val = graphIdentity(twinName(rng, val))
+				case len(a.Predicates) >= 3:
+					// Deep values — beyond a 2-hop flatten — are where
+					// twins differ; everything shallow is shared.
+					val = baseValue(rng, a, 700000+e)
+				}
+				addProperty(tv, a, perturb(rng, val, cfg.NoiseLevel))
+			}
+			if cfg.Dim != nil {
+				g.MustAddEdge(tv, dimVerts[dimOf[e]], cfg.Dim.Predicate)
+			}
+		}
+	}
+
+	// Cross links (e.g. citations) between entity vertices: neighbors'
+	// properties leak into each other's 2-hop neighborhoods. Links are
+	// biased toward entities sharing a dimension (papers in the same
+	// venue cite each other), so a cross-linked hard negative also
+	// shares its dimension with the true entity.
+	byDim := make(map[int][]int)
+	if cfg.Dim != nil {
+		for e := 0; e < cfg.NumEntities; e++ {
+			byDim[dimOf[e]] = append(byDim[dimOf[e]], e)
+		}
+	}
+	neighbors := make([][]int, nEntities) // entity index → linked entity indexes
+	for i := 0; i < cfg.CrossLinks && nEntities > 1; i++ {
+		a := rng.Intn(nEntities)
+		b := -1
+		if cfg.Dim != nil && a < cfg.NumEntities && rng.Float64() < 0.7 {
+			peers := byDim[dimOf[a]]
+			if len(peers) > 1 {
+				b = peers[rng.Intn(len(peers))]
+			}
+		}
+		if b < 0 {
+			b = rng.Intn(nEntities)
+		}
+		if a != b {
+			g.MustAddEdge(entityVerts[a], entityVerts[b], "relatedTo")
+			neighbors[a] = append(neighbors[a], b)
+			neighbors[b] = append(neighbors[b], a)
+		}
+	}
+
+	// ---- Ground truth ------------------------------------------------------
+	out := &Generated{Config: cfg, DB: db, GD: gd, Mapping: mapping, G: g,
+		EntityVertices: entityVerts}
+	for e := 0; e < cfg.NumEntities; e++ {
+		if tv, ok := twinOf[e]; ok {
+			out.TwinVertices = append(out.TwinVertices, tv)
+		}
+	}
+	for e := 0; e < nTuples; e++ {
+		ut, ok := mapping.VertexOf(cfg.MainRelation, e)
+		if !ok {
+			return nil, fmt.Errorf("dataset %s: tuple %d unmapped", cfg.Name, e)
+		}
+		out.TupleVertices = append(out.TupleVertices, ut)
+	}
+	nAnn := cfg.Annotations
+	if nAnn <= 0 || nAnn > cfg.NumEntities {
+		nAnn = cfg.NumEntities
+	}
+	perm := rng.Perm(cfg.NumEntities)[:nAnn]
+	for _, e := range perm {
+		out.Truth = append(out.Truth, learn.Annotation{
+			Pair:  core.Pair{U: out.TupleVertices[e], V: entityVerts[e]},
+			Match: true,
+		})
+	}
+	// Mismatches: same count, preferring hard negatives — among a handful
+	// of sampled wrong entities, pick the one sharing the most attribute
+	// values with the tuple, so shallow value-overlap methods are
+	// genuinely challenged.
+	shared := func(a, b []string) int {
+		n := 0
+		for i := range a {
+			if i < len(b) && a[i] == b[i] {
+				n++
+			}
+		}
+		return n
+	}
+	valuesOf := func(e int) []string {
+		if e < cfg.NumEntities {
+			return values[e]
+		}
+		return nil
+	}
+	for _, e := range perm {
+		// Twins are the hardest negatives; annotate them first.
+		if tv, ok := twinOf[e]; ok {
+			out.Truth = append(out.Truth, learn.Annotation{
+				Pair:  core.Pair{U: out.TupleVertices[e], V: tv},
+				Match: false,
+			})
+			continue
+		}
+		best, bestShared := -1, -1
+		// Next hardest: cross-linked neighbors of the true entity, whose
+		// 2-hop neighborhoods contain the true entity's values, fooling
+		// flattening and local-embedding methods.
+		if len(neighbors[e]) > 0 && rng.Float64() < 0.6 {
+			best = neighbors[e][rng.Intn(len(neighbors[e]))]
+		} else {
+			for trial := 0; trial < 8; trial++ {
+				other := rng.Intn(nEntities)
+				if other == e {
+					continue
+				}
+				s := shared(values[e], valuesOf(other))
+				if cfg.Dim != nil && other < cfg.NumEntities && dimOf[other] == dimOf[e] {
+					s++ // shared dimension entity makes it harder still
+				}
+				if s > bestShared {
+					best, bestShared = other, s
+				}
+			}
+		}
+		if best < 0 || best == e {
+			best = (e + 1) % nEntities
+		}
+		out.Truth = append(out.Truth, learn.Annotation{
+			Pair:  core.Pair{U: out.TupleVertices[e], V: entityVerts[best]},
+			Match: false,
+		})
+	}
+
+	// ---- Annotated path pairs for M_ρ --------------------------------------
+	out.PathPairs = cfg.pathPairs(rng)
+	return out, nil
+}
+
+// baseValue draws the clean (relational-side) value of an attribute.
+func baseValue(rng *rand.Rand, a AttrSpec, id int) string {
+	if a.Identity || a.Pool == nil {
+		return identityValue(rng, id)
+	}
+	return a.Pool[rng.Intn(len(a.Pool))]
+}
+
+// pathPairs derives the M_ρ training annotations from the known
+// attribute-to-predicate mappings: positives pair each attribute name
+// with its graph path (and the FK with its predicate, plus the combined
+// FK+dimension-attribute paths); negatives cross-pair distinct
+// attributes.
+func (c Config) pathPairs(rng *rand.Rand) []PathPair {
+	type m struct {
+		a []string
+		b []string
+	}
+	var pos []m
+	for _, a := range c.Attrs {
+		pos = append(pos, m{a: []string{a.Name}, b: a.Predicates})
+	}
+	if c.Dim != nil {
+		pos = append(pos, m{a: []string{c.Dim.FKAttr}, b: []string{c.Dim.Predicate}})
+		for _, a := range c.Dim.Attrs {
+			pos = append(pos, m{a: []string{a.Name}, b: a.Predicates})
+			pos = append(pos, m{
+				a: []string{c.Dim.FKAttr, a.Name},
+				b: append([]string{c.Dim.Predicate}, a.Predicates...),
+			})
+		}
+	}
+	var out []PathPair
+	for _, p := range pos {
+		out = append(out, PathPair{A: p.a, B: p.b, Match: true})
+	}
+	// Negatives: mismatched combinations, plus cross-link detours and
+	// junk predicates — the associations the trained M_ρ must discount.
+	for i := range pos {
+		if len(pos) > 1 {
+			j := rng.Intn(len(pos))
+			for j == i {
+				j = rng.Intn(len(pos))
+			}
+			out = append(out, PathPair{A: pos[i].a, B: pos[j].b, Match: false})
+		}
+		out = append(out, PathPair{
+			A:     pos[i].a,
+			B:     append([]string{"relatedTo"}, pos[i].b...),
+			Match: false,
+		})
+		out = append(out, PathPair{
+			A:     pos[i].a,
+			B:     []string{junkPredicates[i%len(junkPredicates)]},
+			Match: false,
+		})
+	}
+	return out
+}

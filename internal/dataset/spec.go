@@ -1,0 +1,239 @@
+// Package dataset generates the evaluation data of Section VII. Each of
+// the paper's datasets (UKGOV, DBpediaP, DBLP, IMDB, FBWIKI, the SemTab
+// "Tough Tables" 2T, and the TPC-H-style synthetic generator) is modelled
+// by a deterministic seeded generator that reproduces the dataset's
+// *shape*: its schema style, label vocabulary, the attribute-to-path
+// heterogeneity between the relational and graph representations, null
+// rates, and — for 2T — heavy typo noise (DESIGN.md substitution 3).
+//
+// A generated dataset bundles a relational database D, its RDB2RDF
+// canonical graph G_D, an independently structured graph G, ground-truth
+// match/mismatch annotations (tuple vertex ↔ entity vertex), and the
+// annotated path pairs used to train the M_ρ metric model.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// AttrSpec describes one attribute of the main (or dimension) relation
+// and how the graph side encodes it.
+type AttrSpec struct {
+	Name       string   // relation attribute name
+	Predicates []string // graph-side edge labels; len > 1 encodes the attribute as a path
+	Pool       []string // categorical value pool; nil means synthesized identity values
+	NullRate   float64  // probability the relational value is null
+	DropRate   float64  // probability the graph side omits the property (missing links)
+	Identity   bool     // identity attributes (names/titles) get unique-ish values
+}
+
+// DimSpec describes a foreign-key dimension relation (e.g. item → brand):
+// the relational side references it by key; the graph side links the
+// entity vertex to a dimension entity vertex that carries its own
+// properties, exercising ParaMatch's recursion.
+type DimSpec struct {
+	Relation   string // dimension relation name; also the G_D tuple label
+	GraphLabel string // G-side dimension vertex label
+	FKAttr     string // FK attribute name in the main relation
+	Predicate  string // G-side edge label from entity to dimension vertex
+	Count      int    // number of dimension entities
+	Attrs      []AttrSpec
+}
+
+// Config parameterizes one generated dataset.
+type Config struct {
+	Name          string
+	Seed          int64
+	NumEntities   int    // entities present on both sides (the matchable core)
+	ExtraTuples   int    // tuples with no graph counterpart
+	ExtraEntities int    // graph entities with no tuple
+	MainRelation  string // main relation name (labels G_D tuple vertices)
+	GraphLabel    string // G-side entity type label (must be σ-close to MainRelation)
+	Attrs         []AttrSpec
+	Dim           *DimSpec
+	NoiseLevel    float64 // graph-side label perturbation intensity in [0,1]
+	Annotations   int     // target number of match annotations (same count of mismatches)
+	// CrossLinks adds this many entity→entity edges in G (e.g. DBLP
+	// citations), creating cycles and non-tree structure. Cross-linked
+	// neighborhoods are what confuse local-embedding and flattening
+	// methods: a 2-hop flatten of an entity includes its neighbors'
+	// values.
+	CrossLinks int
+	// Distractors adds this many junk properties per graph entity
+	// (predicates from a junk pool, values sampled from other entities'
+	// identity values), diluting bag-of-words profiles while parametric
+	// simulation's trained M_ρ discounts the junk predicates.
+	Distractors int
+	// TwinRate is the fraction of matchable entities that get a "twin"
+	// in G: a distinct entity sharing the same dimension and the same
+	// shallow (single-predicate) attribute values, with a near-miss name
+	// and different deep (path-expanded) values. Twins are the hard
+	// negatives only a method that recursively checks descendants can
+	// reject — shallow 2-hop flattening sees almost the same record.
+	TwinRate float64
+}
+
+// junkPredicates is the distractor predicate pool.
+var junkPredicates = []string{"seeAlso", "note", "tag", "refCode", "linkedFrom"}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NumEntities <= 0 {
+		return fmt.Errorf("dataset %s: NumEntities must be positive", c.Name)
+	}
+	if c.MainRelation == "" || c.GraphLabel == "" {
+		return fmt.Errorf("dataset %s: relation and graph labels required", c.Name)
+	}
+	if len(c.Attrs) == 0 {
+		return fmt.Errorf("dataset %s: at least one attribute required", c.Name)
+	}
+	for _, a := range c.Attrs {
+		if len(a.Predicates) == 0 || len(a.Predicates) > 3 {
+			return fmt.Errorf("dataset %s: attribute %s needs 1-3 predicates", c.Name, a.Name)
+		}
+	}
+	if c.NoiseLevel < 0 || c.NoiseLevel > 1 {
+		return fmt.Errorf("dataset %s: noise level %f out of [0,1]", c.Name, c.NoiseLevel)
+	}
+	return nil
+}
+
+// Word pools used to synthesize identity values and intermediates.
+var (
+	nameWords = []string{
+		"north", "silver", "royal", "grand", "eastern", "golden", "urban",
+		"crystal", "summit", "harbor", "maple", "cedar", "bright", "swift",
+		"stone", "river", "falcon", "amber", "noble", "prime", "vivid",
+		"solar", "lunar", "rapid", "quiet", "bold", "iron", "coral",
+		"crimson", "jade", "onyx", "pearl", "terra", "vertex", "zephyr",
+	}
+	nounWords = []string{
+		"systems", "works", "group", "labs", "partners", "holdings",
+		"dynamics", "logic", "fields", "square", "garden", "bridge",
+		"center", "point", "heights", "valley", "junction", "commons",
+		"crossing", "terrace", "station", "quarter", "market", "grove",
+	}
+	cities = []string{
+		"London", "Leeds", "Bristol", "Camden", "Oxford", "York",
+		"Glasgow", "Cardiff", "Dublin", "Belfast", "Bath", "Durham",
+		"Hanoi", "Berlin", "Lyon", "Porto", "Turin", "Gdansk",
+	}
+	countries = []string{
+		"United Kingdom", "Germany", "France", "Vietnam", "Portugal",
+		"Italy", "Poland", "Ireland", "Spain", "Netherlands", "Austria",
+		"Denmark", "Norway", "Belgium",
+	}
+	colors = []string{"red", "white", "black", "blue", "green", "silver", "navy", "grey"}
+	years  = []string{"2008", "2009", "2010", "2011", "2012", "2013", "2014",
+		"2015", "2016", "2017", "2018", "2019", "2020", "2021"}
+)
+
+// identityValue synthesizes a unique-ish multi-word identity label.
+func identityValue(rng *rand.Rand, id int) string {
+	w1 := nameWords[rng.Intn(len(nameWords))]
+	w2 := nounWords[rng.Intn(len(nounWords))]
+	w3 := nameWords[rng.Intn(len(nameWords))]
+	return fmt.Sprintf("%s %s %s %d", strings.Title(w1), strings.Title(w3), w2, id)
+}
+
+// perturb applies graph-side label noise: with probability proportional
+// to level it lowercases, drops a token, abbreviates, or injects a typo.
+// A level of 0 returns the label unchanged. Short categorical labels
+// (single token — codes, years, colors) only suffer case noise below the
+// 2T noise regime: such values are copied, not re-typed, in real
+// knowledge graphs.
+func perturb(rng *rand.Rand, label string, level float64) string {
+	if level <= 0 || label == "" {
+		return label
+	}
+	out := label
+	if rng.Float64() < level {
+		out = strings.ToLower(out)
+	}
+	if level < 0.5 && len(strings.Fields(label)) == 1 {
+		return out
+	}
+	if rng.Float64() < level/2 {
+		// Drop the last token of multi-token labels.
+		toks := strings.Fields(out)
+		if len(toks) > 2 {
+			out = strings.Join(toks[:len(toks)-1], " ")
+		}
+	}
+	if rng.Float64() < level/2 {
+		out = typo(rng, out)
+	}
+	if rng.Float64() < level/3 {
+		out = typo(rng, out)
+	}
+	// 2T-style compounding misspellings: at high noise, every token is
+	// independently at risk, which defeats exact and n-gram lookups.
+	if level >= 0.5 {
+		toks := strings.Fields(out)
+		for i := range toks {
+			if rng.Float64() < level/2 {
+				toks[i] = typo(rng, toks[i])
+			}
+		}
+		out = strings.Join(toks, " ")
+	}
+	return out
+}
+
+// graphIdentity reformats an identity value for the graph side: the
+// trailing numeric id token stays in the relation but not in the graph
+// (as in the paper's running example, where the tuple's "Dame Basketball
+// Shoes D7" appears in G as "Dame Basketball Shoes" plus a separate
+// typeNo vertex). Exact-lookup methods lose their anchor; semantic
+// similarity survives.
+func graphIdentity(val string) string {
+	toks := strings.Fields(val)
+	if len(toks) < 2 {
+		return val
+	}
+	last := toks[len(toks)-1]
+	if last != "" && last[0] >= '0' && last[0] <= '9' {
+		return strings.Join(toks[:len(toks)-1], " ")
+	}
+	return val
+}
+
+// twinName derives a near-miss identity label. Half the twins are
+// "hard": only the trailing id changes, leaving token- and
+// character-level similarity near 1 — indistinguishable by value
+// comparison alone. The rest also swap one word, dropping token
+// similarity while character similarity stays high.
+func twinName(rng *rand.Rand, name string) string {
+	toks := strings.Fields(name)
+	if len(toks) == 0 {
+		return name + " II"
+	}
+	if rng.Intn(2) == 0 {
+		swap := rng.Intn(len(toks))
+		toks[swap] = strings.Title(nameWords[rng.Intn(len(nameWords))])
+	}
+	last := toks[len(toks)-1]
+	if last != "" && last[0] >= '0' && last[0] <= '9' {
+		toks[len(toks)-1] = last + "1"
+	} else {
+		toks = append(toks, "II")
+	}
+	return strings.Join(toks, " ")
+}
+
+// typo swaps two adjacent characters or substitutes one.
+func typo(rng *rand.Rand, s string) string {
+	r := []rune(s)
+	if len(r) < 3 {
+		return s
+	}
+	i := 1 + rng.Intn(len(r)-2)
+	if rng.Intn(2) == 0 {
+		r[i], r[i+1] = r[i+1], r[i]
+	} else {
+		r[i] = rune('a' + rng.Intn(26))
+	}
+	return string(r)
+}

@@ -1,0 +1,160 @@
+// Package embed provides the deterministic sentence-embedding substrate
+// that stands in for the paper's Sentence-BERT / BERT encoders (DESIGN.md
+// substitution 1). Labels are embedded by signed feature hashing of word
+// unigrams and character 3-grams into a fixed-dimension space; the cosine
+// of two embeddings then reflects lexical/sub-lexical closeness, and the
+// trained metric network of M_ρ supplies the learned, non-lexical part of
+// semantic similarity, as BERT fine-tuning does in the paper.
+package embed
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"her/internal/text"
+)
+
+// Encoder embeds label strings into unit vectors of dimension Dim.
+// It is safe for concurrent use and caches embeddings.
+type Encoder struct {
+	dim        int
+	gramWeight float64
+
+	mu    sync.RWMutex
+	cache map[string][]float64
+}
+
+// NewEncoder creates an encoder of the given output dimension. The paper's
+// default sentence encoder corresponds to dimension 128 here; Table VII
+// sweeps {100, 200, 300}.
+func NewEncoder(dim int) *Encoder {
+	if dim <= 0 {
+		dim = 128
+	}
+	return &Encoder{dim: dim, gramWeight: 0.9, cache: make(map[string][]float64)}
+}
+
+// Dim returns the embedding dimension.
+func (e *Encoder) Dim() int { return e.dim }
+
+// hashSigned maps a term into (slot, ±1) pairs under the given seed.
+func hashSigned(term string, seed uint32, dim int) (int, float64) {
+	h := fnv.New32a()
+	var b [4]byte
+	b[0] = byte(seed)
+	b[1] = byte(seed >> 8)
+	b[2] = byte(seed >> 16)
+	b[3] = byte(seed >> 24)
+	h.Write(b[:])
+	h.Write([]byte(term))
+	v := h.Sum32()
+	slot := int(v % uint32(dim))
+	sign := 1.0
+	if (v>>16)&1 == 1 {
+		sign = -1.0
+	}
+	return slot, sign
+}
+
+// Embed returns the unit-norm embedding x_s of label s. The zero vector is
+// returned for labels with no tokens.
+func (e *Encoder) Embed(s string) []float64 {
+	e.mu.RLock()
+	if v, ok := e.cache[s]; ok {
+		e.mu.RUnlock()
+		return v
+	}
+	e.mu.RUnlock()
+
+	v := e.embed(s)
+
+	e.mu.Lock()
+	e.cache[s] = v
+	e.mu.Unlock()
+	return v
+}
+
+func (e *Encoder) embed(s string) []float64 {
+	v := make([]float64, e.dim)
+	tokens := text.Tokenize(s)
+	if len(tokens) == 0 {
+		return v
+	}
+	// Word unigrams: three hash projections per token, full weight.
+	for _, tok := range tokens {
+		for seed := uint32(0); seed < 3; seed++ {
+			slot, sign := hashSigned(tok, seed, e.dim)
+			v[slot] += sign
+		}
+	}
+	// Character 3-grams: sub-lexical signal so that e.g. "brandCountry"
+	// and "country" share mass; weighted down.
+	for _, g := range text.NGrams(s, 3) {
+		slot, sign := hashSigned(g, 7, e.dim)
+		v[slot] += sign * e.gramWeight
+	}
+	return Normalize(v)
+}
+
+// EmbedSequence embeds a sequence of labels (e.g. edge labels on a path)
+// by position-weighted averaging, approximating the sequential encoding
+// the paper's BERT gives path strings. Earlier labels get slightly more
+// weight, matching the intuition that the first predicate dominates the
+// association's meaning.
+func (e *Encoder) EmbedSequence(labels []string) []float64 {
+	v := make([]float64, e.dim)
+	if len(labels) == 0 {
+		return v
+	}
+	for i, l := range labels {
+		w := 1.0 / float64(i+1)
+		lv := e.Embed(l)
+		for j := range v {
+			v[j] += w * lv[j]
+		}
+	}
+	return Normalize(v)
+}
+
+// MvScore computes the paper's vertex score
+// M_v(a, b) = (|cos(x_a, x_b)| + cos(x_a, x_b)) / 2 ∈ [0, 1], with a
+// containment boost: when every token of the shorter label occurs in the
+// longer one, the labels almost surely denote the same value formatted
+// differently (the paper's "Dame Basketball Shoes D7" vs "Dame
+// Basketball Shoes"), so the score is at least 0.9.
+func (e *Encoder) MvScore(a, b string) float64 {
+	if a == b && a != "" {
+		return 1
+	}
+	c := Cosine(e.Embed(a), e.Embed(b))
+	if c < 0 {
+		c = 0
+	}
+	if c < 0.9 && tokensContained(a, b) {
+		return 0.9
+	}
+	return c
+}
+
+// tokensContained reports whether the token set of the shorter label is
+// a non-empty subset of the longer one's.
+func tokensContained(a, b string) bool {
+	ta, tb := text.Tokenize(a), text.Tokenize(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return false
+	}
+	short, long := ta, tb
+	if len(tb) < len(ta) {
+		short, long = tb, ta
+	}
+	set := make(map[string]bool, len(long))
+	for _, t := range long {
+		set[t] = true
+	}
+	for _, t := range short {
+		if !set[t] {
+			return false
+		}
+	}
+	return true
+}

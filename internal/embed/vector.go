@@ -1,0 +1,89 @@
+package embed
+
+import "math"
+
+// Dot returns the inner product of a and b, which must be equal length.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the L2 norm of v.
+func Norm(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Normalize scales v to unit L2 norm in place and returns it. The zero
+// vector is returned unchanged.
+func Normalize(v []float64) []float64 {
+	n := Norm(v)
+	if n == 0 {
+		return v
+	}
+	for i := range v {
+		v[i] /= n
+	}
+	return v
+}
+
+// Cosine returns the cosine similarity of a and b in [-1, 1]. Zero vectors
+// yield 0.
+func Cosine(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := Dot(a, b) / (na * nb)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return c
+}
+
+// Add accumulates src into dst.
+func Add(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// Scale multiplies v by s in place.
+func Scale(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Concat returns the concatenation of the given vectors.
+func Concat(vs ...[]float64) []float64 {
+	n := 0
+	for _, v := range vs {
+		n += len(v)
+	}
+	out := make([]float64, 0, n)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// AbsDiff returns |a - b| element-wise.
+func AbsDiff(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = math.Abs(a[i] - b[i])
+	}
+	return out
+}
+
+// Hadamard returns a ⊙ b element-wise.
+func Hadamard(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] * b[i]
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"her"
+	"her/internal/core"
+	"her/internal/dataset"
+	"her/internal/learn"
+)
+
+// Ablation quantifies the contribution of HER's design choices on one
+// dataset (DBpediaP): the trained M_ρ metric network (vs the untrained
+// lexical fallback), the LSTM-guided ranking function M_r (vs the
+// PRA-greedy fallback), and the inverted-index blocking (vs a full scan
+// of G for every tuple). Each variant re-runs the threshold search so it
+// competes at its own best configuration.
+func Ablation(cfg Config) ([]Table, error) {
+	const name = "DBpediaP"
+	dcfg, _ := dataset.ByName(name, cfg.Entities)
+	d, err := dataset.Generate(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	train, val, test, err := learn.Split(d.Truth, 0.5, 0.15, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	searchSet := append(append([]learn.Annotation{}, train...), val...)
+
+	build := func(metric, ranker bool) (*her.System, error) {
+		sys, err := her.New(d.DB, d.G, her.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		if metric {
+			if err := sys.TrainPathModel(upsample(d.PathPairs, 20), 0); err != nil {
+				return nil, err
+			}
+		}
+		if ranker {
+			if err := sys.TrainRanker(150, 10); err != nil {
+				return nil, err
+			}
+		}
+		if _, _, err := sys.LearnThresholds(searchSet, thresholdSpace(name), cfg.SearchTrials); err != nil {
+			return nil, err
+		}
+		return sys, nil
+	}
+
+	t := Table{
+		Title:  fmt.Sprintf("Ablation on %s: contribution of each design choice", name),
+		Header: []string{"Variant", "F-measure", "VPair seconds"},
+	}
+	variants := []struct {
+		label          string
+		metric, ranker bool
+	}{
+		{"full HER", true, true},
+		{"no trained M_rho (lexical fallback)", false, true},
+		{"no LSTM M_r (PRA-greedy fallback)", true, false},
+		{"neither model", false, false},
+	}
+	var full *her.System
+	for _, v := range variants {
+		sys, err := build(v.metric, v.ranker)
+		if err != nil {
+			return nil, err
+		}
+		if v.metric && v.ranker {
+			full = sys
+		}
+		f := sys.Evaluate(test).F1()
+		vp := vpairLatency(sys, d, 10)
+		t.Rows = append(t.Rows, []string{v.label, fm(f), secs(vp)})
+	}
+
+	// Blocking ablation: full-scan candidate generation on the full
+	// system (accuracy is unchanged — blocking is sound here — so only
+	// latency is reported).
+	t2 := Table{
+		Title:  "Ablation: inverted-index blocking vs full scan (VPair latency)",
+		Header: []string{"Candidates", "VPair seconds"},
+	}
+	t2.Rows = append(t2.Rows, []string{"inverted index", secs(vpairLatency(full, d, 10))})
+	t2.Rows = append(t2.Rows, []string{"full scan", secs(vpairFullScan(full, d, 10))})
+	return []Table{t, t2}, nil
+}
+
+// vpairLatency times the system's (blocked) VPair over sample tuples.
+func vpairLatency(sys *her.System, d *dataset.Generated, n int) time.Duration {
+	tuples := d.TupleVertices
+	if len(tuples) > n {
+		tuples = tuples[:n]
+	}
+	sys.ResetMatchState()
+	total := timeIt(func() {
+		for _, u := range tuples {
+			sys.VPairVertex(u)
+		}
+	})
+	return total / time.Duration(len(tuples))
+}
+
+// vpairFullScan times VPair with candidate generation disabled (every
+// vertex of G is a candidate pool entry), using a fresh matcher over the
+// system's scorers and rankers.
+func vpairFullScan(sys *her.System, d *dataset.Generated, n int) time.Duration {
+	m, err := core.NewMatcher(sys.GD, sys.G, sys.RankerD(), sys.RankerG(), sys.CoreParams())
+	if err != nil {
+		return 0
+	}
+	tuples := d.TupleVertices
+	if len(tuples) > n {
+		tuples = tuples[:n]
+	}
+	total := timeIt(func() {
+		for _, u := range tuples {
+			m.VPair(u, nil)
+		}
+	})
+	return total / time.Duration(len(tuples))
+}

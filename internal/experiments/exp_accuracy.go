@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"her"
+	"her/internal/baselines"
+	"her/internal/core"
+	"her/internal/dataset"
+	"her/internal/learn"
+)
+
+// TableIV reports the generated dataset sizes, mirroring the paper's
+// Table IV inventory.
+func TableIV(cfg Config) ([]Table, error) {
+	t := Table{
+		Title:  "Table IV: datasets for evaluation (generated, scaled)",
+		Header: []string{"Dataset", "|V_D|", "|E_D|", "|V|", "|E|"},
+	}
+	for _, name := range append(append([]string{}, dataset.Names...), "Synthetic") {
+		dcfg, _ := dataset.ByName(name, cfg.Entities)
+		d, err := dataset.Generate(dcfg)
+		if err != nil {
+			return nil, err
+		}
+		vd, ed, v, e := d.Sizes()
+		t.Rows = append(t.Rows, []string{name,
+			fmt.Sprint(vd), fmt.Sprint(ed), fmt.Sprint(v), fmt.Sprint(e)})
+	}
+	return []Table{t}, nil
+}
+
+// baselineSet builds the Exp-1 comparison methods in Table V order.
+func baselineSet() []baselines.Method {
+	return []baselines.Method{
+		&baselines.MAGNN{},
+		&baselines.Bsim{MemBudget: 20_000}, // OM on every full dataset
+		&baselines.JedAI{},
+		&baselines.MAG{},
+		&baselines.DEEP{},
+		&baselines.LexMa{},
+	}
+}
+
+// evalMethod scores a baseline's SPair decisions on annotations.
+func evalMethod(m baselines.Method, anns []learn.Annotation) learn.Eval {
+	return learn.Evaluate(func(p core.Pair) bool { return m.SPair(p) }, anns)
+}
+
+// TableV reproduces the accuracy comparison: F-measure of HER and the
+// six baselines on the five tuple-matching datasets (top), and the 2T
+// cell-matching row (bottom), where the closed SemTab systems (MTab,
+// bbw, LinkingPark) are reported from the paper — they are proprietary
+// web pipelines (DESIGN.md substitution 6) — while HER and LexMa are
+// measured. Bsim reports OM when its memory budget is exhausted, as in
+// the paper.
+func TableV(cfg Config) ([]Table, error) {
+	t := Table{
+		Title:  "Table V (top): accuracy (F-measure) on tuple matching",
+		Header: []string{"Dataset", "HER", "MAGNN", "Bsim", "JedAI", "MAG", "DEEP", "LexMa"},
+	}
+	for _, name := range dataset.Names {
+		if name == "2T" {
+			continue
+		}
+		p, err := prepare(name, cfg, her.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name, fm(p.sys.Evaluate(p.test).F1())}
+		td := p.trainingData()
+		for _, m := range baselineSet() {
+			if err := m.Train(td); err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, m.Name(), err)
+			}
+			if b, ok := m.(*baselines.Bsim); ok {
+				if _, err := b.Run(); err != nil {
+					row = append(row, "OM")
+					continue
+				}
+			}
+			row = append(row, fm(evalMethod(m, p.test).F1()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	t2 := Table{
+		Title:  "Table V (bottom): accuracy on 2T cell matching (* = paper-reported, closed system)",
+		Header: []string{"Dataset", "HER", "MTab*", "bbw*", "LP*", "LexMa"},
+	}
+	p, err := prepare("2T", cfg, her.Options{})
+	if err != nil {
+		return nil, err
+	}
+	lex := &baselines.LexMa{}
+	if err := lex.Train(p.trainingData()); err != nil {
+		return nil, err
+	}
+	t2.Rows = append(t2.Rows, []string{"2T",
+		fm(p.sys.Evaluate(p.test).F1()), "0.907", "0.863", "0.810",
+		fm(evalMethod(lex, p.test).F1())})
+	return []Table{t, t2}, nil
+}
+
+// TableVII reproduces appendix I: HER accuracy with embedding
+// dimensions {100, 200, 300} on DBpediaP, DBLP and IMDB.
+func TableVII(cfg Config) ([]Table, error) {
+	dims := []int{100, 200, 300}
+	t := Table{
+		Title:  "Table VII: accuracy of HER with different embedding dimensions",
+		Header: []string{"Dataset", "dim 100", "dim 200", "dim 300"},
+	}
+	for _, name := range []string{"DBpediaP", "DBLP", "IMDB"} {
+		row := []string{name}
+		for _, dim := range dims {
+			p, err := prepare(name, cfg, her.Options{EmbeddingDim: dim})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fm(p.sys.Evaluate(p.test).F1()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}
+
+// paramSweepDatasets are the three datasets Fig. 6(a-c) sweeps.
+var paramSweepDatasets = []string{"DBpediaP", "DBLP", "IMDB"}
+
+// sweepF runs EvaluateWith across threshold settings and tabulates
+// F-measure per dataset.
+func sweepF(cfg Config, title, param string, settings []her.Thresholds, labels []string) ([]Table, error) {
+	t := Table{Title: title, Header: append([]string{param}, paramSweepDatasets...)}
+	var systems []*prepared
+	for _, name := range paramSweepDatasets {
+		p, err := prepare(name, cfg, her.Options{})
+		if err != nil {
+			return nil, err
+		}
+		systems = append(systems, p)
+	}
+	for i, th := range settings {
+		row := []string{labels[i]}
+		for _, p := range systems {
+			row = append(row, fm(p.sys.EvaluateWith(th, p.test).F1()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}
+
+// Fig6a sweeps σ with δ and k fixed.
+func Fig6a(cfg Config) ([]Table, error) {
+	sigmas := []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99}
+	var ths []her.Thresholds
+	var labels []string
+	for _, s := range sigmas {
+		ths = append(ths, her.Thresholds{Sigma: s, Delta: 1.2, K: 20})
+		labels = append(labels, fmt.Sprintf("%.2f", s))
+	}
+	return sweepF(cfg, "Fig 6(a): F-measure vs sigma (delta=1.2, k=20)", "sigma", ths, labels)
+}
+
+// Fig6b sweeps δ with σ and k fixed.
+func Fig6b(cfg Config) ([]Table, error) {
+	deltas := []float64{0.5, 0.8, 1.0, 1.2, 1.5, 2.0, 2.5, 3.0}
+	var ths []her.Thresholds
+	var labels []string
+	for _, d := range deltas {
+		ths = append(ths, her.Thresholds{Sigma: 0.85, Delta: d, K: 20})
+		labels = append(labels, fmt.Sprintf("%.2f", d))
+	}
+	return sweepF(cfg, "Fig 6(b): F-measure vs delta (sigma=0.85, k=20)", "delta", ths, labels)
+}
+
+// Fig6c sweeps k with σ and δ fixed.
+func Fig6c(cfg Config) ([]Table, error) {
+	ks := []int{3, 5, 8, 10, 15, 18, 20, 25}
+	var ths []her.Thresholds
+	var labels []string
+	for _, k := range ks {
+		ths = append(ths, her.Thresholds{Sigma: 0.85, Delta: 1.2, K: k})
+		labels = append(labels, fmt.Sprint(k))
+	}
+	return sweepF(cfg, "Fig 6(c): F-measure vs k (sigma=0.85, delta=1.2)", "k", ths, labels)
+}
+
+// Fig6p reproduces Exp-4: F-measure across user-interaction rounds on
+// UKGOV and IMDB — 50 pairs per round, 5 simulated users with 10%
+// individual error, majority voting, triplet fine-tuning; 5 rounds
+// suffice to reach F = 1.
+func Fig6p(cfg Config) ([]Table, error) {
+	t := Table{
+		Title:  "Fig 6(p): F-measure vs user-interaction rounds (50 pairs/round, 5 users)",
+		Header: []string{"Round", "UKGOV", "IMDB"},
+	}
+	const rounds = 5
+	series := make([][]float64, 0, 2)
+	for _, name := range []string{"UKGOV", "IMDB"} {
+		p, err := prepare(name, cfg, her.Options{})
+		if err != nil {
+			return nil, err
+		}
+		users, err := learn.NewAnnotators(5, 0.1, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pool := p.d.Truth
+		fs := []float64{p.sys.Evaluate(pool).F1()}
+		for r := 1; r <= rounds; r++ {
+			batch := learn.RefinementRound(p.sys.Predictor(), pool, 50, cfg.Seed+int64(r))
+			p.sys.Refine(users.Inspect(batch))
+			fs = append(fs, p.sys.Evaluate(pool).F1())
+		}
+		series = append(series, fs)
+	}
+	for r := 0; r <= rounds; r++ {
+		t.Rows = append(t.Rows, []string{fmt.Sprint(r), fm(series[0][r]), fm(series[1][r])})
+	}
+	return []Table{t}, nil
+}

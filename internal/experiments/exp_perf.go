@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"her"
+	"her/internal/baselines"
+	"her/internal/core"
+	"her/internal/graph"
+)
+
+// TableVI reproduces the sequential-efficiency comparison: per-request
+// SPair and VPair seconds on DBpediaP and DBLP for HER and the
+// baselines, single worker. Bsim supports neither mode (NA).
+func TableVI(cfg Config) ([]Table, error) {
+	var tables []Table
+	for _, name := range []string{"DBpediaP", "DBLP"} {
+		p, err := prepare(name, cfg, her.Options{})
+		if err != nil {
+			return nil, err
+		}
+		t := Table{
+			Title:  fmt.Sprintf("Table VI: sequential execution time (s) on %s", name),
+			Header: []string{"Method", "SPair", "VPair"},
+		}
+		spairHER, vpairHER := timeModes(
+			func(pr core.Pair) { p.sys.SPairVertices(pr.U, pr.V) },
+			func(u graph.VID) { p.sys.VPairVertex(u) },
+			p,
+		)
+		t.Rows = append(t.Rows, []string{"HER", secs(spairHER), secs(vpairHER)})
+
+		td := p.trainingData()
+		for _, m := range []baselines.Method{
+			&baselines.MAGNN{}, &baselines.JedAI{}, &baselines.MAG{}, &baselines.DEEP{},
+		} {
+			if err := m.Train(td); err != nil {
+				return nil, err
+			}
+			sp, vp := timeModes(
+				func(pr core.Pair) { m.SPair(pr) },
+				func(u graph.VID) { m.VPair(u, p.sys.Candidates(u)) },
+				p,
+			)
+			t.Rows = append(t.Rows, []string{m.Name(), secs(sp), secs(vp)})
+		}
+		t.Rows = append(t.Rows, []string{"Bsim", "NA", "NA"})
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// timeModes measures the mean per-request latency of SPair (over the
+// test annotations) and VPair (over a sample of tuple vertices).
+func timeModes(spair func(core.Pair), vpair func(graph.VID), p *prepared) (time.Duration, time.Duration) {
+	anns := p.test
+	if len(anns) == 0 {
+		anns = p.d.Truth
+	}
+	dsp := timeIt(func() {
+		for _, a := range anns {
+			spair(a.Pair)
+		}
+	}) / time.Duration(len(anns))
+
+	sample := p.d.TupleVertices
+	const maxTuples = 10
+	if len(sample) > maxTuples {
+		sample = sample[:maxTuples]
+	}
+	dvp := timeIt(func() {
+		for _, u := range sample {
+			vpair(u)
+		}
+	}) / time.Duration(len(sample))
+	return dsp, dvp
+}
+
+// workerSweep times parallel APair across worker counts on one dataset.
+func workerSweep(cfg Config, name string) (Table, error) {
+	p, err := prepare(name, cfg, her.Options{})
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  fmt.Sprintf("APair time vs workers on %s", name),
+		Header: []string{"n", "seconds", "supersteps", "candidate pairs", "max worker share"},
+	}
+	for _, n := range cfg.Workers {
+		var stats her.ParallelStats
+		d := timeIt(func() {
+			_, stats, err = p.sys.APairParallel(n)
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		maxShare := 0
+		for _, c := range stats.PerWorkerPairs {
+			if c > maxShare {
+				maxShare = c
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), secs(d), fmt.Sprint(stats.Supersteps),
+			fmt.Sprint(stats.CandidatePairs), fmt.Sprint(maxShare),
+		})
+	}
+	return t, nil
+}
+
+// Fig6d-g: parallel scalability on DBpediaP, FBWIKI, DBLP and Synthetic.
+func Fig6d(cfg Config) ([]Table, error) { return oneTable(workerSweep(cfg, "DBpediaP")) }
+
+// Fig6e is the FBWIKI worker sweep.
+func Fig6e(cfg Config) ([]Table, error) { return oneTable(workerSweep(cfg, "FBWIKI")) }
+
+// Fig6f is the DBLP worker sweep.
+func Fig6f(cfg Config) ([]Table, error) { return oneTable(workerSweep(cfg, "DBLP")) }
+
+// Fig6g is the synthetic-data worker sweep.
+func Fig6g(cfg Config) ([]Table, error) { return oneTable(workerSweep(cfg, "Synthetic")) }
+
+func oneTable(t Table, err error) ([]Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []Table{t}, nil
+}
+
+// Fig6h varies |G_D| with G fixed: APair over growing prefixes of the
+// tuple vertices of the largest synthetic instance.
+func Fig6h(cfg Config) ([]Table, error) {
+	p, err := prepare("Synthetic", cfg, her.Options{})
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Title:  "Fig 6(h): APair time vs |G_D| (G fixed, synthetic)",
+		Header: []string{"fraction", "tuples", "seconds"},
+	}
+	all := p.d.TupleVertices
+	for _, frac := range []int{25, 50, 75, 100} {
+		n := len(all) * frac / 100
+		sources := all[:n]
+		p.sys.ResetMatchState()
+		d := timeIt(func() { apairSources(p.sys, sources) })
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d%%", frac), fmt.Sprint(n), secs(d)})
+	}
+	return []Table{t}, nil
+}
+
+// apairSources runs sequential matching over explicit sources using the
+// system's candidate generator.
+func apairSources(sys *her.System, sources []graph.VID) {
+	for _, u := range sources {
+		sys.VPairVertex(u)
+	}
+}
+
+// Fig6i varies |G| with the G_D workload fixed: synthetic instances of
+// growing entity counts, matching a fixed number of tuples.
+func Fig6i(cfg Config) ([]Table, error) {
+	base := cfg.Entities
+	if base <= 0 {
+		base = 1000
+	}
+	t := Table{
+		Title:  "Fig 6(i): APair time vs |G| (G_D workload fixed, synthetic)",
+		Header: []string{"entities", "|V|", "|E|", "seconds"},
+	}
+	fixedTuples := base / 4
+	for _, scale := range []int{25, 50, 75, 100} {
+		c := cfg
+		c.Entities = base * scale / 100
+		p, err := prepare("Synthetic", c, her.Options{})
+		if err != nil {
+			return nil, err
+		}
+		_, _, v, e := p.d.Sizes()
+		sources := p.d.TupleVertices
+		if len(sources) > fixedTuples {
+			sources = sources[:fixedTuples]
+		}
+		d := timeIt(func() { apairSources(p.sys, sources) })
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(c.Entities), fmt.Sprint(v), fmt.Sprint(e), secs(d)})
+	}
+	return []Table{t}, nil
+}
+
+// thresholdTimeSweep times parallel APair across threshold settings.
+func thresholdTimeSweep(cfg Config, name, title, param string, settings []her.Thresholds, labels []string) (Table, error) {
+	p, err := prepare(name, cfg, her.Options{})
+	if err != nil {
+		return Table{}, err
+	}
+	workers := 4
+	if len(cfg.Workers) > 0 {
+		workers = cfg.Workers[len(cfg.Workers)-1]
+	}
+	t := Table{
+		Title:  title,
+		Header: []string{param, "seconds", "matches"},
+	}
+	for i, th := range settings {
+		if err := p.sys.SetThresholds(th); err != nil {
+			return Table{}, err
+		}
+		var matches []her.Pair
+		d := timeIt(func() {
+			matches, _, err = p.sys.APairParallel(workers)
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{labels[i], secs(d), fmt.Sprint(len(matches))})
+	}
+	return t, nil
+}
+
+// Fig6j: APair time vs k on FBWIKI (small k: fewer descendants per
+// vertex, as in the paper).
+func Fig6j(cfg Config) ([]Table, error) {
+	var ths []her.Thresholds
+	var labels []string
+	for _, k := range []int{2, 4, 6, 8, 10} {
+		ths = append(ths, her.Thresholds{Sigma: 0.8, Delta: 0.4, K: k})
+		labels = append(labels, fmt.Sprint(k))
+	}
+	return oneTable(thresholdTimeSweep(cfg, "FBWIKI",
+		"Fig 6(j): APair time vs k on FBWIKI (sigma=0.8, delta=0.4)", "k", ths, labels))
+}
+
+// Fig6k: APair time vs k on DBLP.
+func Fig6k(cfg Config) ([]Table, error) {
+	var ths []her.Thresholds
+	var labels []string
+	for _, k := range []int{8, 12, 16, 20, 24} {
+		ths = append(ths, her.Thresholds{Sigma: 0.8, Delta: 1.0, K: k})
+		labels = append(labels, fmt.Sprint(k))
+	}
+	return oneTable(thresholdTimeSweep(cfg, "DBLP",
+		"Fig 6(k): APair time vs k on DBLP (sigma=0.8, delta=1.0)", "k", ths, labels))
+}
+
+// Fig6l: APair time vs σ on DBpediaP.
+func Fig6l(cfg Config) ([]Table, error) {
+	return oneTable(sigmaSweep(cfg, "DBpediaP", "Fig 6(l): APair time vs sigma on DBpediaP", 1.0))
+}
+
+// Fig6m: APair time vs σ on FBWIKI.
+func Fig6m(cfg Config) ([]Table, error) {
+	return oneTable(sigmaSweep(cfg, "FBWIKI", "Fig 6(m): APair time vs sigma on FBWIKI", 0.4))
+}
+
+func sigmaSweep(cfg Config, name, title string, delta float64) (Table, error) {
+	var ths []her.Thresholds
+	var labels []string
+	for _, s := range []float64{0.75, 0.8, 0.85, 0.9, 0.95} {
+		ths = append(ths, her.Thresholds{Sigma: s, Delta: delta, K: 15})
+		labels = append(labels, fmt.Sprintf("%.2f", s))
+	}
+	return thresholdTimeSweep(cfg, name, title, "sigma", ths, labels)
+}
+
+// Fig6n: APair time vs δ on DBpediaP (larger δ range; its matching
+// paths are short).
+func Fig6n(cfg Config) ([]Table, error) {
+	return oneTable(deltaSweep(cfg, "DBpediaP",
+		"Fig 6(n): APair time vs delta on DBpediaP",
+		[]float64{0.8, 1.2, 1.6, 2.0, 2.4}))
+}
+
+// Fig6o: APair time vs δ on FBWIKI (small δ range; its matching paths
+// are much longer, as the paper notes).
+func Fig6o(cfg Config) ([]Table, error) {
+	return oneTable(deltaSweep(cfg, "FBWIKI",
+		"Fig 6(o): APair time vs delta on FBWIKI",
+		[]float64{0.2, 0.3, 0.4, 0.5, 0.6}))
+}
+
+func deltaSweep(cfg Config, name, title string, deltas []float64) (Table, error) {
+	var ths []her.Thresholds
+	var labels []string
+	for _, d := range deltas {
+		ths = append(ths, her.Thresholds{Sigma: 0.8, Delta: d, K: 15})
+		labels = append(labels, fmt.Sprintf("%.2f", d))
+	}
+	return thresholdTimeSweep(cfg, name, title, "delta", ths, labels)
+}
+
+// Fig9 reproduces appendix H: the IMDB scalability and efficiency
+// panels — (a) workers, (b) k, (c) σ, (d) δ.
+func Fig9(cfg Config) ([]Table, error) {
+	var out []Table
+	w, err := workerSweep(cfg, "IMDB")
+	if err != nil {
+		return nil, err
+	}
+	w.Title = "Fig 9(a): APair time vs workers on IMDB"
+	out = append(out, w)
+
+	var ths []her.Thresholds
+	var labels []string
+	for _, k := range []int{4, 8, 12, 16, 20} {
+		ths = append(ths, her.Thresholds{Sigma: 0.8, Delta: 1.0, K: k})
+		labels = append(labels, fmt.Sprint(k))
+	}
+	kt, err := thresholdTimeSweep(cfg, "IMDB", "Fig 9(b): APair time vs k on IMDB", "k", ths, labels)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, kt)
+
+	st, err := sigmaSweep(cfg, "IMDB", "Fig 9(c): APair time vs sigma on IMDB", 1.0)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, st)
+
+	dt, err := deltaSweep(cfg, "IMDB", "Fig 9(d): APair time vs delta on IMDB",
+		[]float64{0.8, 1.2, 1.6, 2.0, 2.4})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, dt)
+	return out, nil
+}

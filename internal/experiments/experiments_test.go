@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"her"
+)
+
+// tinyConfig keeps the smoke tests fast: small datasets, few workers,
+// few search trials.
+func tinyConfig() Config {
+	return Config{Entities: 40, Workers: []int{1, 2}, SearchTrials: 8, Seed: 7}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"x", "1"}, {"yyyyyy", "2"}},
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "long-header") {
+		t.Errorf("render output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("rendered %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", tinyConfig(), &buf); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestExperimentIDsDispatch(t *testing.T) {
+	// Every listed id must dispatch (we don't run them all here — the
+	// heavy ones are covered individually below and by cmd/herbench).
+	ids := ExperimentIDs()
+	if len(ids) < 20 {
+		t.Fatalf("expected ≥ 20 experiments, got %d", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTableIV(t *testing.T) {
+	tables, err := TableIV(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 7 {
+		t.Fatalf("TableIV shape: %+v", tables)
+	}
+}
+
+func TestPrepareTrainsFullPipeline(t *testing.T) {
+	p, err := prepare("Synthetic", tinyConfig(), her.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.train) == 0 || len(p.val) == 0 || len(p.test) == 0 {
+		t.Fatalf("splits empty: %d/%d/%d", len(p.train), len(p.val), len(p.test))
+	}
+	ev := p.sys.Evaluate(p.test)
+	if ev.F1() < 0.6 {
+		t.Errorf("prepared system F too low: %v", ev)
+	}
+}
+
+func TestFig6aSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tables, err := Fig6a(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 8 {
+		t.Errorf("fig6a rows = %d", len(tables[0].Rows))
+	}
+}
+
+func TestFig6dSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tables, err := Fig6d(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 2 { // workers {1, 2}
+		t.Errorf("fig6d rows = %+v", tables[0].Rows)
+	}
+}
+
+func TestFig6pSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tables, err := Fig6p(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 6 { // rounds 0..5
+		t.Fatalf("fig6p rows = %d", len(rows))
+	}
+	// F must not decrease from round 0 to round 5 on either dataset.
+	first, last := rows[0], rows[len(rows)-1]
+	for col := 1; col <= 2; col++ {
+		if last[col] < first[col] {
+			t.Errorf("refinement decreased F: %s → %s", first[col], last[col])
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := Table{Title: "demo", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}
+	var buf bytes.Buffer
+	tb.RenderCSV(&buf)
+	out := buf.String()
+	if !strings.HasPrefix(out, "# demo\n") || !strings.Contains(out, "a,b\n1,2\n") {
+		t.Errorf("csv output:\n%s", out)
+	}
+}
+
+// TestTableVShape asserts the headline claim at small scale: HER's
+// average F-measure across the five tuple-matching datasets beats every
+// re-implemented baseline's average.
+func TestTableVShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{Entities: 100, SearchTrials: 25, Seed: 7}
+	tables, err := TableV(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := tables[0]
+	avg := make([]float64, len(top.Header))
+	counts := make([]int, len(top.Header))
+	for _, row := range top.Rows {
+		for col := 1; col < len(row); col++ {
+			if row[col] == "OM" {
+				continue
+			}
+			var f float64
+			if _, err := fmt.Sscanf(row[col], "%f", &f); err != nil {
+				t.Fatalf("bad cell %q", row[col])
+			}
+			avg[col] += f
+			counts[col]++
+		}
+	}
+	for col := 1; col < len(avg); col++ {
+		if counts[col] > 0 {
+			avg[col] /= float64(counts[col])
+		}
+	}
+	herAvg := avg[1]
+	t.Logf("averages: %v (header %v)", avg, top.Header)
+	if herAvg < 0.8 {
+		t.Errorf("HER average F = %.3f, want ≥ 0.8", herAvg)
+	}
+	for col := 2; col < len(avg); col++ {
+		if counts[col] == 0 {
+			continue // Bsim: OM everywhere
+		}
+		if avg[col] >= herAvg {
+			t.Errorf("%s average %.3f ≥ HER %.3f", top.Header[col], avg[col], herAvg)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package graph implements the directed labeled graph substrate
+// G = (V, E, L) of Section II: vertices and edges carry labels (vertex
+// labels represent values/types, edge labels represent predicates), with
+// adjacency queries, simple paths, and edge-cut partitioning for the BSP
+// engine.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VID identifies a vertex within one graph.
+type VID int32
+
+// NoVertex is the invalid vertex id.
+const NoVertex VID = -1
+
+// Edge is one outgoing edge: a labeled arc to a target vertex.
+type Edge struct {
+	To    VID
+	Label string
+}
+
+// Graph is a directed labeled graph. The zero value is not usable; call New.
+type Graph struct {
+	labels []string
+	out    [][]Edge
+	in     [][]VID // reverse adjacency (sources only; labels live on out)
+	nEdges int
+}
+
+// New creates an empty graph, optionally pre-sizing for n vertices.
+func New(sizeHint ...int) *Graph {
+	n := 0
+	if len(sizeHint) > 0 {
+		n = sizeHint[0]
+	}
+	return &Graph{
+		labels: make([]string, 0, n),
+		out:    make([][]Edge, 0, n),
+		in:     make([][]VID, 0, n),
+	}
+}
+
+// AddVertex appends a vertex with the given label and returns its id.
+func (g *Graph) AddVertex(label string) VID {
+	id := VID(len(g.labels))
+	g.labels = append(g.labels, label)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// AddEdge adds a directed edge from → to with the given label.
+func (g *Graph) AddEdge(from, to VID, label string) error {
+	if !g.Valid(from) || !g.Valid(to) {
+		return fmt.Errorf("graph: AddEdge(%d,%d): vertex out of range (n=%d)", from, to, len(g.labels))
+	}
+	g.out[from] = append(g.out[from], Edge{To: to, Label: label})
+	g.in[to] = append(g.in[to], from)
+	g.nEdges++
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error, for fixtures and generators.
+func (g *Graph) MustAddEdge(from, to VID, label string) {
+	if err := g.AddEdge(from, to, label); err != nil {
+		panic(err)
+	}
+}
+
+// Valid reports whether v is a vertex of g.
+func (g *Graph) Valid(v VID) bool { return v >= 0 && int(v) < len(g.labels) }
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.labels) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.nEdges }
+
+// Size returns |V| + |E|, the measure the paper's complexity bounds use.
+func (g *Graph) Size() int { return len(g.labels) + g.nEdges }
+
+// Label returns the label of v.
+func (g *Graph) Label(v VID) string { return g.labels[v] }
+
+// SetLabel replaces the label of v.
+func (g *Graph) SetLabel(v VID, label string) { g.labels[v] = label }
+
+// Out returns the outgoing edges of v. The returned slice must not be
+// modified.
+func (g *Graph) Out(v VID) []Edge { return g.out[v] }
+
+// In returns the source vertices of the incoming edges of v. The returned
+// slice must not be modified.
+func (g *Graph) In(v VID) []VID { return g.in[v] }
+
+// OutDegree returns the number of outgoing edges (|ch(v)| in the paper).
+func (g *Graph) OutDegree(v VID) int { return len(g.out[v]) }
+
+// Degree returns the total degree of v.
+func (g *Graph) Degree(v VID) int { return len(g.out[v]) + len(g.in[v]) }
+
+// IsLeaf reports whether v has no children.
+func (g *Graph) IsLeaf(v VID) bool { return len(g.out[v]) == 0 }
+
+// Children returns the distinct child vertices of v in first-edge order.
+func (g *Graph) Children(v VID) []VID {
+	seen := make(map[VID]bool, len(g.out[v]))
+	var kids []VID
+	for _, e := range g.out[v] {
+		if !seen[e.To] {
+			seen[e.To] = true
+			kids = append(kids, e.To)
+		}
+	}
+	return kids
+}
+
+// FindEdge returns the label of an edge from → to, if one exists. When
+// multiple parallel edges exist, the first is returned.
+func (g *Graph) FindEdge(from, to VID) (string, bool) {
+	for _, e := range g.out[from] {
+		if e.To == to {
+			return e.Label, true
+		}
+	}
+	return "", false
+}
+
+// Reachable returns the set of vertices reachable from v (excluding v
+// itself unless it lies on a cycle), capped at limit vertices; limit <= 0
+// means unbounded.
+func (g *Graph) Reachable(v VID, limit int) map[VID]bool {
+	seen := make(map[VID]bool)
+	stack := []VID{v}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[cur] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				if limit > 0 && len(seen) >= limit {
+					return seen
+				}
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// VerticesByLabel builds an exact-label lookup table.
+func (g *Graph) VerticesByLabel() map[string][]VID {
+	m := make(map[string][]VID)
+	for i, l := range g.labels {
+		m[l] = append(m[l], VID(i))
+	}
+	return m
+}
+
+// SortedVertices returns all vertex ids ordered by (total degree, id),
+// the candidate-inspection order used by VParaMatch (Fig. 5, line 4).
+func (g *Graph) SortedVertices() []VID {
+	ids := make([]VID, len(g.labels))
+	for i := range ids {
+		ids[i] = VID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		da, db := g.Degree(ids[a]), g.Degree(ids[b])
+		if da != db {
+			return da < db
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}

@@ -1,0 +1,276 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds: a→b, a→c, b→d, c→d, plus a self-contained leaf e.
+func diamond(t *testing.T) (*Graph, []VID) {
+	t.Helper()
+	g := New()
+	a := g.AddVertex("a")
+	b := g.AddVertex("b")
+	c := g.AddVertex("c")
+	d := g.AddVertex("d")
+	e := g.AddVertex("e")
+	g.MustAddEdge(a, b, "ab")
+	g.MustAddEdge(a, c, "ac")
+	g.MustAddEdge(b, d, "bd")
+	g.MustAddEdge(c, d, "cd")
+	return g, []VID{a, b, c, d, e}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g, vs := diamond(t)
+	a, b, _, d, e := vs[0], vs[1], vs[2], vs[3], vs[4]
+	if g.NumVertices() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("size = (%d,%d)", g.NumVertices(), g.NumEdges())
+	}
+	if g.Size() != 9 {
+		t.Errorf("Size = %d, want 9", g.Size())
+	}
+	if g.Label(a) != "a" {
+		t.Errorf("Label(a) = %q", g.Label(a))
+	}
+	if g.OutDegree(a) != 2 || g.Degree(d) != 2 || g.Degree(b) != 2 {
+		t.Error("degree accounting wrong")
+	}
+	if !g.IsLeaf(d) || !g.IsLeaf(e) || g.IsLeaf(a) {
+		t.Error("leaf detection wrong")
+	}
+	if lbl, ok := g.FindEdge(a, b); !ok || lbl != "ab" {
+		t.Errorf("FindEdge(a,b) = %q,%v", lbl, ok)
+	}
+	if _, ok := g.FindEdge(b, a); ok {
+		t.Error("FindEdge should respect direction")
+	}
+	if err := g.AddEdge(a, VID(99), "x"); err == nil {
+		t.Error("edge to invalid vertex should fail")
+	}
+	g.SetLabel(e, "e2")
+	if g.Label(e) != "e2" {
+		t.Error("SetLabel did not stick")
+	}
+}
+
+func TestChildrenDistinct(t *testing.T) {
+	g := New()
+	a := g.AddVertex("a")
+	b := g.AddVertex("b")
+	g.MustAddEdge(a, b, "x")
+	g.MustAddEdge(a, b, "y") // parallel edge
+	kids := g.Children(a)
+	if len(kids) != 1 || kids[0] != b {
+		t.Errorf("Children = %v", kids)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("parallel edges should both count: %d", g.NumEdges())
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g, vs := diamond(t)
+	a, d, e := vs[0], vs[3], vs[4]
+	r := g.Reachable(a, 0)
+	if len(r) != 3 || !r[d] || r[e] {
+		t.Errorf("Reachable(a) = %v", r)
+	}
+	capped := g.Reachable(a, 2)
+	if len(capped) != 2 {
+		t.Errorf("capped Reachable = %v", capped)
+	}
+	// Cycle: reachable includes the start.
+	c := New()
+	x := c.AddVertex("x")
+	y := c.AddVertex("y")
+	c.MustAddEdge(x, y, "e")
+	c.MustAddEdge(y, x, "e")
+	if r := c.Reachable(x, 0); !r[x] || !r[y] {
+		t.Errorf("cycle Reachable = %v", r)
+	}
+}
+
+func TestVerticesByLabelAndSorted(t *testing.T) {
+	g, vs := diamond(t)
+	byLabel := g.VerticesByLabel()
+	if len(byLabel["a"]) != 1 || byLabel["a"][0] != vs[0] {
+		t.Errorf("byLabel[a] = %v", byLabel["a"])
+	}
+	order := g.SortedVertices()
+	if len(order) != 5 {
+		t.Fatalf("SortedVertices len = %d", len(order))
+	}
+	if order[0] != vs[4] { // e has degree 0
+		t.Errorf("lowest-degree vertex should come first, got %v", order[0])
+	}
+	for i := 1; i < len(order); i++ {
+		if g.Degree(order[i-1]) > g.Degree(order[i]) {
+			t.Errorf("not sorted by degree at %d", i)
+		}
+	}
+}
+
+func TestPathOperations(t *testing.T) {
+	g, vs := diamond(t)
+	a, b, d := vs[0], vs[1], vs[3]
+	p := SingleVertexPath(a)
+	if p.Len() != 0 || p.Start() != a || p.End() != a {
+		t.Fatal("single-vertex path wrong")
+	}
+	p2 := p.Extend(Edge{To: b, Label: "ab"}).Extend(Edge{To: d, Label: "bd"})
+	if p2.Len() != 2 || p2.End() != d {
+		t.Fatalf("extended path wrong: %+v", p2)
+	}
+	if p2.LabelString() != "ab bd" {
+		t.Errorf("LabelString = %q", p2.LabelString())
+	}
+	if !p2.ValidIn(g) {
+		t.Error("real path reported invalid")
+	}
+	bogus := Path{Vertices: []VID{a, d}, EdgeLabels: []string{"ad"}}
+	if bogus.ValidIn(g) {
+		t.Error("fake path reported valid")
+	}
+	if !p2.IsSimple() || !p2.Contains(b) || p2.Contains(vs[4]) {
+		t.Error("simple/contains wrong")
+	}
+	pre := p2.Prefix(1)
+	if pre.Len() != 1 || pre.End() != b {
+		t.Errorf("Prefix(1) = %+v", pre)
+	}
+	if p2.Prefix(10).Len() != 2 {
+		t.Error("over-long prefix should return whole path")
+	}
+	// Extend must not alias the original backing arrays.
+	p3 := p.Extend(Edge{To: b, Label: "x"})
+	p4 := p.Extend(Edge{To: d, Label: "y"})
+	if p3.End() == p4.End() {
+		t.Error("Extend aliasing detected")
+	}
+}
+
+func TestSimplePathsEnumeration(t *testing.T) {
+	g, vs := diamond(t)
+	a := vs[0]
+	var got []string
+	g.SimplePaths(a, 3, func(p Path) bool {
+		got = append(got, p.LabelString())
+		return true
+	})
+	// Paths from a: ab, ab bd, ac, ac cd — all simple, length ≤ 3.
+	if len(got) != 4 {
+		t.Fatalf("SimplePaths found %d paths: %v", len(got), got)
+	}
+	// Early stop.
+	count := 0
+	g.SimplePaths(a, 3, func(p Path) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop did not work: %d", count)
+	}
+	// Cycles are not revisited.
+	c := New()
+	x := c.AddVertex("x")
+	y := c.AddVertex("y")
+	c.MustAddEdge(x, y, "e1")
+	c.MustAddEdge(y, x, "e2")
+	n := 0
+	c.SimplePaths(x, 10, func(p Path) bool {
+		if !p.IsSimple() {
+			t.Errorf("non-simple path produced: %+v", p)
+		}
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Errorf("cycle graph should yield 1 simple path, got %d", n)
+	}
+}
+
+func TestPartitionEdgeCut(t *testing.T) {
+	g, _ := diamond(t)
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		p, err := PartitionEdgeCut(g, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Fragments) != n {
+			t.Fatalf("fragments = %d, want %d", len(p.Fragments), n)
+		}
+		// Every vertex owned exactly once.
+		owned := make(map[VID]int)
+		for _, f := range p.Fragments {
+			for _, v := range f.Owned {
+				owned[v]++
+				if p.Of[v] != f.ID {
+					t.Errorf("Of[%d] = %d, fragment says %d", v, p.Of[v], f.ID)
+				}
+			}
+		}
+		if len(owned) != g.NumVertices() {
+			t.Errorf("n=%d: owned %d vertices, want %d", n, len(owned), g.NumVertices())
+		}
+		for v, c := range owned {
+			if c != 1 {
+				t.Errorf("vertex %d owned %d times", v, c)
+			}
+		}
+		// Border nodes are exactly the cross-edge targets not owned locally.
+		for _, f := range p.Fragments {
+			for _, b := range f.Border {
+				if f.Owner[b] {
+					t.Errorf("border node %d is owned by its own fragment", b)
+				}
+			}
+		}
+	}
+	if _, err := PartitionEdgeCut(g, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestPartitionSingleFragmentNoCut(t *testing.T) {
+	g, _ := diamond(t)
+	p, err := PartitionEdgeCut(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CrossEdges() != 0 {
+		t.Errorf("single fragment has %d cross edges", p.CrossEdges())
+	}
+	if len(p.Fragments[0].Border) != 0 {
+		t.Errorf("single fragment has border nodes: %v", p.Fragments[0].Border)
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	// For any small random graph and any n, ownership is a partition.
+	prop := func(nv uint8, edges []uint16, nFrag uint8) bool {
+		n := int(nv%20) + 1
+		g := New()
+		for i := 0; i < n; i++ {
+			g.AddVertex("v")
+		}
+		for _, e := range edges {
+			from := VID(int(e>>8) % n)
+			to := VID(int(e&0xff) % n)
+			g.MustAddEdge(from, to, "e")
+		}
+		k := int(nFrag%6) + 1
+		p, err := PartitionEdgeCut(g, k)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, f := range p.Fragments {
+			total += len(f.Owned)
+		}
+		return total == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

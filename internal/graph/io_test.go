@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	g := New()
+	a := g.AddVertex("plain")
+	b := g.AddVertex("with\ttab")
+	c := g.AddVertex("with\nnewline and \\backslash")
+	g.MustAddEdge(a, b, "edge one")
+	g.MustAddEdge(b, c, "e\t2")
+	g.MustAddEdge(c, a, "e3")
+
+	var buf bytes.Buffer
+	if err := g.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("sizes differ: (%d,%d) vs (%d,%d)",
+			got.NumVertices(), got.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for i := 0; i < g.NumVertices(); i++ {
+		if got.Label(VID(i)) != g.Label(VID(i)) {
+			t.Errorf("label %d: %q vs %q", i, got.Label(VID(i)), g.Label(VID(i)))
+		}
+		oe, ge := got.Out(VID(i)), g.Out(VID(i))
+		if len(oe) != len(ge) {
+			t.Fatalf("out-degree %d differs", i)
+		}
+		for j := range oe {
+			if oe[j] != ge[j] {
+				t.Errorf("edge %d/%d: %+v vs %+v", i, j, oe[j], ge[j])
+			}
+		}
+	}
+}
+
+func TestTSVRoundTripProperty(t *testing.T) {
+	prop := func(labels []string, edges []uint16) bool {
+		if len(labels) == 0 {
+			labels = []string{"x"}
+		}
+		if len(labels) > 12 {
+			labels = labels[:12]
+		}
+		g := New()
+		for _, l := range labels {
+			g.AddVertex(l)
+		}
+		n := g.NumVertices()
+		for _, e := range edges {
+			g.MustAddEdge(VID(int(e>>8)%n), VID(int(e&0xff)%n), "e")
+		}
+		var buf bytes.Buffer
+		if err := g.WriteTSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadTSV(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got.Label(VID(i)) != g.Label(VID(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	cases := []string{
+		"v\t1\tlabel\n",           // out-of-order vertex id
+		"v\tnope\tlabel\n",        // non-numeric id
+		"v\t0\n",                  // missing field
+		"e\t0\t1\tx\n",            // edge before vertices exist
+		"x\t0\t1\n",               // unknown record
+		"v\t0\ta\ne\t0\n",         // short edge line
+		"v\t0\ta\ne\t0\tz\tlbl\n", // bad edge target
+	}
+	for _, c := range cases {
+		if _, err := ReadTSV(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q should fail", c)
+		}
+	}
+	// Comments and blank lines are fine.
+	g, err := ReadTSV(strings.NewReader("# comment\n\nv\t0\ta\n"))
+	if err != nil || g.NumVertices() != 1 {
+		t.Errorf("comment handling broken: %v", err)
+	}
+}

@@ -1,0 +1,172 @@
+package graph
+
+// SCC computes the strongly connected components of g with an iterative
+// Tarjan algorithm, returning a component id per vertex (ids are dense,
+// 0-based, in reverse topological order of the condensation) and the
+// component count.
+func SCC(g *Graph) ([]int, int) {
+	n := g.NumVertices()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []VID
+	var count, next int
+
+	type frame struct {
+		v  VID
+		ei int
+	}
+	for s := 0; s < n; s++ {
+		if index[s] != -1 {
+			continue
+		}
+		frames := []frame{{v: VID(s)}}
+		index[s] = next
+		low[s] = next
+		next++
+		stack = append(stack, VID(s))
+		onStack[s] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			out := g.Out(f.v)
+			if f.ei < len(out) {
+				w := out[f.ei].To
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			// Post-order: pop the frame, fold low into the parent,
+			// and emit a component at its root.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = count
+					if w == v {
+						break
+					}
+				}
+				count++
+			}
+		}
+	}
+	return comp, count
+}
+
+// PartitionEdgeCutSCC partitions g into n fragments like
+// PartitionEdgeCut, but never splits a strongly connected component
+// across fragments. The BSP engines require this: two candidate pairs
+// can only be mutually dependent when their G-side vertices share an
+// SCC, so whole-SCC ownership keeps every coinductive cycle local to
+// one worker and the cross-worker refinement converges to the greatest
+// fixpoint ("special care is taken" in the paper's fragment assignment).
+func PartitionEdgeCutSCC(g *Graph, n int) (*Partition, error) {
+	if n <= 0 {
+		return nil, errPartitionCount(n)
+	}
+	nv := g.NumVertices()
+	comp, nComp := SCC(g)
+
+	// Group vertices by component, then order components by the BFS
+	// order of their first-visited vertex so neighborhoods stay
+	// co-located.
+	members := make([][]VID, nComp)
+	for v := 0; v < nv; v++ {
+		members[comp[v]] = append(members[comp[v]], VID(v))
+	}
+	visited := make([]bool, nv)
+	compDone := make([]bool, nComp)
+	var compOrder []int
+	for s := 0; s < nv; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		queue := []VID{VID(s)}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if c := comp[v]; !compDone[c] {
+				compDone[c] = true
+				compOrder = append(compOrder, c)
+			}
+			for _, e := range g.Out(v) {
+				if !visited[e.To] {
+					visited[e.To] = true
+					queue = append(queue, e.To)
+				}
+			}
+		}
+	}
+
+	of := make([]int, nv)
+	per := (nv + n - 1) / n
+	if per == 0 {
+		per = 1
+	}
+	assigned, frag := 0, 0
+	for _, c := range compOrder {
+		if assigned >= per*(frag+1) && frag < n-1 {
+			frag++
+		}
+		for _, v := range members[c] {
+			of[v] = frag
+		}
+		assigned += len(members[c])
+	}
+
+	p := &Partition{Graph: g, Of: of, Fragments: make([]Fragment, n)}
+	for i := range p.Fragments {
+		p.Fragments[i] = Fragment{ID: i, Owner: make(map[VID]bool)}
+	}
+	for v := 0; v < nv; v++ {
+		f := of[v]
+		p.Fragments[f].Owned = append(p.Fragments[f].Owned, VID(v))
+		p.Fragments[f].Owner[VID(v)] = true
+	}
+	for v := 0; v < nv; v++ {
+		f := of[v]
+		for _, e := range g.Out(VID(v)) {
+			if of[e.To] != f {
+				frag := &p.Fragments[f]
+				if !frag.Owner[e.To] && !containsVID(frag.Border, e.To) {
+					frag.Border = append(frag.Border, e.To)
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+type errPartitionCount int
+
+func (e errPartitionCount) Error() string {
+	return "graph: partition count must be positive"
+}

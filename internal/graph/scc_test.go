@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSCCBasic(t *testing.T) {
+	g := New()
+	a := g.AddVertex("a")
+	b := g.AddVertex("b")
+	c := g.AddVertex("c")
+	d := g.AddVertex("d")
+	// a↔b form one SCC; c→d is a DAG tail.
+	g.MustAddEdge(a, b, "e")
+	g.MustAddEdge(b, a, "e")
+	g.MustAddEdge(b, c, "e")
+	g.MustAddEdge(c, d, "e")
+	comp, n := SCC(g)
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[a] != comp[b] {
+		t.Error("a and b should share a component")
+	}
+	if comp[c] == comp[a] || comp[d] == comp[c] {
+		t.Errorf("DAG vertices merged: %v", comp)
+	}
+	// Reverse topological: the sink d gets the smallest id.
+	if comp[d] > comp[c] || comp[c] > comp[a] {
+		t.Errorf("component order not reverse-topological: %v", comp)
+	}
+}
+
+func TestSCCSelfLoopAndIsolated(t *testing.T) {
+	g := New()
+	a := g.AddVertex("a")
+	b := g.AddVertex("b")
+	g.MustAddEdge(a, a, "self")
+	comp, n := SCC(g)
+	if n != 2 || comp[a] == comp[b] {
+		t.Errorf("comp=%v n=%d", comp, n)
+	}
+}
+
+// TestSCCAgainstReachability: u and v share a component iff they reach
+// each other.
+func TestSCCAgainstReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(8)
+		g := New()
+		for i := 0; i < n; i++ {
+			g.AddVertex("v")
+		}
+		ne := rng.Intn(2 * n)
+		for i := 0; i < ne; i++ {
+			g.MustAddEdge(VID(rng.Intn(n)), VID(rng.Intn(n)), "e")
+		}
+		comp, _ := SCC(g)
+		for u := 0; u < n; u++ {
+			ru := g.Reachable(VID(u), 0)
+			for v := 0; v < n; v++ {
+				rv := g.Reachable(VID(v), 0)
+				mutual := u == v || (ru[VID(v)] && rv[VID(u)])
+				if (comp[u] == comp[v]) != mutual {
+					t.Fatalf("trial %d: comp[%d]=%d comp[%d]=%d mutual=%v",
+						trial, u, comp[u], v, comp[v], mutual)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionEdgeCutSCCKeepsComponentsWhole(t *testing.T) {
+	prop := func(nv uint8, edges []uint16, nFrag uint8) bool {
+		n := int(nv%15) + 2
+		g := New()
+		for i := 0; i < n; i++ {
+			g.AddVertex("v")
+		}
+		for _, e := range edges {
+			g.MustAddEdge(VID(int(e>>8)%n), VID(int(e&0xff)%n), "e")
+		}
+		k := int(nFrag%5) + 1
+		p, err := PartitionEdgeCutSCC(g, k)
+		if err != nil {
+			return false
+		}
+		comp, _ := SCC(g)
+		// Same component ⇒ same fragment.
+		fragOf := map[int]int{}
+		for v := 0; v < n; v++ {
+			if f, ok := fragOf[comp[v]]; ok {
+				if f != p.Of[v] {
+					return false
+				}
+			} else {
+				fragOf[comp[v]] = p.Of[v]
+			}
+		}
+		// Ownership is a partition.
+		total := 0
+		for _, f := range p.Fragments {
+			total += len(f.Owned)
+		}
+		return total == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionEdgeCutSCCValidation(t *testing.T) {
+	g := New()
+	g.AddVertex("a")
+	if _, err := PartitionEdgeCutSCC(g, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	p, err := PartitionEdgeCutSCC(g, 3)
+	if err != nil || len(p.Fragments) != 3 {
+		t.Errorf("singleton partition: %v %v", p, err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package index implements the inverted indices HER uses for candidate
+// generation ("blocking"; Sections VI and VII): vertex labels are indexed
+// by word token, and candidate vertices for a query label are those
+// sharing at least one token, optionally ranked by shared-token count.
+package index
+
+import (
+	"sort"
+
+	"her/internal/graph"
+	"her/internal/text"
+)
+
+// Inverted is a token → vertices index over a graph's vertex labels.
+type Inverted struct {
+	postings map[string][]graph.VID
+}
+
+// Build indexes every vertex of g whose id satisfies the filter (nil
+// means all vertices), using the vertex label as its document.
+func Build(g *graph.Graph, filter func(graph.VID) bool) *Inverted {
+	return BuildDocs(g, filter, nil)
+}
+
+// BuildDocs indexes vertices with a custom document function — e.g. the
+// vertex label plus its 1-hop neighbor labels, the paper's "critical
+// information" blocking. A nil docFn means the vertex label alone.
+func BuildDocs(g *graph.Graph, filter func(graph.VID) bool, docFn func(graph.VID) string) *Inverted {
+	ix := &Inverted{postings: make(map[string][]graph.VID)}
+	for i := 0; i < g.NumVertices(); i++ {
+		v := graph.VID(i)
+		if filter != nil && !filter(v) {
+			continue
+		}
+		doc := g.Label(v)
+		if docFn != nil {
+			doc = docFn(v)
+		}
+		seen := make(map[string]bool)
+		for _, tok := range text.Tokenize(doc) {
+			if !seen[tok] {
+				seen[tok] = true
+				ix.postings[tok] = append(ix.postings[tok], v)
+			}
+		}
+	}
+	return ix
+}
+
+// NeighborhoodDoc returns a document function that concatenates a
+// vertex's own label with the labels of its out-neighbors.
+func NeighborhoodDoc(g *graph.Graph) func(graph.VID) string {
+	return func(v graph.VID) string {
+		doc := g.Label(v)
+		for _, e := range g.Out(v) {
+			doc += " " + g.Label(e.To)
+		}
+		return doc
+	}
+}
+
+// NumTokens returns the number of distinct indexed tokens.
+func (ix *Inverted) NumTokens() int { return len(ix.postings) }
+
+// Lookup returns vertices sharing at least minShared tokens with the
+// query label, ordered by descending shared-token count (ties by id).
+// minShared < 1 is treated as 1.
+func (ix *Inverted) Lookup(label string, minShared int) []graph.VID {
+	if minShared < 1 {
+		minShared = 1
+	}
+	counts := make(map[graph.VID]int)
+	seen := make(map[string]bool)
+	for _, tok := range text.Tokenize(label) {
+		if seen[tok] {
+			continue
+		}
+		seen[tok] = true
+		for _, v := range ix.postings[tok] {
+			counts[v]++
+		}
+	}
+	var out []graph.VID
+	for v, c := range counts {
+		if c >= minShared {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ca, cb := counts[out[a]], counts[out[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// Postings returns the vertices indexed under a single token.
+func (ix *Inverted) Postings(token string) []graph.VID {
+	return ix.postings[token]
+}

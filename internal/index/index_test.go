@@ -1,0 +1,101 @@
+package index
+
+import (
+	"strings"
+	"testing"
+
+	"her/internal/graph"
+)
+
+func buildGraph() (*graph.Graph, []graph.VID) {
+	g := graph.New()
+	v0 := g.AddVertex("Dame Basketball Shoes")
+	v1 := g.AddVertex("Lightweight Running Shoes")
+	v2 := g.AddVertex("Germany")
+	v3 := g.AddVertex("Dame Gen 7")
+	return g, []graph.VID{v0, v1, v2, v3}
+}
+
+func TestLookupSharedTokens(t *testing.T) {
+	g, vs := buildGraph()
+	ix := Build(g, nil)
+	got := ix.Lookup("Dame Basketball Shoes D7", 1)
+	// v0 shares 3 tokens, v1 shares 1 ("shoes"), v3 shares 1 ("dame").
+	if len(got) != 3 {
+		t.Fatalf("Lookup = %v", got)
+	}
+	if got[0] != vs[0] {
+		t.Errorf("highest-overlap vertex should come first, got %v", got)
+	}
+	// minShared=2 keeps only v0.
+	got2 := ix.Lookup("Dame Basketball Shoes D7", 2)
+	if len(got2) != 1 || got2[0] != vs[0] {
+		t.Errorf("minShared=2 Lookup = %v", got2)
+	}
+	if hits := ix.Lookup("nonexistent tokens", 1); hits != nil {
+		t.Errorf("no-match lookup = %v", hits)
+	}
+}
+
+func TestBuildFilter(t *testing.T) {
+	g, vs := buildGraph()
+	ix := Build(g, func(v graph.VID) bool { return v == vs[2] })
+	if hits := ix.Lookup("Germany", 1); len(hits) != 1 || hits[0] != vs[2] {
+		t.Errorf("filtered lookup = %v", hits)
+	}
+	if hits := ix.Lookup("Shoes", 1); hits != nil {
+		t.Errorf("filtered-out vertex returned: %v", hits)
+	}
+	if ix.NumTokens() != 1 {
+		t.Errorf("NumTokens = %d", ix.NumTokens())
+	}
+}
+
+func TestDuplicateTokensCountOnce(t *testing.T) {
+	g := graph.New()
+	v := g.AddVertex("red red red")
+	ix := Build(g, nil)
+	if p := ix.Postings("red"); len(p) != 1 || p[0] != v {
+		t.Errorf("Postings(red) = %v", p)
+	}
+	// Query with repeated token should not inflate overlap.
+	if hits := ix.Lookup("red red", 2); hits != nil {
+		t.Errorf("repeated query token inflated overlap: %v", hits)
+	}
+}
+
+func TestLookupDeterministicOrder(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("alpha common")
+	b := g.AddVertex("beta common")
+	ix := Build(g, nil)
+	h1 := ix.Lookup("common", 1)
+	h2 := ix.Lookup("common", 1)
+	if len(h1) != 2 || h1[0] != h2[0] || h1[1] != h2[1] {
+		t.Errorf("order not deterministic: %v vs %v", h1, h2)
+	}
+	if h1[0] != a || h1[1] != b {
+		t.Errorf("ties should break by id: %v", h1)
+	}
+}
+
+func TestNeighborhoodDoc(t *testing.T) {
+	g := graph.New()
+	e := g.AddVertex("item")
+	v1 := g.AddVertex("red")
+	v2 := g.AddVertex("Dame Seven")
+	g.MustAddEdge(e, v1, "hasColor")
+	g.MustAddEdge(e, v2, "names")
+	doc := NeighborhoodDoc(g)(e)
+	for _, want := range []string{"item", "red", "Dame Seven"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("doc %q missing %q", doc, want)
+		}
+	}
+	// Indexing with the neighborhood doc finds the entity by its values.
+	ix := BuildDocs(g, func(v graph.VID) bool { return !g.IsLeaf(v) }, NeighborhoodDoc(g))
+	hits := ix.Lookup("red dame", 2)
+	if len(hits) != 1 || hits[0] != e {
+		t.Errorf("neighborhood lookup = %v", hits)
+	}
+}

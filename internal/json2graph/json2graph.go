@@ -1,0 +1,101 @@
+// Package json2graph extends HER's canonical mapping to JSON documents —
+// the first future-work item of the paper's conclusion ("extend HER to
+// other data formats such as JSON, CSV and arrays"). A document becomes
+// a rooted subgraph: objects are vertices, scalar fields hang off them
+// as value vertices with the key as the edge label, nested objects
+// become child vertices, and arrays fan out one edge per element. The
+// result feeds the same parametric simulation as RDB2RDF output.
+package json2graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"her/internal/graph"
+)
+
+// Convert parses one JSON document (an object) and appends it to g,
+// returning the root vertex, which is labeled typeLabel.
+func Convert(g *graph.Graph, typeLabel string, doc []byte) (graph.VID, error) {
+	var v interface{}
+	if err := json.Unmarshal(doc, &v); err != nil {
+		return graph.NoVertex, fmt.Errorf("json2graph: %w", err)
+	}
+	obj, ok := v.(map[string]interface{})
+	if !ok {
+		return graph.NoVertex, fmt.Errorf("json2graph: document root must be an object, got %T", v)
+	}
+	root := g.AddVertex(typeLabel)
+	if err := addObject(g, root, obj); err != nil {
+		return graph.NoVertex, err
+	}
+	return root, nil
+}
+
+// ConvertAll converts a batch of documents sharing a type label.
+func ConvertAll(g *graph.Graph, typeLabel string, docs [][]byte) ([]graph.VID, error) {
+	roots := make([]graph.VID, 0, len(docs))
+	for i, d := range docs {
+		r, err := Convert(g, typeLabel, d)
+		if err != nil {
+			return nil, fmt.Errorf("json2graph: document %d: %w", i, err)
+		}
+		roots = append(roots, r)
+	}
+	return roots, nil
+}
+
+func addObject(g *graph.Graph, owner graph.VID, obj map[string]interface{}) error {
+	keys := make([]string, 0, len(obj))
+	for k := range obj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic construction
+	for _, k := range keys {
+		if err := addValue(g, owner, k, obj[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func addValue(g *graph.Graph, owner graph.VID, key string, val interface{}) error {
+	switch x := val.(type) {
+	case nil:
+		// JSON null ≙ SQL NULL: omitted, like the canonical mapping.
+		return nil
+	case map[string]interface{}:
+		child := g.AddVertex(key)
+		g.MustAddEdge(owner, child, key)
+		return addObject(g, child, x)
+	case []interface{}:
+		for _, elem := range x {
+			if err := addValue(g, owner, key, elem); err != nil {
+				return err
+			}
+		}
+		return nil
+	case string:
+		g.MustAddEdge(owner, g.AddVertex(x), key)
+		return nil
+	case bool:
+		g.MustAddEdge(owner, g.AddVertex(strconv.FormatBool(x)), key)
+		return nil
+	case float64:
+		g.MustAddEdge(owner, g.AddVertex(formatNumber(x)), key)
+		return nil
+	default:
+		return fmt.Errorf("json2graph: unsupported value %T under %q", val, key)
+	}
+}
+
+// formatNumber renders integers without a decimal point, so JSON 500
+// matches the relational value "500".
+func formatNumber(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,126 @@
+package json2graph
+
+import (
+	"testing"
+
+	"her/internal/graph"
+)
+
+func TestConvertFlatObject(t *testing.T) {
+	g := graph.New()
+	root, err := Convert(g, "item", []byte(`{"name":"Dame 7","qty":500,"active":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Label(root) != "item" {
+		t.Errorf("root label = %q", g.Label(root))
+	}
+	if g.OutDegree(root) != 3 {
+		t.Fatalf("out degree = %d", g.OutDegree(root))
+	}
+	byLabel := map[string]string{}
+	for _, e := range g.Out(root) {
+		byLabel[e.Label] = g.Label(e.To)
+	}
+	if byLabel["name"] != "Dame 7" {
+		t.Errorf("name = %q", byLabel["name"])
+	}
+	if byLabel["qty"] != "500" {
+		t.Errorf("qty = %q (integers must not get a decimal point)", byLabel["qty"])
+	}
+	if byLabel["active"] != "true" {
+		t.Errorf("active = %q", byLabel["active"])
+	}
+}
+
+func TestConvertNestedAndArrays(t *testing.T) {
+	g := graph.New()
+	doc := []byte(`{
+		"name": "Dame Basketball Shoes",
+		"brand": {"country": "Germany", "manufacturer": "Addidas AG"},
+		"colors": ["white", "black"],
+		"rating": 4.5,
+		"discontinued": null
+	}`)
+	root, err := Convert(g, "item", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// name + brand + 2 colors + rating = 5 edges; null omitted.
+	if g.OutDegree(root) != 5 {
+		t.Fatalf("out degree = %d", g.OutDegree(root))
+	}
+	var brand graph.VID = graph.NoVertex
+	colors := 0
+	for _, e := range g.Out(root) {
+		switch e.Label {
+		case "brand":
+			brand = e.To
+		case "colors":
+			colors++
+		case "rating":
+			if g.Label(e.To) != "4.5" {
+				t.Errorf("rating label = %q", g.Label(e.To))
+			}
+		}
+	}
+	if colors != 2 {
+		t.Errorf("array fan-out = %d", colors)
+	}
+	if brand == graph.NoVertex {
+		t.Fatal("brand vertex missing")
+	}
+	if g.Label(brand) != "brand" || g.OutDegree(brand) != 2 {
+		t.Errorf("nested object vertex: label %q degree %d", g.Label(brand), g.OutDegree(brand))
+	}
+}
+
+func TestConvertDeterministic(t *testing.T) {
+	doc := []byte(`{"z":"1","a":"2","m":{"k":"3"}}`)
+	g1 := graph.New()
+	g2 := graph.New()
+	if _, err := Convert(g1, "t", doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Convert(g2, "t", doc); err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumVertices() != g2.NumVertices() {
+		t.Fatal("nondeterministic vertex count")
+	}
+	for i := 0; i < g1.NumVertices(); i++ {
+		if g1.Label(graph.VID(i)) != g2.Label(graph.VID(i)) {
+			t.Fatal("nondeterministic construction order")
+		}
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	g := graph.New()
+	if _, err := Convert(g, "t", []byte(`not json`)); err == nil {
+		t.Error("invalid JSON should fail")
+	}
+	if _, err := Convert(g, "t", []byte(`[1,2,3]`)); err == nil {
+		t.Error("non-object root should fail")
+	}
+	if _, err := Convert(g, "t", []byte(`"scalar"`)); err == nil {
+		t.Error("scalar root should fail")
+	}
+}
+
+func TestConvertAll(t *testing.T) {
+	g := graph.New()
+	roots, err := ConvertAll(g, "person", [][]byte{
+		[]byte(`{"name":"Ada"}`),
+		[]byte(`{"name":"Grace"}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 2 || roots[0] == roots[1] {
+		t.Fatalf("roots = %v", roots)
+	}
+	if _, err := ConvertAll(g, "person", [][]byte{[]byte(`{`)}); err == nil {
+		t.Error("bad batch element should fail")
+	}
+}

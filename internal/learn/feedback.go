@@ -1,0 +1,89 @@
+package learn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"her/internal/core"
+)
+
+// Feedback is one user-inspected pair with its voted verdict.
+type Feedback struct {
+	Pair    core.Pair
+	IsMatch bool // the majority-voted annotation
+	Truth   bool // the underlying ground truth (kept for evaluation)
+}
+
+// Annotators simulates the paper's panel of users: each user annotates a
+// pair correctly with probability 1-ErrorRate, and the panel's verdict is
+// decided by majority voting (Karger et al. style quality control).
+type Annotators struct {
+	Users     int
+	ErrorRate float64
+	rng       *rand.Rand
+}
+
+// NewAnnotators creates a deterministic simulated panel.
+func NewAnnotators(users int, errorRate float64, seed int64) (*Annotators, error) {
+	if users <= 0 {
+		return nil, fmt.Errorf("learn: need at least one user")
+	}
+	if errorRate < 0 || errorRate >= 0.5 {
+		return nil, fmt.Errorf("learn: error rate %f must be in [0, 0.5)", errorRate)
+	}
+	return &Annotators{Users: users, ErrorRate: errorRate, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Vote returns the majority-voted annotation of one pair given its
+// ground truth.
+func (a *Annotators) Vote(truth bool) bool {
+	correct := 0
+	for u := 0; u < a.Users; u++ {
+		if a.rng.Float64() >= a.ErrorRate {
+			correct++
+		}
+	}
+	if correct*2 > a.Users {
+		return truth
+	}
+	return !truth
+}
+
+// Inspect annotates a batch of pairs (the paper's 50-pairs-per-round
+// interaction) and returns the voted feedback.
+func (a *Annotators) Inspect(pairs []Annotation) []Feedback {
+	out := make([]Feedback, len(pairs))
+	for i, p := range pairs {
+		out[i] = Feedback{Pair: p.Pair, IsMatch: a.Vote(p.Match), Truth: p.Match}
+	}
+	return out
+}
+
+// RefinementRound selects the most informative pairs for a feedback
+// round: pairs the current predictor gets wrong (FPs and FNs) first,
+// then a fill of random pairs, up to batch pairs.
+func RefinementRound(pred Predictor, pool []Annotation, batch int, seed int64) []Annotation {
+	if batch <= 0 || len(pool) == 0 {
+		return nil
+	}
+	var wrong, right []Annotation
+	for _, a := range pool {
+		if pred(a.Pair) != a.Match {
+			wrong = append(wrong, a)
+		} else {
+			right = append(right, a)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(wrong), func(i, j int) { wrong[i], wrong[j] = wrong[j], wrong[i] })
+	rng.Shuffle(len(right), func(i, j int) { right[i], right[j] = right[j], right[i] })
+	out := wrong
+	if len(out) > batch {
+		return out[:batch]
+	}
+	need := batch - len(out)
+	if need > len(right) {
+		need = len(right)
+	}
+	return append(out, right[:need]...)
+}

@@ -1,0 +1,201 @@
+// Package learn implements module Learn of HER (Section IV): accuracy
+// metrics, the random search that selects the thresholds (σ, δ, k),
+// train/validation/test splitting of annotated pairs, and the
+// user-interaction refinement loop with simulated annotators and
+// majority voting (Exp-4).
+package learn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"her/internal/core"
+)
+
+// Annotation is one labeled pair: ground truth about whether tuple vertex
+// U and graph vertex V refer to the same entity.
+type Annotation struct {
+	Pair  core.Pair
+	Match bool
+}
+
+// Predictor decides whether a pair is a match.
+type Predictor func(p core.Pair) bool
+
+// Eval is a confusion matrix over annotated pairs.
+type Eval struct {
+	TP, FP, FN, TN int
+}
+
+// Evaluate runs the predictor over annotations and tallies the confusion
+// matrix.
+func Evaluate(pred Predictor, anns []Annotation) Eval {
+	var e Eval
+	for _, a := range anns {
+		got := pred(a.Pair)
+		switch {
+		case got && a.Match:
+			e.TP++
+		case got && !a.Match:
+			e.FP++
+		case !got && a.Match:
+			e.FN++
+		default:
+			e.TN++
+		}
+	}
+	return e
+}
+
+// Precision is TP / (TP + FP); 0 when nothing was returned.
+func (e Eval) Precision() float64 {
+	if e.TP+e.FP == 0 {
+		return 0
+	}
+	return float64(e.TP) / float64(e.TP+e.FP)
+}
+
+// Recall is TP / (TP + FN); 0 when nothing was annotated as a match.
+func (e Eval) Recall() float64 {
+	if e.TP+e.FN == 0 {
+		return 0
+	}
+	return float64(e.TP) / float64(e.TP+e.FN)
+}
+
+// F1 is the harmonic mean of precision and recall (the paper's
+// F-measure).
+func (e Eval) F1() float64 {
+	p, r := e.Precision(), e.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy is (TP + TN) / total.
+func (e Eval) Accuracy() float64 {
+	n := e.TP + e.FP + e.FN + e.TN
+	if n == 0 {
+		return 0
+	}
+	return float64(e.TP+e.TN) / float64(n)
+}
+
+func (e Eval) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F=%.3f (tp=%d fp=%d fn=%d tn=%d)",
+		e.Precision(), e.Recall(), e.F1(), e.TP, e.FP, e.FN, e.TN)
+}
+
+// Split partitions annotations into train/validation/test sets with the
+// paper's proportions (50% / 15% / 35% by default callers). Fractions
+// must be non-negative and sum to at most 1; the remainder goes to test.
+func Split(anns []Annotation, trainFrac, valFrac float64, seed int64) (train, val, test []Annotation, err error) {
+	if trainFrac < 0 || valFrac < 0 || trainFrac+valFrac > 1 {
+		return nil, nil, nil, fmt.Errorf("learn: bad split fractions %f/%f", trainFrac, valFrac)
+	}
+	idx := make([]int, len(anns))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	nTrain := int(float64(len(anns)) * trainFrac)
+	nVal := int(float64(len(anns)) * valFrac)
+	for i, j := range idx {
+		switch {
+		case i < nTrain:
+			train = append(train, anns[j])
+		case i < nTrain+nVal:
+			val = append(val, anns[j])
+		default:
+			test = append(test, anns[j])
+		}
+	}
+	return train, val, test, nil
+}
+
+// Thresholds are the searched parameters (σ, δ, k).
+type Thresholds struct {
+	Sigma float64
+	Delta float64
+	K     int
+}
+
+// SearchSpace bounds the random search.
+type SearchSpace struct {
+	SigmaMin, SigmaMax float64
+	DeltaMin, DeltaMax float64
+	KMin, KMax         int
+}
+
+// DefaultSearchSpace matches the ranges the paper sweeps in Fig. 6.
+func DefaultSearchSpace() SearchSpace {
+	return SearchSpace{SigmaMin: 0.4, SigmaMax: 0.99, DeltaMin: 0.2, DeltaMax: 3, KMin: 5, KMax: 25}
+}
+
+// RandomSearch draws trials random (σ, δ, k) combinations (Bergstra &
+// Bengio style, as the paper prescribes instead of grid search) and
+// returns the combination maximizing the objective — typically F-measure
+// on the validation set — together with the best objective value.
+func RandomSearch(space SearchSpace, trials int, seed int64, objective func(Thresholds) float64) (Thresholds, float64, error) {
+	if trials <= 0 {
+		return Thresholds{}, 0, fmt.Errorf("learn: trials must be positive")
+	}
+	if space.SigmaMax < space.SigmaMin || space.DeltaMax < space.DeltaMin || space.KMax < space.KMin {
+		return Thresholds{}, 0, fmt.Errorf("learn: inverted search space %+v", space)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var best Thresholds
+	bestScore := -1.0
+	try := func(cand Thresholds) {
+		if cand.Sigma < space.SigmaMin {
+			cand.Sigma = space.SigmaMin
+		} else if cand.Sigma > space.SigmaMax {
+			cand.Sigma = space.SigmaMax
+		}
+		if cand.Delta < space.DeltaMin {
+			cand.Delta = space.DeltaMin
+		} else if cand.Delta > space.DeltaMax {
+			cand.Delta = space.DeltaMax
+		}
+		if cand.K < space.KMin {
+			cand.K = space.KMin
+		} else if cand.K > space.KMax {
+			cand.K = space.KMax
+		}
+		if s := objective(cand); s > bestScore {
+			bestScore, best = s, cand
+		}
+	}
+	for t := 0; t < trials; t++ {
+		try(Thresholds{
+			Sigma: space.SigmaMin + rng.Float64()*(space.SigmaMax-space.SigmaMin),
+			Delta: space.DeltaMin + rng.Float64()*(space.DeltaMax-space.DeltaMin),
+			K:     space.KMin + rng.Intn(space.KMax-space.KMin+1),
+		})
+	}
+	// δ line-scan: the aggregate-score threshold is the axis with narrow
+	// feasibility windows (it must thread between the hardest negatives'
+	// score and the weakest positives'), so scan it evenly at the
+	// global-phase winner's σ and k.
+	sigma0, k0 := best.Sigma, best.K
+	const scanPoints = 12
+	for i := 0; i <= scanPoints; i++ {
+		d := space.DeltaMin + float64(i)*(space.DeltaMax-space.DeltaMin)/scanPoints
+		try(Thresholds{Sigma: sigma0, Delta: d, K: k0})
+	}
+	// Local refinement around the incumbent.
+	local := trials / 2
+	if local < 5 {
+		local = 5
+	}
+	for t := 0; t < local; t++ {
+		try(Thresholds{
+			Sigma: best.Sigma + rng.NormFloat64()*0.05,
+			Delta: best.Delta + rng.NormFloat64()*0.12,
+			K:     best.K + rng.Intn(5) - 2,
+		})
+	}
+	return best, bestScore, nil
+}

@@ -1,0 +1,210 @@
+package learn
+
+import (
+	"math"
+	"testing"
+
+	"her/internal/core"
+	"her/internal/graph"
+)
+
+func ann(u, v int, match bool) Annotation {
+	return Annotation{Pair: core.Pair{U: graph.VID(u), V: graph.VID(v)}, Match: match}
+}
+
+func TestEvaluateAndMetrics(t *testing.T) {
+	anns := []Annotation{
+		ann(0, 0, true),  // predicted true  → TP
+		ann(1, 1, true),  // predicted false → FN
+		ann(2, 2, false), // predicted true  → FP
+		ann(3, 3, false), // predicted false → TN
+	}
+	pred := func(p core.Pair) bool { return p.U == 0 || p.U == 2 }
+	e := Evaluate(pred, anns)
+	if e.TP != 1 || e.FN != 1 || e.FP != 1 || e.TN != 1 {
+		t.Fatalf("confusion = %+v", e)
+	}
+	if math.Abs(e.Precision()-0.5) > 1e-12 || math.Abs(e.Recall()-0.5) > 1e-12 {
+		t.Errorf("P=%f R=%f", e.Precision(), e.Recall())
+	}
+	if math.Abs(e.F1()-0.5) > 1e-12 {
+		t.Errorf("F1 = %f", e.F1())
+	}
+	if math.Abs(e.Accuracy()-0.5) > 1e-12 {
+		t.Errorf("Accuracy = %f", e.Accuracy())
+	}
+	if e.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestMetricsDegenerate(t *testing.T) {
+	var e Eval
+	if e.Precision() != 0 || e.Recall() != 0 || e.F1() != 0 || e.Accuracy() != 0 {
+		t.Error("empty eval should be all zeros")
+	}
+	perfect := Evaluate(func(core.Pair) bool { return true }, []Annotation{ann(0, 0, true)})
+	if perfect.F1() != 1 {
+		t.Errorf("perfect F1 = %f", perfect.F1())
+	}
+}
+
+func TestSplit(t *testing.T) {
+	var anns []Annotation
+	for i := 0; i < 100; i++ {
+		anns = append(anns, ann(i, i, i%2 == 0))
+	}
+	train, val, test, err := Split(anns, 0.5, 0.15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) != 50 || len(val) != 15 || len(test) != 35 {
+		t.Fatalf("split sizes = %d/%d/%d", len(train), len(val), len(test))
+	}
+	// Disjoint and complete.
+	seen := map[core.Pair]int{}
+	for _, s := range [][]Annotation{train, val, test} {
+		for _, a := range s {
+			seen[a.Pair]++
+		}
+	}
+	if len(seen) != 100 {
+		t.Errorf("split lost/duplicated annotations: %d", len(seen))
+	}
+	for p, c := range seen {
+		if c != 1 {
+			t.Errorf("pair %v appears %d times", p, c)
+		}
+	}
+	// Deterministic per seed.
+	train2, _, _, _ := Split(anns, 0.5, 0.15, 3)
+	if train2[0].Pair != train[0].Pair {
+		t.Error("split not deterministic")
+	}
+	if _, _, _, err := Split(anns, 0.8, 0.3, 1); err == nil {
+		t.Error("fractions summing over 1 should fail")
+	}
+	if _, _, _, err := Split(anns, -0.1, 0.3, 1); err == nil {
+		t.Error("negative fraction should fail")
+	}
+}
+
+func TestRandomSearch(t *testing.T) {
+	space := SearchSpace{SigmaMin: 0, SigmaMax: 1, DeltaMin: 0, DeltaMax: 2, KMin: 1, KMax: 10}
+	// Objective peaks at σ≈0.8, δ≈1.0, k≈5.
+	obj := func(th Thresholds) float64 {
+		return 3 - math.Abs(th.Sigma-0.8) - math.Abs(th.Delta-1.0) - math.Abs(float64(th.K)-5)/10
+	}
+	best, score, err := RandomSearch(space, 300, 7, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 2.5 {
+		t.Errorf("random search converged poorly: %+v score %f", best, score)
+	}
+	if best.K < space.KMin || best.K > space.KMax {
+		t.Errorf("K out of range: %d", best.K)
+	}
+	if best.Sigma < 0 || best.Sigma > 1 {
+		t.Errorf("sigma out of range: %f", best.Sigma)
+	}
+	if _, _, err := RandomSearch(space, 0, 1, obj); err == nil {
+		t.Error("zero trials should fail")
+	}
+	bad := space
+	bad.KMax = 0
+	if _, _, err := RandomSearch(bad, 10, 1, obj); err == nil {
+		t.Error("inverted space should fail")
+	}
+}
+
+func TestRandomSearchDeterministic(t *testing.T) {
+	space := DefaultSearchSpace()
+	obj := func(th Thresholds) float64 { return th.Sigma }
+	a, _, _ := RandomSearch(space, 50, 42, obj)
+	b, _, _ := RandomSearch(space, 50, 42, obj)
+	if a != b {
+		t.Error("random search not deterministic per seed")
+	}
+}
+
+func TestAnnotatorsMajorityVoting(t *testing.T) {
+	if _, err := NewAnnotators(0, 0.1, 1); err == nil {
+		t.Error("zero users should fail")
+	}
+	if _, err := NewAnnotators(5, 0.6, 1); err == nil {
+		t.Error("error rate ≥ 0.5 should fail")
+	}
+	// With 5 users at 10% individual error, majority voting should be
+	// almost always correct.
+	a, err := NewAnnotators(5, 0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.Vote(true) {
+			correct++
+		}
+	}
+	if float64(correct)/n < 0.98 {
+		t.Errorf("majority voting accuracy = %f", float64(correct)/n)
+	}
+	// Zero error rate is always correct.
+	perfect, _ := NewAnnotators(5, 0, 1)
+	for i := 0; i < 50; i++ {
+		if !perfect.Vote(true) || perfect.Vote(false) {
+			t.Fatal("perfect annotators voted wrong")
+		}
+	}
+}
+
+func TestInspect(t *testing.T) {
+	a, _ := NewAnnotators(5, 0, 2)
+	anns := []Annotation{ann(0, 0, true), ann(1, 1, false)}
+	fb := a.Inspect(anns)
+	if len(fb) != 2 {
+		t.Fatalf("feedback = %v", fb)
+	}
+	if !fb[0].IsMatch || fb[1].IsMatch {
+		t.Error("zero-error inspection should reproduce truth")
+	}
+	if fb[0].Truth != true || fb[1].Truth != false {
+		t.Error("truth not preserved")
+	}
+}
+
+func TestRefinementRoundPrefersErrors(t *testing.T) {
+	var pool []Annotation
+	for i := 0; i < 20; i++ {
+		pool = append(pool, ann(i, i, i < 10))
+	}
+	// Predictor wrong exactly on pairs 8..11.
+	pred := func(p core.Pair) bool { return p.U < 8 || (p.U >= 10 && p.U < 12) }
+	batch := RefinementRound(pred, pool, 6, 4)
+	if len(batch) != 6 {
+		t.Fatalf("batch size = %d", len(batch))
+	}
+	wrongInBatch := 0
+	for _, a := range batch {
+		if pred(a.Pair) != a.Match {
+			wrongInBatch++
+		}
+	}
+	if wrongInBatch != 4 {
+		t.Errorf("expected all 4 errors in batch, got %d", wrongInBatch)
+	}
+	if RefinementRound(pred, nil, 5, 1) != nil {
+		t.Error("empty pool should give nil")
+	}
+	if RefinementRound(pred, pool, 0, 1) != nil {
+		t.Error("zero batch should give nil")
+	}
+	// More errors than batch: truncate.
+	allWrong := func(core.Pair) bool { return false }
+	small := RefinementRound(allWrong, pool[:10], 3, 1)
+	if len(small) != 3 {
+		t.Errorf("truncated batch = %d", len(small))
+	}
+}

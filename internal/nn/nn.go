@@ -1,0 +1,307 @@
+// Package nn is the from-scratch neural-network substrate used by the
+// metric-learning model inside M_ρ (the paper's "3-layer neural network")
+// and by the DeepMatcher-style baseline. It provides fully connected
+// multi-layer perceptrons with manual backpropagation, binary cross
+// entropy and triplet/ranking losses, and an Adam optimizer. Everything is
+// float64 and stdlib-only.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Activation selects the hidden-layer nonlinearity of an MLP.
+type Activation int
+
+const (
+	// ReLU is max(0, x).
+	ReLU Activation = iota
+	// Tanh is the hyperbolic tangent.
+	Tanh
+	// Sigmoid is the logistic function.
+	Sigmoid
+)
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Tanh:
+		return math.Tanh(x)
+	default:
+		return 1 / (1 + math.Exp(-x))
+	}
+}
+
+// derivative given the activated output y (not the pre-activation).
+func (a Activation) deriv(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	default:
+		return y * (1 - y)
+	}
+}
+
+// MLP is a fully connected network whose final layer is linear; Score
+// applies a sigmoid on top so outputs live in [0, 1]. Inference (Apply,
+// Score) is safe for concurrent use; training methods are not.
+type MLP struct {
+	sizes  []int
+	hidden Activation
+	// W[l] has sizes[l+1] rows × sizes[l] cols, flattened row-major.
+	W [][]float64
+	B [][]float64
+
+	opt *adam
+
+	mu sync.RWMutex
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. [256, 64, 1] for
+// the paper's metric network shape (scaled). Weights use Xavier-style
+// initialization from the given seed, so construction is deterministic.
+func NewMLP(sizes []int, hidden Activation, seed int64) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("nn: MLP needs at least input and output sizes, got %v", sizes)
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("nn: layer sizes must be positive, got %v", sizes)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &MLP{sizes: sizes, hidden: hidden}
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, in*out)
+		scale := math.Sqrt(2.0 / float64(in+out))
+		for i := range w {
+			w[i] = rng.NormFloat64() * scale
+		}
+		m.W = append(m.W, w)
+		m.B = append(m.B, make([]float64, out))
+	}
+	return m, nil
+}
+
+// MustMLP is NewMLP that panics on error.
+func MustMLP(sizes []int, hidden Activation, seed int64) *MLP {
+	m, err := NewMLP(sizes, hidden, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// InputSize returns the expected input dimension.
+func (m *MLP) InputSize() int { return m.sizes[0] }
+
+// OutputSize returns the output dimension.
+func (m *MLP) OutputSize() int { return m.sizes[len(m.sizes)-1] }
+
+// forward computes the activations of every layer. acts[0] is the input;
+// the final layer is linear.
+func (m *MLP) forward(x []float64) [][]float64 {
+	acts := make([][]float64, len(m.sizes))
+	acts[0] = x
+	for l := 0; l < len(m.W); l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		a := make([]float64, out)
+		w := m.W[l]
+		for j := 0; j < out; j++ {
+			s := m.B[l][j]
+			row := w[j*in : (j+1)*in]
+			xin := acts[l]
+			for i := range row {
+				s += row[i] * xin[i]
+			}
+			if l < len(m.W)-1 {
+				s = m.hidden.apply(s)
+			}
+			a[j] = s
+		}
+		acts[l+1] = a
+	}
+	return acts
+}
+
+// Apply runs the network on x and returns the linear output layer.
+func (m *MLP) Apply(x []float64) []float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	acts := m.forward(x)
+	out := acts[len(acts)-1]
+	cp := make([]float64, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// Score runs the network and squashes the first output with a sigmoid,
+// yielding a similarity score in [0, 1].
+func (m *MLP) Score(x []float64) float64 {
+	out := m.Apply(x)
+	return 1 / (1 + math.Exp(-out[0]))
+}
+
+// grads holds per-layer parameter gradients.
+type grads struct {
+	dW [][]float64
+	dB [][]float64
+}
+
+func (m *MLP) newGrads() *grads {
+	g := &grads{}
+	for l := range m.W {
+		g.dW = append(g.dW, make([]float64, len(m.W[l])))
+		g.dB = append(g.dB, make([]float64, len(m.B[l])))
+	}
+	return g
+}
+
+// backward accumulates gradients for one sample given the forward
+// activations and the gradient of the loss w.r.t. the (linear) output.
+// It returns the gradient w.r.t. the input (useful for chained models).
+func (m *MLP) backward(acts [][]float64, gradOut []float64, g *grads) []float64 {
+	delta := gradOut
+	for l := len(m.W) - 1; l >= 0; l-- {
+		in, out := m.sizes[l], m.sizes[l+1]
+		w := m.W[l]
+		xin := acts[l]
+		for j := 0; j < out; j++ {
+			d := delta[j]
+			g.dB[l][j] += d
+			row := g.dW[l][j*in : (j+1)*in]
+			for i := 0; i < in; i++ {
+				row[i] += d * xin[i]
+			}
+		}
+		if l == 0 {
+			// Gradient w.r.t. input.
+			gin := make([]float64, in)
+			for j := 0; j < out; j++ {
+				d := delta[j]
+				row := w[j*in : (j+1)*in]
+				for i := 0; i < in; i++ {
+					gin[i] += d * row[i]
+				}
+			}
+			return gin
+		}
+		prev := make([]float64, in)
+		for j := 0; j < out; j++ {
+			d := delta[j]
+			row := w[j*in : (j+1)*in]
+			for i := 0; i < in; i++ {
+				prev[i] += d * row[i]
+			}
+		}
+		// Through the hidden activation of layer l.
+		for i := 0; i < in; i++ {
+			prev[i] *= m.hidden.deriv(acts[l][i])
+		}
+		delta = prev
+	}
+	return nil
+}
+
+// step applies accumulated gradients with Adam, scaled by 1/batch.
+func (m *MLP) step(g *grads, lr float64, batch int) {
+	if m.opt == nil {
+		m.opt = newAdam(m)
+	}
+	inv := 1.0 / float64(batch)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.opt.step(m, g, lr, inv)
+}
+
+// adam implements the Adam optimizer state.
+type adam struct {
+	mW, vW [][]float64
+	mB, vB [][]float64
+	t      int
+}
+
+func newAdam(m *MLP) *adam {
+	a := &adam{}
+	for l := range m.W {
+		a.mW = append(a.mW, make([]float64, len(m.W[l])))
+		a.vW = append(a.vW, make([]float64, len(m.W[l])))
+		a.mB = append(a.mB, make([]float64, len(m.B[l])))
+		a.vB = append(a.vB, make([]float64, len(m.B[l])))
+	}
+	return a
+}
+
+func (a *adam) step(m *MLP, g *grads, lr, inv float64) {
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	a.t++
+	bc1 := 1 - math.Pow(beta1, float64(a.t))
+	bc2 := 1 - math.Pow(beta2, float64(a.t))
+	upd := func(p, gr, mo, ve []float64) {
+		for i := range p {
+			gi := gr[i] * inv
+			mo[i] = beta1*mo[i] + (1-beta1)*gi
+			ve[i] = beta2*ve[i] + (1-beta2)*gi*gi
+			mhat := mo[i] / bc1
+			vhat := ve[i] / bc2
+			p[i] -= lr * mhat / (math.Sqrt(vhat) + eps)
+		}
+	}
+	for l := range m.W {
+		upd(m.W[l], g.dW[l], a.mW[l], a.vW[l])
+		upd(m.B[l], g.dB[l], a.mB[l], a.vB[l])
+	}
+}
+
+// Snapshot is the serializable state of an MLP.
+type Snapshot struct {
+	Sizes  []int
+	Hidden Activation
+	W      [][]float64
+	B      [][]float64
+}
+
+// Snapshot captures the network's parameters (optimizer state is not
+// persisted; training can resume with a fresh optimizer).
+func (m *MLP) Snapshot() Snapshot {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s := Snapshot{Sizes: append([]int{}, m.sizes...), Hidden: m.hidden}
+	for l := range m.W {
+		s.W = append(s.W, append([]float64{}, m.W[l]...))
+		s.B = append(s.B, append([]float64{}, m.B[l]...))
+	}
+	return s
+}
+
+// FromSnapshot reconstructs an MLP from a snapshot.
+func FromSnapshot(s Snapshot) (*MLP, error) {
+	m, err := NewMLP(s.Sizes, s.Hidden, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.W) != len(m.W) || len(s.B) != len(m.B) {
+		return nil, fmt.Errorf("nn: snapshot layer count mismatch")
+	}
+	for l := range m.W {
+		if len(s.W[l]) != len(m.W[l]) || len(s.B[l]) != len(m.B[l]) {
+			return nil, fmt.Errorf("nn: snapshot layer %d shape mismatch", l)
+		}
+		copy(m.W[l], s.W[l])
+		copy(m.B[l], s.B[l])
+	}
+	return m, nil
+}

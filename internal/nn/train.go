@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sample is one supervised example for binary classification: a feature
+// vector and a label in {0, 1}.
+type Sample struct {
+	X []float64
+	Y float64
+}
+
+// TrainConfig controls supervised training.
+type TrainConfig struct {
+	Epochs    int
+	LearnRate float64
+	BatchSize int
+	Seed      int64
+}
+
+// DefaultTrainConfig returns sensible defaults for the small models used
+// in this repository.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 30, LearnRate: 0.01, BatchSize: 16, Seed: 1}
+}
+
+// TrainBCE fits the network to the samples with sigmoid + binary cross
+// entropy. The network's output size must be 1. It returns the mean loss
+// of the final epoch.
+func (m *MLP) TrainBCE(samples []Sample, cfg TrainConfig) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LearnRate <= 0 {
+		cfg.LearnRate = 0.01
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	var lastLoss float64
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			g := m.newGrads()
+			for _, si := range idx[start:end] {
+				s := samples[si]
+				acts := m.forward(s.X)
+				z := acts[len(acts)-1][0]
+				p := 1 / (1 + math.Exp(-z))
+				epochLoss += bceLoss(p, s.Y)
+				// d(BCE∘sigmoid)/dz = p - y.
+				m.backward(acts, []float64{p - s.Y}, g)
+			}
+			m.step(g, cfg.LearnRate, end-start)
+		}
+		lastLoss = epochLoss / float64(len(samples))
+	}
+	return lastLoss
+}
+
+func bceLoss(p, y float64) float64 {
+	const eps = 1e-12
+	if p < eps {
+		p = eps
+	} else if p > 1-eps {
+		p = 1 - eps
+	}
+	return -(y*math.Log(p) + (1-y)*math.Log(1-p))
+}
+
+// Triplet is a ranking example: the score of Pos should exceed the score
+// of Neg by at least the margin. Both are feature vectors of pair
+// encodings sharing an implicit anchor, matching the paper's use of
+// triplet loss (Schroff et al.) for robust fine-tuning.
+type Triplet struct {
+	Pos []float64
+	Neg []float64
+}
+
+// TrainTriplet fine-tunes the network with a margin ranking loss over
+// pre-sigmoid scores: L = max(0, margin - z(pos) + z(neg)). Returns the
+// mean loss of the final epoch.
+func (m *MLP) TrainTriplet(triplets []Triplet, margin float64, cfg TrainConfig) float64 {
+	if len(triplets) == 0 {
+		return 0
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LearnRate <= 0 {
+		cfg.LearnRate = 0.01
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := make([]int, len(triplets))
+	for i := range idx {
+		idx[i] = i
+	}
+	var lastLoss float64
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			g := m.newGrads()
+			active := 0
+			for _, ti := range idx[start:end] {
+				tr := triplets[ti]
+				actsP := m.forward(tr.Pos)
+				actsN := m.forward(tr.Neg)
+				zp := actsP[len(actsP)-1][0]
+				zn := actsN[len(actsN)-1][0]
+				loss := margin - zp + zn
+				if loss <= 0 {
+					continue
+				}
+				active++
+				epochLoss += loss
+				m.backward(actsP, []float64{-1}, g)
+				m.backward(actsN, []float64{1}, g)
+			}
+			if active > 0 {
+				m.step(g, cfg.LearnRate, active)
+			}
+		}
+		lastLoss = epochLoss / float64(len(triplets))
+	}
+	return lastLoss
+}
+
+// Accuracy evaluates 0.5-thresholded classification accuracy on samples.
+func (m *MLP) Accuracy(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		p := m.Score(s.X)
+		if (p >= 0.5) == (s.Y >= 0.5) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}

@@ -1,0 +1,258 @@
+package rdb2rdf
+
+import (
+	"testing"
+
+	"her/internal/graph"
+	"her/internal/relational"
+)
+
+// paperDB builds Tables I and II of the paper (Example 2 / Fig. 3).
+func paperDB(t *testing.T) *relational.Database {
+	t.Helper()
+	brand := relational.MustSchema("brand",
+		[]string{"name", "country", "manufacturer", "made_in"}, "name")
+	item := relational.MustSchema("item",
+		[]string{"item", "material", "color", "type", "brand", "qty"}, "item",
+		relational.ForeignKey{Attr: "brand", RefRelation: "brand"})
+	db := relational.NewDatabase(item, brand)
+	db.Relation("brand").MustInsert("Addidas Originals", "Germany", "Addidas AG", "Can Duoc, VN")
+	db.Relation("brand").MustInsert("Addidas", "Germany", "Addidas AG", "Long An, Vietnam")
+	db.Relation("item").MustInsert("Dame Basketball Shoes D7", "phylon foam", "white", "Dame 7", "Addidas Originals", "500")
+	db.Relation("item").MustInsert("Lightweight Running Shoes", "synthetic", "red", "DD8505", "Addidas Originals", "100")
+	db.Relation("item").MustInsert("Mid-cut Basketball Shoes Ultra Comfortable", "phylon foam", "red", relational.Null, "Addidas", "200")
+	return db
+}
+
+func TestMapExample2Shape(t *testing.T) {
+	db := paperDB(t)
+	g, m, err := Map(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 tuple vertices.
+	if m.NumTupleVertices() != 5 {
+		t.Fatalf("tuple vertices = %d, want 5", m.NumTupleVertices())
+	}
+	// Attribute vertices: brand tuples have 4 attrs each (8); item tuples:
+	// t1 has 5 non-FK non-null (item, material, color, type, qty),
+	// t2 has 5, t3 has 4 (type is null). Total 8+14 = 22 attr vertices.
+	wantVertices := 5 + 22
+	if g.NumVertices() != wantVertices {
+		t.Errorf("vertices = %d, want %d", g.NumVertices(), wantVertices)
+	}
+	// Edges: 22 attribute edges + 3 FK edges.
+	if g.NumEdges() != 25 {
+		t.Errorf("edges = %d, want 25", g.NumEdges())
+	}
+	u1, ok := m.VertexOf("item", 0)
+	if !ok {
+		t.Fatal("item tuple 0 has no vertex")
+	}
+	if g.Label(u1) != "item" {
+		t.Errorf("tuple vertex labeled %q, want relation name", g.Label(u1))
+	}
+	// FK edge from item t1 to brand b1 labeled "brand".
+	u2, _ := m.VertexOf("brand", 0)
+	lbl, found := g.FindEdge(u1, u2)
+	if !found || lbl != "brand" {
+		t.Errorf("FK edge = %q,%v", lbl, found)
+	}
+	if a, isFK := m.IsForeignKeyEdge(u1, u2); !isFK || a != "brand" {
+		t.Errorf("IsForeignKeyEdge = %q,%v", a, isFK)
+	}
+	// Attribute vertex for material carries the value as its label.
+	av, ok := m.AttrVertexOf("item", 0, "material")
+	if !ok {
+		t.Fatal("material attribute vertex missing")
+	}
+	if g.Label(av) != "phylon foam" {
+		t.Errorf("material vertex label = %q", g.Label(av))
+	}
+	if lbl, _ := g.FindEdge(u1, av); lbl != "material" {
+		t.Errorf("material edge label = %q", lbl)
+	}
+}
+
+func TestMappingIsOneToOne(t *testing.T) {
+	db := paperDB(t)
+	g, m, err := Map(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[graph.VID]bool)
+	for _, relName := range db.RelationNames() {
+		rel := db.Relation(relName)
+		for _, tu := range rel.Tuples {
+			v, ok := m.VertexOf(relName, tu.ID)
+			if !ok {
+				t.Fatalf("tuple %s/%d unmapped", relName, tu.ID)
+			}
+			if seen[v] {
+				t.Fatalf("vertex %d maps two tuples", v)
+			}
+			seen[v] = true
+			ref, ok := m.TupleOf(v)
+			if !ok || ref.Relation != relName || ref.TupleID != tu.ID {
+				t.Fatalf("inverse mapping broken for %s/%d", relName, tu.ID)
+			}
+		}
+	}
+	// Attribute vertices are all distinct and distinct from tuple vertices.
+	for _, relName := range db.RelationNames() {
+		rel := db.Relation(relName)
+		for _, tu := range rel.Tuples {
+			for _, attr := range rel.Schema.Attrs {
+				if av, ok := m.AttrVertexOf(relName, tu.ID, attr); ok {
+					if seen[av] {
+						t.Fatalf("attribute vertex %d reused", av)
+					}
+					seen[av] = true
+				}
+			}
+		}
+	}
+	if len(seen) != g.NumVertices() {
+		t.Errorf("mapped %d vertices, graph has %d", len(seen), g.NumVertices())
+	}
+}
+
+func TestNullAttributesSkipped(t *testing.T) {
+	db := paperDB(t)
+	_, m, err := Map(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.AttrVertexOf("item", 2, "type"); ok {
+		t.Error("null attribute should not produce a vertex")
+	}
+}
+
+func TestDanglingForeignKeyDegrades(t *testing.T) {
+	brand := relational.MustSchema("brand", []string{"name"}, "name")
+	item := relational.MustSchema("item", []string{"item", "brand"}, "item",
+		relational.ForeignKey{Attr: "brand", RefRelation: "brand"})
+	db := relational.NewDatabase(item, brand)
+	db.Relation("item").MustInsert("Widget", "GhostBrand")
+	g, m, err := Map(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, ok := m.AttrVertexOf("item", 0, "brand")
+	if !ok {
+		t.Fatal("dangling FK should degrade to attribute vertex")
+	}
+	if g.Label(av) != "GhostBrand" {
+		t.Errorf("degraded FK vertex label = %q", g.Label(av))
+	}
+}
+
+func TestAddTupleIncremental(t *testing.T) {
+	db := paperDB(t)
+	g, m, err := Map(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, ne := g.NumVertices(), g.NumEdges()
+
+	// A new item referencing an existing brand.
+	id := db.Relation("item").MustInsert(
+		"Trail Blazer X", "mesh", "black", "TB1", "Addidas", "50")
+	if err := AddTuple(g, m, db, "item", id); err != nil {
+		t.Fatal(err)
+	}
+	ut, ok := m.VertexOf("item", id)
+	if !ok {
+		t.Fatal("new tuple unmapped")
+	}
+	if g.Label(ut) != "item" {
+		t.Errorf("new tuple vertex label = %q", g.Label(ut))
+	}
+	// 1 tuple vertex + 5 attribute vertices (brand is an FK edge).
+	if g.NumVertices() != nv+6 {
+		t.Errorf("vertices %d → %d, want +6", nv, g.NumVertices())
+	}
+	if g.NumEdges() != ne+6 {
+		t.Errorf("edges %d → %d, want +6", ne, g.NumEdges())
+	}
+	// The FK edge lands on the existing brand vertex.
+	b2, _ := m.VertexOf("brand", 1)
+	if lbl, found := g.FindEdge(ut, b2); !found || lbl != "brand" {
+		t.Errorf("FK edge = %q,%v", lbl, found)
+	}
+	// Round trip still works for the new tuple.
+	got, err := RecoverTuple(g, m, db, ut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["material"] != "mesh" || got["brand"] != "Addidas" {
+		t.Errorf("recovered = %v", got)
+	}
+
+	// Error cases.
+	if err := AddTuple(g, m, db, "nonexistent", 0); err == nil {
+		t.Error("unknown relation should fail")
+	}
+	if err := AddTuple(g, m, db, "item", 99); err == nil {
+		t.Error("out-of-range tuple should fail")
+	}
+	if err := AddTuple(g, m, db, "item", id); err == nil {
+		t.Error("re-adding a mapped tuple should fail")
+	}
+}
+
+func TestAddTupleWithNullAndDanglingFK(t *testing.T) {
+	db := paperDB(t)
+	g, m, err := Map(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := db.Relation("item").MustInsert(
+		"Ghost Shoe", relational.Null, "grey", relational.Null, "NoSuchBrand", "1")
+	if err := AddTuple(g, m, db, "item", id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.AttrVertexOf("item", id, "material"); ok {
+		t.Error("null attribute should not map")
+	}
+	// Dangling FK degrades to an attribute vertex.
+	av, ok := m.AttrVertexOf("item", id, "brand")
+	if !ok || g.Label(av) != "NoSuchBrand" {
+		t.Errorf("dangling FK handling: %v %q", ok, g.Label(av))
+	}
+}
+
+func TestRecoverTupleRoundTrip(t *testing.T) {
+	db := paperDB(t)
+	g, m, err := Map(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, relName := range db.RelationNames() {
+		rel := db.Relation(relName)
+		for _, tu := range rel.Tuples {
+			v, _ := m.VertexOf(relName, tu.ID)
+			got, err := RecoverTuple(g, m, db, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, attr := range rel.Schema.Attrs {
+				want := tu.Values[i]
+				if relational.IsNull(want) {
+					if _, present := got[attr]; present {
+						t.Errorf("%s/%d: null attr %s recovered as %q", relName, tu.ID, attr, got[attr])
+					}
+					continue
+				}
+				if got[attr] != want {
+					t.Errorf("%s/%d attr %s: recovered %q, want %q", relName, tu.ID, attr, got[attr], want)
+				}
+			}
+		}
+	}
+	// Non-tuple vertex errors.
+	av, _ := m.AttrVertexOf("item", 0, "color")
+	if _, err := RecoverTuple(g, m, db, av); err == nil {
+		t.Error("RecoverTuple on attribute vertex should fail")
+	}
+}

@@ -1,0 +1,73 @@
+package relational
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV writes a relation as CSV: a header row of attribute names
+// followed by one row per tuple. Null values are written as empty fields.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema.Attrs); err != nil {
+		return err
+	}
+	row := make([]string, len(r.Schema.Attrs))
+	for _, t := range r.Tuples {
+		for i, v := range t.Values {
+			if IsNull(v) {
+				row[i] = ""
+			} else {
+				row[i] = v
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads tuples from CSV into a fresh relation of schema s. The CSV
+// header must match the schema's attributes exactly.
+func ReadCSV(s *Schema, rd io.Reader) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relational: reading CSV header: %w", err)
+	}
+	if len(header) != len(s.Attrs) {
+		return nil, fmt.Errorf("relational: CSV header has %d columns, schema %s has %d",
+			len(header), s.Name, len(s.Attrs))
+	}
+	for i, h := range header {
+		if h != s.Attrs[i] {
+			return nil, fmt.Errorf("relational: CSV column %d is %q, schema %s expects %q",
+				i, h, s.Name, s.Attrs[i])
+		}
+	}
+	rel := NewRelation(s)
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relational: reading CSV row: %w", err)
+		}
+		vals := make([]string, len(row))
+		for i, v := range row {
+			if v == "" {
+				vals[i] = Null
+			} else {
+				vals[i] = v
+			}
+		}
+		if _, err := rel.Insert(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}

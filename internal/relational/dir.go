@@ -1,0 +1,146 @@
+package relational
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteSchemas serializes database schemas in a line format:
+//
+//	relation <name> key=<attr> attrs=<a,b,c> fks=<attr>:<rel>;<attr>:<rel>
+//
+// so a dumped database can be reloaded with its keys and foreign keys.
+func (db *Database) WriteSchemas(w io.Writer) error {
+	for _, name := range db.RelationNames() {
+		s := db.Relations[name].Schema
+		var fks []string
+		for _, fk := range s.ForeignKeys {
+			fks = append(fks, fk.Attr+":"+fk.RefRelation)
+		}
+		if _, err := fmt.Fprintf(w, "relation %s key=%s attrs=%s fks=%s\n",
+			s.Name, s.Key, strings.Join(s.Attrs, ","), strings.Join(fks, ";")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSchemas parses the format written by WriteSchemas.
+func ReadSchemas(r io.Reader) ([]*Schema, error) {
+	var out []*Schema
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 || fields[0] != "relation" {
+			return nil, fmt.Errorf("relational: schema line %d malformed", lineNo)
+		}
+		name := fields[1]
+		var key, attrsRaw, fksRaw string
+		for _, f := range fields[2:] {
+			switch {
+			case strings.HasPrefix(f, "key="):
+				key = strings.TrimPrefix(f, "key=")
+			case strings.HasPrefix(f, "attrs="):
+				attrsRaw = strings.TrimPrefix(f, "attrs=")
+			case strings.HasPrefix(f, "fks="):
+				fksRaw = strings.TrimPrefix(f, "fks=")
+			default:
+				return nil, fmt.Errorf("relational: schema line %d: unknown field %q", lineNo, f)
+			}
+		}
+		attrs := strings.Split(attrsRaw, ",")
+		var fks []ForeignKey
+		if fksRaw != "" {
+			for _, part := range strings.Split(fksRaw, ";") {
+				kv := strings.SplitN(part, ":", 2)
+				if len(kv) != 2 {
+					return nil, fmt.Errorf("relational: schema line %d: bad fk %q", lineNo, part)
+				}
+				fks = append(fks, ForeignKey{Attr: kv[0], RefRelation: kv[1]})
+			}
+		}
+		s, err := NewSchema(name, attrs, key, fks...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DumpDir writes the database to dir: schema.txt plus one CSV per
+// relation.
+func (db *Database) DumpDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	sf, err := os.Create(filepath.Join(dir, "schema.txt"))
+	if err != nil {
+		return err
+	}
+	if err := db.WriteSchemas(sf); err != nil {
+		sf.Close()
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+	for _, name := range db.RelationNames() {
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := db.Relations[name].WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir reads a database dumped with DumpDir: schema.txt declares the
+// schemas, and each relation's tuples come from <relation>.csv.
+func LoadDir(dir string) (*Database, error) {
+	sf, err := os.Open(filepath.Join(dir, "schema.txt"))
+	if err != nil {
+		return nil, fmt.Errorf("relational: %w", err)
+	}
+	schemas, err := ReadSchemas(sf)
+	sf.Close()
+	if err != nil {
+		return nil, err
+	}
+	db := NewDatabase(schemas...)
+	for _, s := range schemas {
+		f, err := os.Open(filepath.Join(dir, s.Name+".csv"))
+		if err != nil {
+			return nil, fmt.Errorf("relational: %w", err)
+		}
+		rel, err := ReadCSV(s, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		db.Relations[s.Name] = rel
+	}
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

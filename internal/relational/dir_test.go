@@ -1,0 +1,78 @@
+package relational
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSchemaRoundTrip(t *testing.T) {
+	db := paperDatabase(t)
+	var buf bytes.Buffer
+	if err := db.WriteSchemas(&buf); err != nil {
+		t.Fatal(err)
+	}
+	schemas, err := ReadSchemas(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schemas) != 2 {
+		t.Fatalf("schemas = %d", len(schemas))
+	}
+	byName := map[string]*Schema{}
+	for _, s := range schemas {
+		byName[s.Name] = s
+	}
+	item := byName["item"]
+	if item == nil || item.Key != "item" || len(item.Attrs) != 6 {
+		t.Fatalf("item schema = %+v", item)
+	}
+	if len(item.ForeignKeys) != 1 || item.ForeignKeys[0].RefRelation != "brand" {
+		t.Errorf("item FKs = %+v", item.ForeignKeys)
+	}
+}
+
+func TestReadSchemasErrors(t *testing.T) {
+	cases := []string{
+		"nonsense line here extra words\n",
+		"relation r key=a attrs=a bogus=1 fks=\n",
+		"relation r key=a attrs=a fks=broken\n",
+		"relation r key=missing attrs=a fks=\n", // key not an attr
+	}
+	for _, c := range cases {
+		if _, err := ReadSchemas(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q should fail", c)
+		}
+	}
+	// Comments and blank lines are skipped.
+	got, err := ReadSchemas(strings.NewReader("# c\n\nrelation r key=a attrs=a,b fks=\n"))
+	if err != nil || len(got) != 1 {
+		t.Errorf("comment handling: %v %v", got, err)
+	}
+}
+
+func TestDumpLoadDir(t *testing.T) {
+	db := paperDatabase(t)
+	dir := t.TempDir()
+	if err := db.DumpDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTuples() != db.NumTuples() {
+		t.Fatalf("tuples %d vs %d", got.NumTuples(), db.NumTuples())
+	}
+	// Values and nulls round-trip.
+	orig := db.Relation("item").Tuples[2]
+	load := got.Relation("item").Tuples[2]
+	for i := range orig.Values {
+		if IsNull(orig.Values[i]) != IsNull(load.Values[i]) {
+			t.Errorf("null mismatch at %d", i)
+		}
+	}
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("missing schema.txt should fail")
+	}
+}

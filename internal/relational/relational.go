@@ -1,0 +1,211 @@
+// Package relational implements the relational-database substrate of HER:
+// schemas R = (R1, ..., Rn), relations, tuples, foreign keys and null
+// values, as defined in Section II of the paper. It is an in-memory store
+// sufficient to feed the RDB2RDF canonical mapping and the baselines.
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Null is the sentinel value for a missing attribute (SQL NULL).
+const Null = "\x00null"
+
+// IsNull reports whether a value is the null sentinel or empty.
+func IsNull(v string) bool { return v == Null || v == "" }
+
+// ForeignKey declares that values of Attr in the owning relation reference
+// the key of relation RefRelation.
+type ForeignKey struct {
+	Attr        string
+	RefRelation string
+}
+
+// Schema describes one relation schema R = (A1, ..., Ak).
+type Schema struct {
+	Name        string
+	Attrs       []string
+	Key         string // primary-key attribute; "" means row identity
+	ForeignKeys []ForeignKey
+
+	attrIndex map[string]int
+}
+
+// NewSchema creates a relation schema. The key attribute, if non-empty,
+// must be one of attrs.
+func NewSchema(name string, attrs []string, key string, fks ...ForeignKey) (*Schema, error) {
+	s := &Schema{Name: name, Attrs: attrs, Key: key, ForeignKeys: fks,
+		attrIndex: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if _, dup := s.attrIndex[a]; dup {
+			return nil, fmt.Errorf("relational: schema %s: duplicate attribute %q", name, a)
+		}
+		s.attrIndex[a] = i
+	}
+	if key != "" {
+		if _, ok := s.attrIndex[key]; !ok {
+			return nil, fmt.Errorf("relational: schema %s: key %q is not an attribute", name, key)
+		}
+	}
+	for _, fk := range fks {
+		if _, ok := s.attrIndex[fk.Attr]; !ok {
+			return nil, fmt.Errorf("relational: schema %s: foreign key attribute %q is not an attribute", name, fk.Attr)
+		}
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for fixtures and generators.
+func MustSchema(name string, attrs []string, key string, fks ...ForeignKey) *Schema {
+	s, err := NewSchema(name, attrs, key, fks...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// AttrIndex returns the position of attribute a, or -1.
+func (s *Schema) AttrIndex(a string) int {
+	if i, ok := s.attrIndex[a]; ok {
+		return i
+	}
+	return -1
+}
+
+// Tuple is one row of a relation. Values are positionally aligned with the
+// schema's attributes; use Null for missing values.
+type Tuple struct {
+	ID     int // unique within the relation
+	Values []string
+}
+
+// Relation is a set of tuples of one schema.
+type Relation struct {
+	Schema *Schema
+	Tuples []Tuple
+
+	byKey map[string]int // key value → tuple index
+}
+
+// NewRelation creates an empty relation of schema s.
+func NewRelation(s *Schema) *Relation {
+	return &Relation{Schema: s, byKey: make(map[string]int)}
+}
+
+// Insert appends a tuple and returns its ID. It validates arity and key
+// uniqueness.
+func (r *Relation) Insert(values ...string) (int, error) {
+	if len(values) != len(r.Schema.Attrs) {
+		return 0, fmt.Errorf("relational: %s: got %d values, schema has %d attributes",
+			r.Schema.Name, len(values), len(r.Schema.Attrs))
+	}
+	id := len(r.Tuples)
+	if k := r.Schema.Key; k != "" {
+		kv := values[r.Schema.AttrIndex(k)]
+		if !IsNull(kv) {
+			if _, dup := r.byKey[kv]; dup {
+				return 0, fmt.Errorf("relational: %s: duplicate key %q", r.Schema.Name, kv)
+			}
+			r.byKey[kv] = id
+		}
+	}
+	vals := make([]string, len(values))
+	copy(vals, values)
+	r.Tuples = append(r.Tuples, Tuple{ID: id, Values: vals})
+	return id, nil
+}
+
+// MustInsert is Insert that panics on error, for fixtures and generators.
+func (r *Relation) MustInsert(values ...string) int {
+	id, err := r.Insert(values...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Get returns the value of attribute a in tuple t, and whether the
+// attribute exists and is non-null.
+func (r *Relation) Get(t Tuple, a string) (string, bool) {
+	i := r.Schema.AttrIndex(a)
+	if i < 0 || IsNull(t.Values[i]) {
+		return "", false
+	}
+	return t.Values[i], true
+}
+
+// LookupKey finds the tuple whose key attribute equals kv.
+func (r *Relation) LookupKey(kv string) (Tuple, bool) {
+	if i, ok := r.byKey[kv]; ok {
+		return r.Tuples[i], true
+	}
+	return Tuple{}, false
+}
+
+// Database is a database D = (D1, ..., Dn) of schema R = (R1, ..., Rn).
+type Database struct {
+	Relations map[string]*Relation
+}
+
+// NewDatabase creates an empty database over the given schemas.
+func NewDatabase(schemas ...*Schema) *Database {
+	db := &Database{Relations: make(map[string]*Relation, len(schemas))}
+	for _, s := range schemas {
+		db.Relations[s.Name] = NewRelation(s)
+	}
+	return db
+}
+
+// Relation returns the relation named name, or nil.
+func (db *Database) Relation(name string) *Relation { return db.Relations[name] }
+
+// RelationNames returns the relation names in deterministic order.
+func (db *Database) RelationNames() []string {
+	names := make([]string, 0, len(db.Relations))
+	for n := range db.Relations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumTuples counts all tuples across relations.
+func (db *Database) NumTuples() int {
+	n := 0
+	for _, r := range db.Relations {
+		n += len(r.Tuples)
+	}
+	return n
+}
+
+// Validate checks referential integrity: every non-null foreign-key value
+// resolves to a tuple in the referenced relation.
+func (db *Database) Validate() error {
+	for _, name := range db.RelationNames() {
+		r := db.Relations[name]
+		for _, fk := range r.Schema.ForeignKeys {
+			ref := db.Relations[fk.RefRelation]
+			if ref == nil {
+				return fmt.Errorf("relational: %s.%s references unknown relation %s",
+					name, fk.Attr, fk.RefRelation)
+			}
+			if ref.Schema.Key == "" {
+				return fmt.Errorf("relational: %s.%s references keyless relation %s",
+					name, fk.Attr, fk.RefRelation)
+			}
+			ai := r.Schema.AttrIndex(fk.Attr)
+			for _, t := range r.Tuples {
+				v := t.Values[ai]
+				if IsNull(v) {
+					continue
+				}
+				if _, ok := ref.LookupKey(v); !ok {
+					return fmt.Errorf("relational: %s tuple %d: dangling foreign key %s=%q",
+						name, t.ID, fk.Attr, v)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package relational
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func paperSchemas(t *testing.T) (*Schema, *Schema) {
+	t.Helper()
+	brand, err := NewSchema("brand", []string{"name", "country", "manufacturer", "made_in"}, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	item, err := NewSchema("item",
+		[]string{"item", "material", "color", "type", "brand", "qty"}, "item",
+		ForeignKey{Attr: "brand", RefRelation: "brand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return item, brand
+}
+
+// paperDatabase builds Tables I and II of the paper.
+func paperDatabase(t *testing.T) *Database {
+	t.Helper()
+	item, brand := paperSchemas(t)
+	db := NewDatabase(item, brand)
+	b := db.Relation("brand")
+	b.MustInsert("Addidas Originals", "Germany", "Addidas AG", "Can Duoc, VN")
+	b.MustInsert("Addidas", "Germany", "Addidas AG", "Long An, Vietnam")
+	i := db.Relation("item")
+	i.MustInsert("Dame Basketball Shoes D7", "phylon foam", "white", "Dame 7", "Addidas Originals", "500")
+	i.MustInsert("Lightweight Running Shoes", "synthetic", "red", "DD8505", "Addidas Originals", "100")
+	i.MustInsert("Mid-cut Basketball Shoes Ultra Comfortable", "phylon foam", "red", Null, "Addidas", "200")
+	return db
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema("r", []string{"a", "a"}, ""); err == nil {
+		t.Error("duplicate attribute should fail")
+	}
+	if _, err := NewSchema("r", []string{"a"}, "b"); err == nil {
+		t.Error("key not in attrs should fail")
+	}
+	if _, err := NewSchema("r", []string{"a"}, "a", ForeignKey{Attr: "x", RefRelation: "s"}); err == nil {
+		t.Error("FK attr not in attrs should fail")
+	}
+}
+
+func TestInsertAndLookup(t *testing.T) {
+	db := paperDatabase(t)
+	if got := db.NumTuples(); got != 5 {
+		t.Fatalf("NumTuples = %d, want 5", got)
+	}
+	b := db.Relation("brand")
+	tu, ok := b.LookupKey("Addidas")
+	if !ok {
+		t.Fatal("LookupKey(Addidas) failed")
+	}
+	if v, _ := b.Get(tu, "made_in"); v != "Long An, Vietnam" {
+		t.Errorf("made_in = %q", v)
+	}
+	if _, ok := b.Get(tu, "nonexistent"); ok {
+		t.Error("Get of missing attribute should report false")
+	}
+	items := db.Relation("item")
+	t3 := items.Tuples[2]
+	if _, ok := items.Get(t3, "type"); ok {
+		t.Error("null attribute should report false")
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	_, brand := paperSchemas(t)
+	r := NewRelation(brand)
+	if _, err := r.Insert("only-one"); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	r.MustInsert("X", "c", "m", "w")
+	if _, err := r.Insert("X", "c2", "m2", "w2"); err == nil {
+		t.Error("duplicate key should fail")
+	}
+}
+
+func TestValidateReferentialIntegrity(t *testing.T) {
+	db := paperDatabase(t)
+	if err := db.Validate(); err != nil {
+		t.Fatalf("valid database rejected: %v", err)
+	}
+	db.Relation("item").MustInsert("Bogus", "m", "c", "t", "NoSuchBrand", "1")
+	if err := db.Validate(); err == nil {
+		t.Error("dangling foreign key should fail validation")
+	}
+}
+
+func TestValidateUnknownRelation(t *testing.T) {
+	s := MustSchema("a", []string{"x", "fk"}, "x", ForeignKey{Attr: "fk", RefRelation: "ghost"})
+	db := NewDatabase(s)
+	db.Relation("a").MustInsert("1", "2")
+	if err := db.Validate(); err == nil {
+		t.Error("reference to unknown relation should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := paperDatabase(t)
+	items := db.Relation("item")
+	var buf bytes.Buffer
+	if err := items.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(items.Schema, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tuples) != len(items.Tuples) {
+		t.Fatalf("round trip lost tuples: %d vs %d", len(got.Tuples), len(items.Tuples))
+	}
+	for i := range got.Tuples {
+		for j := range got.Tuples[i].Values {
+			a, b := got.Tuples[i].Values[j], items.Tuples[i].Values[j]
+			if IsNull(a) != IsNull(b) || (!IsNull(a) && a != b) {
+				t.Errorf("tuple %d attr %d: %q vs %q", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestReadCSVHeaderMismatch(t *testing.T) {
+	_, brand := paperSchemas(t)
+	if _, err := ReadCSV(brand, strings.NewReader("wrong,header\n")); err == nil {
+		t.Error("header column-count mismatch should fail")
+	}
+	if _, err := ReadCSV(brand, strings.NewReader("name,country,manufacturer,wrong\n")); err == nil {
+		t.Error("header name mismatch should fail")
+	}
+}
+
+func TestRelationNamesDeterministic(t *testing.T) {
+	db := paperDatabase(t)
+	names := db.RelationNames()
+	if len(names) != 2 || names[0] != "brand" || names[1] != "item" {
+		t.Errorf("RelationNames = %v", names)
+	}
+}

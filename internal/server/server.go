@@ -1,0 +1,247 @@
+// Package server exposes a trained HER System over HTTP as JSON
+// endpoints — the deployment shape for the paper's real-time VPair use
+// case (pay-as-you-go entity resolution) and the interactive feedback
+// loop:
+//
+//	GET  /healthz
+//	GET  /spair?rel=item&tuple=0&vertex=12
+//	GET  /vpair?rel=item&tuple=0
+//	GET  /apair?workers=4
+//	GET  /explain?rel=item&tuple=0&vertex=12
+//	POST /feedback     [{"rel":"item","tuple":0,"vertex":12,"match":true}]
+//	GET  /stats
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"her"
+)
+
+// Server wraps a System with HTTP handlers.
+type Server struct {
+	sys *her.System
+	mux *http.ServeMux
+	// MaxAPairMatches caps the matches returned inline by /apair
+	// (default 1000); the full count is always reported.
+	MaxAPairMatches int
+}
+
+// New builds the handler around a trained system.
+func New(sys *her.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux(), MaxAPairMatches: 1000}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/spair", s.handleSPair)
+	s.mux.HandleFunc("/vpair", s.handleVPair)
+	s.mux.HandleFunc("/apair", s.handleAPair)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/feedback", s.handleFeedback)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// pairParams parses rel/tuple(/vertex) query parameters.
+func pairParams(r *http.Request, needVertex bool) (rel string, tuple int, vertex her.VertexID, err error) {
+	rel = r.URL.Query().Get("rel")
+	if rel == "" {
+		return "", 0, 0, fmt.Errorf("missing rel parameter")
+	}
+	tuple, err = strconv.Atoi(r.URL.Query().Get("tuple"))
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("bad tuple parameter: %v", err)
+	}
+	if needVertex {
+		v, err := strconv.Atoi(r.URL.Query().Get("vertex"))
+		if err != nil {
+			return "", 0, 0, fmt.Errorf("bad vertex parameter: %v", err)
+		}
+		vertex = her.VertexID(v)
+	}
+	return rel, tuple, vertex, nil
+}
+
+func (s *Server) handleSPair(w http.ResponseWriter, r *http.Request) {
+	rel, tuple, vertex, err := pairParams(r, true)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	match, err := s.sys.SPair(rel, tuple, vertex)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"rel": rel, "tuple": tuple, "vertex": vertex, "match": match,
+	})
+}
+
+type matchJSON struct {
+	Vertex int32  `json:"vertex"`
+	Label  string `json:"label"`
+}
+
+func (s *Server) handleVPair(w http.ResponseWriter, r *http.Request) {
+	rel, tuple, _, err := pairParams(r, false)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	matches, err := s.sys.VPair(rel, tuple)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	out := make([]matchJSON, 0, len(matches))
+	for _, m := range matches {
+		out = append(out, matchJSON{Vertex: int32(m.V), Label: s.sys.G.Label(m.V)})
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"rel": rel, "tuple": tuple, "matches": out,
+	})
+}
+
+func (s *Server) handleAPair(w http.ResponseWriter, r *http.Request) {
+	workers := 1
+	if q := r.URL.Query().Get("workers"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad workers parameter %q", q))
+			return
+		}
+		workers = n
+	}
+	matches, stats, err := s.sys.APairParallel(workers)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	shown := matches
+	if len(shown) > s.MaxAPairMatches {
+		shown = shown[:s.MaxAPairMatches]
+	}
+	type pairJSON struct {
+		Tuple  string `json:"tuple"`
+		Vertex int32  `json:"vertex"`
+	}
+	out := make([]pairJSON, 0, len(shown))
+	for _, m := range shown {
+		label := ""
+		if ref, ok := s.sys.Mapping.TupleOf(m.U); ok {
+			label = fmt.Sprintf("%s/%d", ref.Relation, ref.TupleID)
+		}
+		out = append(out, pairJSON{Tuple: label, Vertex: int32(m.V)})
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"count":   len(matches),
+		"matches": out,
+		"stats": map[string]int{
+			"workers":        stats.Workers,
+			"supersteps":     stats.Supersteps,
+			"candidatePairs": stats.CandidatePairs,
+		},
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	rel, tuple, vertex, err := pairParams(r, true)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	u, ok := s.sys.Mapping.VertexOf(rel, tuple)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown tuple %s/%d", rel, tuple))
+		return
+	}
+	ex, err := s.sys.Explain(u, vertex)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	type lineageJSON struct {
+		U string `json:"u"`
+		V string `json:"v"`
+	}
+	var lineage []lineageJSON
+	for _, p := range ex.Lineage {
+		lineage = append(lineage, lineageJSON{U: s.sys.GD.Label(p.U), V: s.sys.G.Label(p.V)})
+	}
+	schema := map[string]string{}
+	for _, sm := range ex.SchemaMatches {
+		schema[sm.Attr] = sm.Rho.LabelString()
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"witnessSize":   len(ex.Witness),
+		"lineage":       lineage,
+		"schemaMatches": schema,
+	})
+}
+
+// feedbackItem is one user verdict in a POST /feedback body.
+type feedbackItem struct {
+	Rel    string `json:"rel"`
+	Tuple  int    `json:"tuple"`
+	Vertex int32  `json:"vertex"`
+	Match  bool   `json:"match"`
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var items []feedbackItem
+	if err := json.NewDecoder(r.Body).Decode(&items); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
+		return
+	}
+	var fb []her.Feedback
+	for _, it := range items {
+		u, ok := s.sys.Mapping.VertexOf(it.Rel, it.Tuple)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown tuple %s/%d", it.Rel, it.Tuple))
+			return
+		}
+		fb = append(fb, her.Feedback{
+			Pair:    her.Pair{U: u, V: her.VertexID(it.Vertex)},
+			IsMatch: it.Match,
+		})
+	}
+	s.sys.Refine(fb)
+	writeJSON(w, http.StatusOK, map[string]int{"applied": len(fb), "overrides": s.sys.Overrides()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.sys.Stats()
+	th := s.sys.Thresholds()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"thresholds": map[string]interface{}{"sigma": th.Sigma, "delta": th.Delta, "k": th.K},
+		"matcher": map[string]int{
+			"calls": st.Calls, "cacheHits": st.CacheHits,
+			"cleanups": st.Cleanups, "rechecks": st.Rechecks,
+		},
+	})
+}

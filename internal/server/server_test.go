@@ -1,0 +1,192 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"her"
+)
+
+// trainedSystem builds the quickstart-style catalog system used across
+// the handler tests.
+func trainedSystem(t *testing.T) (*her.System, her.VertexID, her.VertexID) {
+	t.Helper()
+	schema, err := her.NewSchema("product", []string{"name", "color"}, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := her.NewDatabase(schema)
+	db.Relation("product").MustInsert("Aurora Trail Runner 7", "red")
+	db.Relation("product").MustInsert("Comet Road Cruiser 2", "blue")
+
+	g := her.NewGraph()
+	mk := func(name, color string) her.VertexID {
+		p := g.AddVertex("product")
+		g.MustAddEdge(p, g.AddVertex(name), "productName")
+		g.MustAddEdge(p, g.AddVertex(color), "hasColor")
+		return p
+	}
+	p1 := mk("Aurora Trail Runner", "red")
+	p2 := mk("Comet Road Cruiser", "blue")
+
+	sys, err := her.New(db, g, her.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []her.PathPair{
+		{A: []string{"name"}, B: []string{"productName"}, Match: true},
+		{A: []string{"color"}, B: []string{"hasColor"}, Match: true},
+		{A: []string{"name"}, B: []string{"hasColor"}, Match: false},
+		{A: []string{"color"}, B: []string{"productName"}, Match: false},
+	}
+	var training []her.PathPair
+	for i := 0; i < 30; i++ {
+		training = append(training, pairs...)
+	}
+	if err := sys.TrainPathModel(training, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainRanker(50, 120); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetThresholds(her.Thresholds{Sigma: 0.75, Delta: 0.9, K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	return sys, p1, p2
+}
+
+func get(t *testing.T, h http.Handler, url string) (int, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON from %s: %v (%s)", url, err, rec.Body.String())
+	}
+	return rec.Code, body
+}
+
+func TestHealthz(t *testing.T) {
+	sys, _, _ := trainedSystem(t)
+	code, body := get(t, New(sys), "/healthz")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("healthz = %d %v", code, body)
+	}
+}
+
+func TestSPairEndpoint(t *testing.T) {
+	sys, p1, p2 := trainedSystem(t)
+	srv := New(sys)
+	code, body := get(t, srv, "/spair?rel=product&tuple=0&vertex="+itoa(p1))
+	if code != http.StatusOK || body["match"] != true {
+		t.Errorf("spair true case = %d %v", code, body)
+	}
+	code, body = get(t, srv, "/spair?rel=product&tuple=0&vertex="+itoa(p2))
+	if code != http.StatusOK || body["match"] != false {
+		t.Errorf("spair false case = %d %v", code, body)
+	}
+	// Errors.
+	if code, _ := get(t, srv, "/spair?rel=product&tuple=zzz&vertex=0"); code != http.StatusBadRequest {
+		t.Errorf("bad tuple = %d", code)
+	}
+	if code, _ := get(t, srv, "/spair?tuple=0&vertex=0"); code != http.StatusBadRequest {
+		t.Errorf("missing rel = %d", code)
+	}
+	if code, _ := get(t, srv, "/spair?rel=ghost&tuple=0&vertex=0"); code != http.StatusNotFound {
+		t.Errorf("unknown relation = %d", code)
+	}
+}
+
+func TestVPairEndpoint(t *testing.T) {
+	sys, p1, _ := trainedSystem(t)
+	code, body := get(t, New(sys), "/vpair?rel=product&tuple=0")
+	if code != http.StatusOK {
+		t.Fatalf("vpair = %d %v", code, body)
+	}
+	matches := body["matches"].([]interface{})
+	if len(matches) != 1 {
+		t.Fatalf("matches = %v", matches)
+	}
+	m := matches[0].(map[string]interface{})
+	if int32(m["vertex"].(float64)) != int32(p1) {
+		t.Errorf("wrong vertex: %v", m)
+	}
+}
+
+func TestAPairEndpoint(t *testing.T) {
+	sys, _, _ := trainedSystem(t)
+	code, body := get(t, New(sys), "/apair?workers=2")
+	if code != http.StatusOK {
+		t.Fatalf("apair = %d %v", code, body)
+	}
+	if body["count"].(float64) != 2 {
+		t.Errorf("count = %v", body["count"])
+	}
+	if code, _ := get(t, New(sys), "/apair?workers=nope"); code != http.StatusBadRequest {
+		t.Errorf("bad workers = %d", code)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	sys, p1, p2 := trainedSystem(t)
+	srv := New(sys)
+	code, body := get(t, srv, "/explain?rel=product&tuple=0&vertex="+itoa(p1))
+	if code != http.StatusOK {
+		t.Fatalf("explain = %d %v", code, body)
+	}
+	schema := body["schemaMatches"].(map[string]interface{})
+	if schema["name"] != "productName" {
+		t.Errorf("schema matches = %v", schema)
+	}
+	if code, _ := get(t, srv, "/explain?rel=product&tuple=0&vertex="+itoa(p2)); code != http.StatusNotFound {
+		t.Errorf("non-match explain = %d", code)
+	}
+}
+
+func TestFeedbackEndpoint(t *testing.T) {
+	sys, p1, p2 := trainedSystem(t)
+	srv := New(sys)
+	// Refute the true match, confirm the false one.
+	payload := `[{"rel":"product","tuple":0,"vertex":` + itoa(p1) + `,"match":false},
+	             {"rel":"product","tuple":0,"vertex":` + itoa(p2) + `,"match":true}]`
+	req := httptest.NewRequest(http.MethodPost, "/feedback", strings.NewReader(payload))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("feedback = %d %s", rec.Code, rec.Body.String())
+	}
+	// The verdicts must now govern SPair.
+	_, body := get(t, srv, "/spair?rel=product&tuple=0&vertex="+itoa(p1))
+	if body["match"] != false {
+		t.Error("refuted pair still matches")
+	}
+	_, body = get(t, srv, "/spair?rel=product&tuple=0&vertex="+itoa(p2))
+	if body["match"] != true {
+		t.Error("confirmed pair still rejected")
+	}
+	// GET is rejected.
+	if code, _ := get(t, srv, "/feedback"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET feedback = %d", code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	sys, p1, _ := trainedSystem(t)
+	srv := New(sys)
+	get(t, srv, "/spair?rel=product&tuple=0&vertex="+itoa(p1))
+	code, body := get(t, srv, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	th := body["thresholds"].(map[string]interface{})
+	if th["k"].(float64) != 5 {
+		t.Errorf("thresholds = %v", th)
+	}
+}
+
+func itoa(v her.VertexID) string { return strconv.Itoa(int(v)) }

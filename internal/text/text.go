@@ -1,0 +1,177 @@
+// Package text provides the string-processing primitives shared by the
+// embedding substrate and the baseline entity-resolution methods:
+// tokenization, character n-grams, TF-IDF weighting and edit distance.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits a label into lower-cased word tokens. It understands the
+// conventions that appear in relation attributes and graph predicates:
+// snake_case, kebab-case, camelCase and path-like separators ("/akt:has-author"
+// tokenizes to ["akt", "has", "author"]).
+func Tokenize(s string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	prevLower := false
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r):
+			// Split camelCase at a lower→upper boundary.
+			if unicode.IsUpper(r) && prevLower {
+				flush()
+			}
+			cur.WriteRune(r)
+			prevLower = unicode.IsLower(r)
+		case unicode.IsDigit(r):
+			cur.WriteRune(r)
+			prevLower = false
+		default:
+			flush()
+			prevLower = false
+		}
+	}
+	flush()
+	return tokens
+}
+
+// NormalizeLabel lower-cases a label and collapses separators to single
+// spaces, providing a canonical form for exact comparisons.
+func NormalizeLabel(s string) string {
+	return strings.Join(Tokenize(s), " ")
+}
+
+// NGrams returns the character n-grams of the normalized form of s. The
+// string is padded with '#' on both sides so that short strings still yield
+// at least one gram, following the common ER convention.
+func NGrams(s string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	norm := NormalizeLabel(s)
+	if norm == "" {
+		return nil
+	}
+	padded := strings.Repeat("#", n-1) + norm + strings.Repeat("#", n-1)
+	runes := []rune(padded)
+	if len(runes) < n {
+		return nil
+	}
+	grams := make([]string, 0, len(runes)-n+1)
+	for i := 0; i+n <= len(runes); i++ {
+		grams = append(grams, string(runes[i:i+n]))
+	}
+	return grams
+}
+
+// Levenshtein computes the edit distance between a and b.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinSim maps edit distance into a [0,1] similarity.
+func LevenshteinSim(a, b string) float64 {
+	if a == "" && b == "" {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	if maxLen == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
+}
+
+// JaccardTokens computes the Jaccard similarity of the token sets of a and b.
+func JaccardTokens(a, b string) float64 {
+	sa := tokenSet(a)
+	sb := tokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(sa)+len(sb)-inter)
+}
+
+// OverlapTokens computes the overlap coefficient of the token sets.
+func OverlapTokens(a, b string) float64 {
+	sa := tokenSet(a)
+	sb := tokenSet(b)
+	if len(sa) == 0 || len(sb) == 0 {
+		if len(sa) == len(sb) {
+			return 1
+		}
+		return 0
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	small := len(sa)
+	if len(sb) < small {
+		small = len(sb)
+	}
+	return float64(inter) / float64(small)
+}
+
+func tokenSet(s string) map[string]bool {
+	set := make(map[string]bool)
+	for _, t := range Tokenize(s) {
+		set[t] = true
+	}
+	return set
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

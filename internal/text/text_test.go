@@ -1,0 +1,217 @@
+package text
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"made_in", []string{"made", "in"}},
+		{"brandCountry", []string{"brand", "country"}},
+		{"factorySite", []string{"factory", "site"}},
+		{"/akt:has-author", []string{"akt", "has", "author"}},
+		{"Dame Basketball Shoes D7", []string{"dame", "basketball", "shoes", "d7"}},
+		{"", nil},
+		{"   ", nil},
+		{"HTTPServer", []string{"httpserver"}}, // no lower→upper boundary inside the acronym run
+		{"typeNo", []string{"type", "no"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestNormalizeLabel(t *testing.T) {
+	if NormalizeLabel("Made_In") != "made in" {
+		t.Errorf("NormalizeLabel(Made_In) = %q", NormalizeLabel("Made_In"))
+	}
+	if NormalizeLabel("") != "" {
+		t.Errorf("NormalizeLabel empty = %q", NormalizeLabel(""))
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	grams := NGrams("ab", 3)
+	// "##ab##" → ##a #ab ab# b##
+	want := []string{"##a", "#ab", "ab#", "b##"}
+	if len(grams) != len(want) {
+		t.Fatalf("NGrams(ab,3) = %v, want %v", grams, want)
+	}
+	for i := range grams {
+		if grams[i] != want[i] {
+			t.Fatalf("NGrams(ab,3) = %v, want %v", grams, want)
+		}
+	}
+	if NGrams("", 3) != nil {
+		t.Error("NGrams of empty string should be nil")
+	}
+	if NGrams("abc", 0) != nil {
+		t.Error("NGrams with n=0 should be nil")
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	symmetric := func(a, b string) bool {
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error(err)
+	}
+	identity := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Error(err)
+	}
+	triangle := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(triangle, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinSim(t *testing.T) {
+	if s := LevenshteinSim("abc", "abc"); s != 1 {
+		t.Errorf("sim of identical strings = %f", s)
+	}
+	if s := LevenshteinSim("", ""); s != 1 {
+		t.Errorf("sim of empty strings = %f", s)
+	}
+	if s := LevenshteinSim("abc", "xyz"); s != 0 {
+		t.Errorf("sim of disjoint strings = %f", s)
+	}
+}
+
+func TestJaccardAndOverlap(t *testing.T) {
+	if j := JaccardTokens("red shoes", "red boots"); math.Abs(j-1.0/3) > 1e-9 {
+		t.Errorf("Jaccard = %f, want 1/3", j)
+	}
+	if o := OverlapTokens("red", "red shoes and boots"); o != 1 {
+		t.Errorf("Overlap = %f, want 1", o)
+	}
+	if j := JaccardTokens("", ""); j != 1 {
+		t.Errorf("Jaccard of empties = %f", j)
+	}
+	if j := JaccardTokens("a", ""); j != 0 {
+		t.Errorf("Jaccard with one empty = %f", j)
+	}
+}
+
+func TestTFIDFCosine(t *testing.T) {
+	c := NewCorpus(4)
+	docs := []string{"Dame Basketball Shoes D7", "Dame Gen 7", "Lightweight Running Shoes", "Addidas Originals"}
+	for _, d := range docs {
+		c.Add(d)
+	}
+	va := c.Vector("Dame Basketball Shoes D7")
+	vb := c.Vector("Dame Basketball Shoes D7")
+	if s := Cosine(va, vb); math.Abs(s-1) > 1e-9 {
+		t.Errorf("cosine of identical docs = %f, want 1", s)
+	}
+	vc := c.Vector("Addidas Originals")
+	if s := Cosine(va, vc); s > 0.2 {
+		t.Errorf("cosine of unrelated docs = %f, want near 0", s)
+	}
+	vd := c.Vector("Dame Basketball Shoes")
+	if s := Cosine(va, vd); s < 0.5 {
+		t.Errorf("cosine of near-identical docs = %f, want > 0.5", s)
+	}
+}
+
+func TestTFIDFWordMode(t *testing.T) {
+	c := NewCorpus(0)
+	c.Add("alpha beta")
+	c.Add("beta gamma")
+	v := c.Vector("alpha beta")
+	if len(v.Terms) != 2 {
+		t.Fatalf("word-mode vector terms = %v", v.Terms)
+	}
+	var norm float64
+	for _, w := range v.Weights {
+		norm += w * w
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("vector not normalized: %f", norm)
+	}
+}
+
+func TestCosineRange(t *testing.T) {
+	c := NewCorpus(3)
+	c.Add("aaa")
+	c.Add("aab")
+	prop := func(a, b string) bool {
+		s := Cosine(c.Vector(a), c.Vector(b))
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Tokenize("Café Müller 42")
+	want := []string{"café", "müller", "42"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize unicode = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// CJK labels tokenize as letter runs.
+	if toks := Tokenize("東京 2020"); len(toks) != 2 || toks[1] != "2020" {
+		t.Errorf("CJK tokenize = %v", toks)
+	}
+}
+
+func TestLevenshteinUnicode(t *testing.T) {
+	if d := Levenshtein("café", "cafe"); d != 1 {
+		t.Errorf("accented distance = %d", d)
+	}
+	if d := Levenshtein("東京", "京東"); d != 2 {
+		t.Errorf("CJK swap distance = %d", d)
+	}
+}
+
+func TestNGramsUnicode(t *testing.T) {
+	grams := NGrams("éa", 2)
+	// normalized "éa" padded to "#éa#": #é éa a#
+	if len(grams) != 3 {
+		t.Fatalf("unicode grams = %v", grams)
+	}
+}

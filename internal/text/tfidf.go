@@ -1,0 +1,101 @@
+package text
+
+import (
+	"math"
+	"sort"
+)
+
+// Corpus accumulates documents and computes TF-IDF weighted sparse vectors,
+// as used by the JedAI-style baseline ("character 4-grams with TF-IDF
+// weights and cosine similarity").
+type Corpus struct {
+	docFreq map[string]int
+	numDocs int
+	gramN   int
+}
+
+// NewCorpus creates a TF-IDF corpus over character n-grams of size gramN.
+// A gramN of 0 means word tokens instead of character grams.
+func NewCorpus(gramN int) *Corpus {
+	return &Corpus{docFreq: make(map[string]int), gramN: gramN}
+}
+
+func (c *Corpus) terms(doc string) []string {
+	if c.gramN > 0 {
+		return NGrams(doc, c.gramN)
+	}
+	return Tokenize(doc)
+}
+
+// Add registers a document so its terms contribute to document frequencies.
+func (c *Corpus) Add(doc string) {
+	c.numDocs++
+	seen := make(map[string]bool)
+	for _, t := range c.terms(doc) {
+		if !seen[t] {
+			seen[t] = true
+			c.docFreq[t]++
+		}
+	}
+}
+
+// NumDocs reports how many documents have been added.
+func (c *Corpus) NumDocs() int { return c.numDocs }
+
+// SparseVec is a TF-IDF weighted sparse vector with unit L2 norm.
+type SparseVec struct {
+	Terms   []string
+	Weights []float64
+}
+
+// Vector computes the normalized TF-IDF vector of doc against the corpus.
+func (c *Corpus) Vector(doc string) SparseVec {
+	tf := make(map[string]float64)
+	for _, t := range c.terms(doc) {
+		tf[t]++
+	}
+	terms := make([]string, 0, len(tf))
+	for t := range tf {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	weights := make([]float64, len(terms))
+	var norm float64
+	for i, t := range terms {
+		df := c.docFreq[t]
+		idf := math.Log(float64(c.numDocs+1)/float64(df+1)) + 1
+		w := tf[t] * idf
+		weights[i] = w
+		norm += w * w
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range weights {
+			weights[i] /= norm
+		}
+	}
+	return SparseVec{Terms: terms, Weights: weights}
+}
+
+// Cosine computes the cosine similarity of two sparse vectors. Both sides
+// must come from Corpus.Vector, so terms are sorted and weights normalized.
+func Cosine(a, b SparseVec) float64 {
+	var dot float64
+	i, j := 0, 0
+	for i < len(a.Terms) && j < len(b.Terms) {
+		switch {
+		case a.Terms[i] == b.Terms[j]:
+			dot += a.Weights[i] * b.Weights[j]
+			i++
+			j++
+		case a.Terms[i] < b.Terms[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	if dot > 1 {
+		dot = 1
+	}
+	return dot
+}

@@ -1,0 +1,81 @@
+package her
+
+import (
+	"testing"
+)
+
+// TestNewFromJSON links JSON procurement documents against the catalog
+// graph — the paper's future-work JSON extension, end to end.
+func TestNewFromJSON(t *testing.T) {
+	docs := [][]byte{
+		[]byte(`{"name":"Aurora Trail Runner 7","color":"red","made_in":"Portugal"}`),
+		[]byte(`{"name":"Comet Road Cruiser 2","color":"blue","made_in":"Vietnam"}`),
+	}
+	g := NewGraph()
+	mk := func(name, color, country string) VertexID {
+		p := g.AddVertex("product")
+		g.MustAddEdge(p, g.AddVertex(name), "productName")
+		g.MustAddEdge(p, g.AddVertex(color), "hasColor")
+		factory := g.AddVertex("Plant")
+		g.MustAddEdge(p, factory, "assembledAt")
+		g.MustAddEdge(factory, g.AddVertex(country), "locatedIn")
+		return p
+	}
+	p1 := mk("Aurora Trail Runner", "red", "Portugal")
+	p2 := mk("Comet Road Cruiser", "blue", "Vietnam")
+
+	sys, roots, err := NewFromJSON(docs, "product", g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 2 {
+		t.Fatalf("roots = %v", roots)
+	}
+	pairs := []PathPair{
+		{A: []string{"name"}, B: []string{"productName"}, Match: true},
+		{A: []string{"color"}, B: []string{"hasColor"}, Match: true},
+		{A: []string{"made_in"}, B: []string{"assembledAt", "locatedIn"}, Match: true},
+		{A: []string{"name"}, B: []string{"hasColor"}, Match: false},
+		{A: []string{"color"}, B: []string{"assembledAt", "locatedIn"}, Match: false},
+		{A: []string{"made_in"}, B: []string{"productName"}, Match: false},
+	}
+	var training []PathPair
+	for i := 0; i < 30; i++ {
+		training = append(training, pairs...)
+	}
+	if err := sys.TrainPathModel(training, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainRanker(50, 120); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetThresholds(Thresholds{Sigma: 0.75, Delta: 1.0, K: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	if !sys.SPairVertices(roots[0], p1) {
+		t.Error("doc 0 should match p1")
+	}
+	if sys.SPairVertices(roots[0], p2) {
+		t.Error("doc 0 should not match p2")
+	}
+	all := sys.APairOf(roots)
+	want := map[Pair]bool{{U: roots[0], V: p1}: true, {U: roots[1], V: p2}: true}
+	if len(all) != 2 {
+		t.Fatalf("APairOf = %v", all)
+	}
+	for _, m := range all {
+		if !want[m] {
+			t.Errorf("unexpected match %v", m)
+		}
+	}
+	// Tuple-level API is unavailable in JSON mode.
+	if _, err := sys.SPair("product", 0, p1); err == nil {
+		t.Error("tuple API should fail without a mapping")
+	}
+
+	// Bad documents propagate errors.
+	if _, _, err := NewFromJSON([][]byte{[]byte(`{`)}, "t", g, Options{}); err == nil {
+		t.Error("invalid JSON should fail")
+	}
+}

@@ -1,0 +1,82 @@
+package her
+
+// Options configures a System. The zero value is usable; Normalize fills
+// in the defaults below.
+type Options struct {
+	// EmbeddingDim is the dimension of the hashed label embeddings used
+	// by M_v and as input features of M_ρ (default 128; the appendix-I
+	// experiment sweeps {100, 200, 300}).
+	EmbeddingDim int
+
+	// Sigma, Delta and K are the thresholds of parametric simulation.
+	// They can be set directly or learned with LearnThresholds. Defaults
+	// follow the paper's defaults scaled to this repository's data:
+	// σ = 0.8, δ = 1.2, k = 20.
+	Sigma float64
+	Delta float64
+	K     int
+
+	// MaxPathLen caps the length of property paths selected by h_r
+	// (default 4 edges, the paper's training-path cap).
+	MaxPathLen int
+
+	// MetricHidden is the hidden width of the M_ρ metric network
+	// (default 64; the paper uses a 3-layer net of widths 1536/256/1,
+	// scaled here with the embeddings).
+	MetricHidden int
+
+	// LSTMEmbed and LSTMHidden size the path language model M_r
+	// (defaults 16 and 32; the paper uses 650 hidden units for a 195K
+	// label vocabulary).
+	LSTMEmbed  int
+	LSTMHidden int
+
+	// Workers is the default worker count for parallel APair (default 1).
+	Workers int
+
+	// Seed drives all model initialization and training shuffles.
+	Seed int64
+
+	// MinSharedTokens is the blocking selectivity of the candidate
+	// inverted index (default 2: a candidate entity must share at least
+	// two tokens of "critical information" with the tuple).
+	MinSharedTokens int
+}
+
+// Normalize returns a copy with defaults filled in.
+func (o Options) Normalize() Options {
+	if o.EmbeddingDim <= 0 {
+		o.EmbeddingDim = 128
+	}
+	if o.Sigma <= 0 {
+		o.Sigma = 0.8
+	}
+	if o.Delta <= 0 {
+		o.Delta = 1.2
+	}
+	if o.K <= 0 {
+		o.K = 20
+	}
+	if o.MaxPathLen <= 0 {
+		o.MaxPathLen = 4
+	}
+	if o.MetricHidden <= 0 {
+		o.MetricHidden = 64
+	}
+	if o.LSTMEmbed <= 0 {
+		o.LSTMEmbed = 16
+	}
+	if o.LSTMHidden <= 0 {
+		o.LSTMHidden = 32
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MinSharedTokens <= 0 {
+		o.MinSharedTokens = 2
+	}
+	return o
+}

@@ -1,0 +1,73 @@
+package her
+
+import (
+	"testing"
+)
+
+// TestOverridesReconciliation: refuted pairs disappear from VPair/APair
+// results and confirmed pairs appear, exactly as the verified-match
+// semantics of the refinement loop requires.
+func TestOverridesReconciliation(t *testing.T) {
+	sys, _ := incrementalFixture(t)
+	u, _ := sys.Mapping.VertexOf("product", 0)
+	matches := sys.VPairVertex(u)
+	if len(matches) != 1 {
+		t.Fatalf("setup: %v", matches)
+	}
+	target := matches[0].V
+
+	// Refute the algorithmic match: it must vanish everywhere.
+	sys.Refine([]Feedback{{Pair: Pair{U: u, V: target}, IsMatch: false}})
+	if got := sys.VPairVertex(u); len(got) != 0 {
+		t.Errorf("refuted pair still returned: %v", got)
+	}
+	if sys.SPairVertices(u, target) {
+		t.Error("refuted pair still matches via SPair")
+	}
+	if got := sys.APair(); len(got) != 0 {
+		t.Errorf("refuted pair still in APair: %v", got)
+	}
+
+	// Confirm a pair the algorithm rejects: it must appear.
+	other := sys.AddGraphVertex("product")
+	sys.Refine([]Feedback{{Pair: Pair{U: u, V: other}, IsMatch: true}})
+	foundV, foundA := false, false
+	for _, m := range sys.VPairVertex(u) {
+		if m.V == other {
+			foundV = true
+		}
+	}
+	for _, m := range sys.APair() {
+		if m.U == u && m.V == other {
+			foundA = true
+		}
+	}
+	if !foundV || !foundA {
+		t.Errorf("confirmed pair missing: vpair=%v apair=%v", foundV, foundA)
+	}
+	if !sys.SPairVertices(u, other) {
+		t.Error("confirmed pair rejected via SPair")
+	}
+	if sys.Overrides() != 2 {
+		t.Errorf("overrides = %d", sys.Overrides())
+	}
+}
+
+// TestOverrideScope: a confirmed pair for tuple A must not leak into
+// VPair results of tuple B.
+func TestOverrideScope(t *testing.T) {
+	sys, _ := incrementalFixture(t)
+	id, err := sys.AddTuple("product", "Other Product 9", "green")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uA, _ := sys.Mapping.VertexOf("product", 0)
+	uB, _ := sys.Mapping.VertexOf("product", id)
+	v := sys.AddGraphVertex("product")
+	sys.Refine([]Feedback{{Pair: Pair{U: uA, V: v}, IsMatch: true}})
+	for _, m := range sys.VPairVertex(uB) {
+		if m.V == v {
+			t.Error("override for tuple A leaked into tuple B's VPair")
+		}
+	}
+}

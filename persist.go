@@ -1,0 +1,118 @@
+package her
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"her/internal/core"
+	"her/internal/embed"
+	"her/internal/lstm"
+	"her/internal/nn"
+	"her/internal/ranking"
+)
+
+// modelFile is the gob envelope for a System's learned state: the
+// trained M_ρ metric network, the M_r path language model, the selected
+// thresholds, the options they were trained under, and the refinement
+// state (verified pairs and fine-tuned label-pair verdicts). The graphs
+// and database are NOT persisted — they are the inputs; SaveModels
+// answers "train once, serve many" for the learned parameters.
+type modelFile struct {
+	Version   int
+	Options   Options
+	HasMetric bool
+	Metric    nn.Snapshot
+	HasLM     bool
+	LM        lstm.Snapshot
+	Overrides map[core.Pair]bool
+	MvTable   map[[2]string]float64
+}
+
+const modelFileVersion = 1
+
+// SaveModels serializes the learned parameters to w.
+func (s *System) SaveModels(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := modelFile{
+		Version:   modelFileVersion,
+		Options:   s.opts,
+		Overrides: make(map[core.Pair]bool, len(s.overrides)),
+		MvTable:   make(map[[2]string]float64),
+	}
+	for k, v := range s.overrides {
+		f.Overrides[k] = v
+	}
+	s.sc.mu.RLock()
+	for k, v := range s.sc.mvTable {
+		f.MvTable[k] = v
+	}
+	s.sc.mu.RUnlock()
+	if s.sc.metric != nil {
+		f.HasMetric = true
+		f.Metric = s.sc.metric.Snapshot()
+	}
+	if s.lm != nil {
+		f.HasLM = true
+		f.LM = s.lm.Snapshot()
+	}
+	return gob.NewEncoder(w).Encode(f)
+}
+
+// LoadModels restores learned parameters previously written with
+// SaveModels into this System (which must be built over the same —
+// or compatibly shaped — database and graph), then resets cached match
+// decisions.
+func (s *System) LoadModels(r io.Reader) error {
+	var f modelFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("her: decoding models: %w", err)
+	}
+	if f.Version != modelFileVersion {
+		return fmt.Errorf("her: unsupported model file version %d", f.Version)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opts = f.Options.Normalize()
+	if s.sc.enc.Dim() != s.opts.EmbeddingDim {
+		// The metric network's features are tied to the embedding
+		// dimension it was trained with; rebuild the scorers around a
+		// matching encoder.
+		s.sc = newScorers(embed.NewEncoder(s.opts.EmbeddingDim))
+	}
+	if f.HasMetric {
+		m, err := nn.FromSnapshot(f.Metric)
+		if err != nil {
+			return err
+		}
+		if m.InputSize() != 4*s.opts.EmbeddingDim {
+			return fmt.Errorf("her: metric input %d does not fit embedding dim %d",
+				m.InputSize(), s.opts.EmbeddingDim)
+		}
+		s.sc.metric = m
+	} else {
+		s.sc.metric = nil
+	}
+	if f.HasLM {
+		lm, err := lstm.FromSnapshot(f.LM)
+		if err != nil {
+			return err
+		}
+		s.lm = lm
+		s.rankerD = ranking.NewRanker(s.GD, lm, s.opts.MaxPathLen)
+		s.rankerG = ranking.NewRanker(s.G, lm, s.opts.MaxPathLen)
+	}
+	s.overrides = make(map[core.Pair]bool, len(f.Overrides))
+	for k, v := range f.Overrides {
+		s.overrides[k] = v
+	}
+	s.sc.mu.Lock()
+	s.sc.mvTable = make(map[[2]string]float64, len(f.MvTable))
+	for k, v := range f.MvTable {
+		s.sc.mvTable[k] = v
+	}
+	s.sc.mu.Unlock()
+	s.sc.invalidateRho()
+	return s.resetMatcherLocked()
+}

@@ -1,0 +1,152 @@
+package her
+
+import (
+	"io"
+
+	"her/internal/dataset"
+	"her/internal/graph"
+	"her/internal/json2graph"
+	"her/internal/learn"
+	"her/internal/relational"
+)
+
+// This file re-exports the substrate types and constructors a downstream
+// user needs to assemble inputs for a System — relational databases,
+// graphs, generated benchmark datasets and annotation utilities — so
+// that everything is reachable from the her package alone.
+
+type (
+	// Database is a relational database D of schema R.
+	Database = relational.Database
+	// RelationSchema describes one relation schema (attributes, key,
+	// foreign keys).
+	RelationSchema = relational.Schema
+	// ForeignKey declares a foreign-key attribute.
+	ForeignKey = relational.ForeignKey
+	// Relation is a set of tuples of one schema.
+	Relation = relational.Relation
+	// Graph is a directed labeled graph G = (V, E, L).
+	Graph = graph.Graph
+	// Dataset is a generated benchmark dataset: a database, a graph,
+	// ground-truth annotations and M_ρ training pairs.
+	Dataset = dataset.Generated
+	// DatasetConfig parameterizes the dataset generator.
+	DatasetConfig = dataset.Config
+	// AttrSpec describes one generated attribute and its graph encoding.
+	AttrSpec = dataset.AttrSpec
+	// DimSpec describes a generated foreign-key dimension.
+	DimSpec = dataset.DimSpec
+	// Annotators simulates a user panel with majority voting.
+	Annotators = learn.Annotators
+	// SearchSpace bounds the random threshold search.
+	SearchSpace = learn.SearchSpace
+	// Eval is a precision/recall/F-measure confusion matrix.
+	Eval = learn.Eval
+)
+
+// Null is the relational NULL sentinel.
+const Null = relational.Null
+
+// NewSchema creates a relation schema; key must be one of attrs when
+// non-empty.
+func NewSchema(name string, attrs []string, key string, fks ...ForeignKey) (*RelationSchema, error) {
+	return relational.NewSchema(name, attrs, key, fks...)
+}
+
+// NewDatabase creates an empty database over the given schemas.
+func NewDatabase(schemas ...*RelationSchema) *Database {
+	return relational.NewDatabase(schemas...)
+}
+
+// NewGraph creates an empty graph.
+func NewGraph() *Graph { return graph.New() }
+
+// DatasetNames lists the built-in benchmark dataset generators
+// (Table IV of the paper): UKGOV, DBpediaP, DBLP, IMDB, FBWIKI, 2T.
+func DatasetNames() []string {
+	return append([]string{}, dataset.Names...)
+}
+
+// GenerateDataset builds one of the named benchmark datasets (plus
+// "Synthetic") with the given matchable-entity count (0 = default).
+func GenerateDataset(name string, entities int) (*Dataset, error) {
+	cfg, ok := dataset.ByName(name, entities)
+	if !ok {
+		return nil, errUnknownDataset(name)
+	}
+	return dataset.Generate(cfg)
+}
+
+type errUnknownDataset string
+
+func (e errUnknownDataset) Error() string {
+	return "her: unknown dataset " + string(e)
+}
+
+// GenerateCustomDataset builds a dataset from an explicit configuration.
+func GenerateCustomDataset(cfg DatasetConfig) (*Dataset, error) {
+	return dataset.Generate(cfg)
+}
+
+// BuildExample1 constructs the paper's running example: the procurement
+// database of Tables I and II and the product knowledge graph of Fig. 1.
+func BuildExample1() (*Dataset, error) {
+	ex, err := dataset.BuildExample1()
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{DB: ex.DB, GD: ex.GD, Mapping: ex.Mapping, G: ex.G}, nil
+}
+
+// SplitAnnotations partitions annotations into train/validation/test
+// fractions (the paper uses 50% / 15% / 35%).
+func SplitAnnotations(anns []Annotation, trainFrac, valFrac float64, seed int64) (train, val, test []Annotation, err error) {
+	return learn.Split(anns, trainFrac, valFrac, seed)
+}
+
+// NewAnnotators creates a simulated user panel of the given size and
+// per-user error rate, with majority voting (Exp-4).
+func NewAnnotators(users int, errorRate float64, seed int64) (*Annotators, error) {
+	return learn.NewAnnotators(users, errorRate, seed)
+}
+
+// SelectFeedbackRound picks the most informative pairs for one
+// user-interaction round: current errors first, then random fill.
+func SelectFeedbackRound(pred func(Pair) bool, pool []Annotation, batch int, seed int64) []Annotation {
+	return learn.RefinementRound(pred, pool, batch, seed)
+}
+
+// DefaultSearchSpace returns the threshold ranges the paper sweeps.
+func DefaultSearchSpace() SearchSpace { return learn.DefaultSearchSpace() }
+
+// DumpDatabaseDir writes db to dir as schema.txt plus one CSV per
+// relation (the CSV future-work format).
+func DumpDatabaseDir(db *Database, dir string) error { return db.DumpDir(dir) }
+
+// LoadDatabaseDir reads a database dumped with DumpDatabaseDir and
+// validates its referential integrity.
+func LoadDatabaseDir(dir string) (*Database, error) { return relational.LoadDir(dir) }
+
+// DumpGraphTSV serializes a graph in the repository's TSV format.
+func DumpGraphTSV(g *Graph, w io.Writer) error { return g.WriteTSV(w) }
+
+// LoadGraphTSV parses a graph written by DumpGraphTSV.
+func LoadGraphTSV(r io.Reader) (*Graph, error) { return graph.ReadTSV(r) }
+
+// NewFromJSON builds a System whose left side is a set of JSON documents
+// instead of a relational database — the paper's first future-work item.
+// Each document becomes a rooted subgraph labeled typeLabel; the
+// returned roots are the entities to link (use VPairVertex or APairOf
+// with them).
+func NewFromJSON(docs [][]byte, typeLabel string, g *Graph, opts Options) (*System, []VertexID, error) {
+	gd := graph.New()
+	roots, err := json2graph.ConvertAll(gd, typeLabel, docs)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := NewFromGraphs(gd, g, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, roots, nil
+}

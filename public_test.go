@@ -1,0 +1,126 @@
+package her
+
+import (
+	"testing"
+)
+
+func TestPublicBuilders(t *testing.T) {
+	schema, err := NewSchema("r", []string{"a", "b"}, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(schema)
+	db.Relation("r").MustInsert("x", "y")
+	if db.NumTuples() != 1 {
+		t.Error("insert through public builder failed")
+	}
+	if _, err := NewSchema("bad", []string{"a", "a"}, ""); err == nil {
+		t.Error("duplicate attrs should fail")
+	}
+	g := NewGraph()
+	v := g.AddVertex("hello")
+	if g.Label(v) != "hello" {
+		t.Error("graph builder broken")
+	}
+}
+
+func TestDatasetNamesAndGenerate(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 6 {
+		t.Fatalf("DatasetNames = %v", names)
+	}
+	// Mutating the returned slice must not affect the package state.
+	names[0] = "corrupted"
+	if DatasetNames()[0] == "corrupted" {
+		t.Error("DatasetNames leaks internal state")
+	}
+	d, err := GenerateDataset("IMDB", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DB.NumTuples() == 0 || d.G.NumVertices() == 0 {
+		t.Error("generated dataset empty")
+	}
+	if _, err := GenerateDataset("NoSuch", 0); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}
+
+func TestGenerateCustomDataset(t *testing.T) {
+	cfg := DatasetConfig{
+		Name: "custom", Seed: 1, NumEntities: 10,
+		MainRelation: "thing", GraphLabel: "thing",
+		Attrs: []AttrSpec{
+			{Name: "label", Predicates: []string{"hasLabel"}, Identity: true},
+			{Name: "kind", Predicates: []string{"isOf", "kindName"}, Pool: []string{"x", "y"}},
+		},
+		NoiseLevel: 0.1,
+	}
+	d, err := GenerateCustomDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DB.NumTuples() != 10 {
+		t.Errorf("tuples = %d", d.DB.NumTuples())
+	}
+	bad := cfg
+	bad.NumEntities = 0
+	if _, err := GenerateCustomDataset(bad); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestBuildExample1Public(t *testing.T) {
+	d, err := BuildExample1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DB.NumTuples() != 5 {
+		t.Errorf("tuples = %d", d.DB.NumTuples())
+	}
+	sys, err := New(d.DB, d.G, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.GD.NumVertices() == 0 {
+		t.Error("canonical graph empty")
+	}
+}
+
+func TestSplitAnnotationsAndAnnotators(t *testing.T) {
+	d, err := GenerateDataset("Synthetic", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val, test, err := SplitAnnotations(d.Truth, 0.5, 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train)+len(val)+len(test) != len(d.Truth) {
+		t.Error("split lost annotations")
+	}
+	users, err := NewAnnotators(5, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := users.Inspect(d.Truth[:4])
+	if len(fb) != 4 {
+		t.Errorf("Inspect returned %d", len(fb))
+	}
+	batch := SelectFeedbackRound(func(Pair) bool { return false }, d.Truth, 10, 2)
+	if len(batch) != 10 {
+		t.Errorf("feedback round = %d", len(batch))
+	}
+	if sp := DefaultSearchSpace(); sp.KMax <= sp.KMin {
+		t.Error("default search space degenerate")
+	}
+}
+
+func TestNullConstant(t *testing.T) {
+	schema, _ := NewSchema("r", []string{"a", "b"}, "a")
+	db := NewDatabase(schema)
+	db.Relation("r").MustInsert("key", Null)
+	if _, ok := db.Relation("r").Get(db.Relation("r").Tuples[0], "b"); ok {
+		t.Error("Null sentinel not honored")
+	}
+}

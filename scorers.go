@@ -1,0 +1,99 @@
+package her
+
+import (
+	"strings"
+	"sync"
+
+	"her/internal/embed"
+	"her/internal/nn"
+)
+
+// scorers builds the M_v and M_ρ score functions of Section IV from the
+// embedding encoder, the (optionally trained) metric network, and the
+// feedback-derived label-pair table. Both functions are safe for
+// concurrent use and memoized.
+type scorers struct {
+	enc    *embed.Encoder
+	metric *nn.MLP // nil until TrainPathModel runs; falls back to lexical
+
+	mu      sync.RWMutex
+	mvTable map[[2]string]float64 // feedback-derived vertex-pair verdicts
+	rhoMemo map[string]float64
+	rhoLock sync.RWMutex
+}
+
+func newScorers(enc *embed.Encoder) *scorers {
+	return &scorers{
+		enc:     enc,
+		mvTable: make(map[[2]string]float64),
+		rhoMemo: make(map[string]float64),
+	}
+}
+
+// Mv is the vertex model M_v: (|cos| + cos)/2 over label embeddings,
+// overridden by fine-tuned verdicts from user feedback.
+func (s *scorers) Mv(a, b string) float64 {
+	s.mu.RLock()
+	if v, ok := s.mvTable[[2]string{a, b}]; ok {
+		s.mu.RUnlock()
+		return v
+	}
+	s.mu.RUnlock()
+	return s.enc.MvScore(a, b)
+}
+
+// setMvVerdict records a fine-tuned label-pair similarity (1 for
+// FN-derived "similar", 0 for FP-derived "dissimilar"), symmetrically.
+func (s *scorers) setMvVerdict(a, b string, score float64) {
+	s.mu.Lock()
+	s.mvTable[[2]string{a, b}] = score
+	s.mvTable[[2]string{b, a}] = score
+	s.mu.Unlock()
+	s.invalidateRho()
+}
+
+// pathFeatures builds the metric network's input for a pair of edge-label
+// sequences: [x1, x2, |x1-x2|, x1⊙x2], the standard sentence-pair
+// encoding over the sequence embeddings.
+func (s *scorers) pathFeatures(a, b []string) []float64 {
+	x1 := s.enc.EmbedSequence(a)
+	x2 := s.enc.EmbedSequence(b)
+	return embed.Concat(x1, x2, embed.AbsDiff(x1, x2), embed.Hadamard(x1, x2))
+}
+
+// Mrho is the path model M_ρ: the trained metric network over sequence
+// embeddings, or — before training — the non-negative cosine of the
+// sequence embeddings. Scores are memoized per label-sequence pair.
+func (s *scorers) Mrho(a, b []string) float64 {
+	key := strings.Join(a, "\x1f") + "\x1e" + strings.Join(b, "\x1f")
+	s.rhoLock.RLock()
+	if v, ok := s.rhoMemo[key]; ok {
+		s.rhoLock.RUnlock()
+		return v
+	}
+	s.rhoLock.RUnlock()
+
+	var v float64
+	if s.metric != nil {
+		v = s.metric.Score(s.pathFeatures(a, b))
+	} else {
+		c := embed.Cosine(s.enc.EmbedSequence(a), s.enc.EmbedSequence(b))
+		if c > 0 {
+			v = c
+		}
+	}
+	s.rhoLock.Lock()
+	s.rhoMemo[key] = v
+	s.rhoLock.Unlock()
+	return v
+}
+
+// invalidateRho clears the memo after the metric network changes.
+func (s *scorers) invalidateRho() {
+	s.rhoLock.Lock()
+	s.rhoMemo = make(map[string]float64)
+	s.rhoLock.Unlock()
+}
+
+// MvScore exposes the raw M_v score for diagnostics and examples.
+func (s *System) MvScore(a, b string) float64 { return s.sc.Mv(a, b) }

@@ -1,0 +1,87 @@
+package her
+
+import (
+	"math"
+	"testing"
+
+	"her/internal/embed"
+)
+
+func TestScorersMvOverride(t *testing.T) {
+	sc := newScorers(embed.NewEncoder(64))
+	base := sc.Mv("alpha", "omega")
+	if base > 0.5 {
+		t.Fatalf("unrelated labels score %f", base)
+	}
+	sc.setMvVerdict("alpha", "omega", 1)
+	if sc.Mv("alpha", "omega") != 1 || sc.Mv("omega", "alpha") != 1 {
+		t.Error("verdict not applied symmetrically")
+	}
+	sc.setMvVerdict("same", "same2", 0)
+	if sc.Mv("same", "same2") != 0 {
+		t.Error("dissimilar verdict not applied")
+	}
+}
+
+func TestScorersMrhoFallbackAndMemo(t *testing.T) {
+	sc := newScorers(embed.NewEncoder(64))
+	// Untrained: non-negative cosine fallback.
+	s1 := sc.Mrho([]string{"made_in"}, []string{"made_in"})
+	if math.Abs(s1-1) > 1e-9 {
+		t.Errorf("identical sequences = %f", s1)
+	}
+	s2 := sc.Mrho([]string{"made_in"}, []string{"qty"})
+	if s2 < 0 || s2 > 0.6 {
+		t.Errorf("unrelated sequences = %f", s2)
+	}
+	// Memoized: same value on repeat.
+	if sc.Mrho([]string{"made_in"}, []string{"qty"}) != s2 {
+		t.Error("memo broken")
+	}
+	// Separator safety: these must be distinct keys.
+	a := sc.Mrho([]string{"a", "b"}, []string{"c"})
+	b := sc.Mrho([]string{"a"}, []string{"b", "c"})
+	_ = a
+	_ = b
+	sc.invalidateRho()
+	if got := sc.Mrho([]string{"made_in"}, []string{"qty"}); math.Abs(got-s2) > 1e-12 {
+		t.Errorf("recompute after invalidate differs: %f vs %f", got, s2)
+	}
+}
+
+func TestScorersConcurrent(t *testing.T) {
+	sc := newScorers(embed.NewEncoder(32))
+	done := make(chan bool)
+	for w := 0; w < 4; w++ {
+		go func(id int) {
+			for i := 0; i < 200; i++ {
+				sc.Mv("label a", "label b")
+				sc.Mrho([]string{"x"}, []string{"y"})
+				if i%50 == 0 {
+					sc.setMvVerdict("k", "v", 1)
+				}
+			}
+			done <- true
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}
+
+func TestAsyncAPairFacade(t *testing.T) {
+	sys, _ := incrementalFixture(t)
+	seq := sys.APair()
+	par, stats, err := sys.APairParallelAsync(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("async %v vs sequential %v (stats %+v)", par, seq, stats)
+	}
+	for i := range par {
+		if par[i] != seq[i] {
+			t.Errorf("mismatch at %d", i)
+		}
+	}
+}

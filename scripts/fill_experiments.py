@@ -1,0 +1,36 @@
+# Splices measured tables from experiments_output.txt into EXPERIMENTS.md
+# placeholders of the form <!--TABLE:prefix-->. Run from the repo root:
+#   python3 internal/scripts_fill_experiments.py
+import re
+
+out = open('experiments_output.txt').read()
+blocks = {}
+cur_title, cur_lines = None, []
+for line in out.split('\n'):
+    m = re.match(r'^== (.*) ==$', line)
+    if m:
+        if cur_title:
+            blocks[cur_title] = '\n'.join(cur_lines).strip()
+        cur_title, cur_lines = m.group(1), []
+    elif cur_title is not None:
+        if line.startswith('[') or line.startswith('EXIT='):
+            blocks[cur_title] = '\n'.join(cur_lines).strip()
+            cur_title, cur_lines = None, []
+        else:
+            cur_lines.append(line)
+if cur_title:
+    blocks[cur_title] = '\n'.join(cur_lines).strip()
+
+doc = open('EXPERIMENTS.md').read()
+missing = []
+def repl(m):
+    prefix = m.group(1)
+    for title, body in blocks.items():
+        if title.startswith(prefix):
+            return '```\n== %s ==\n%s\n```' % (title, body)
+    missing.append(prefix)
+    return m.group(0)
+
+doc = re.sub(r'<!--TABLE:(.*?)-->', repl, doc)
+open('EXPERIMENTS.md', 'w').write(doc)
+print('filled; missing:', missing)

@@ -1,0 +1,62 @@
+package her
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSemanticJoin(t *testing.T) {
+	sys, _ := incrementalFixture(t)
+	rows, err := sys.SemanticJoin("product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("join rows = %d", len(rows))
+	}
+	row := rows[0]
+	if row.Tuple.Relation != "product" || row.Tuple.TupleID != 0 {
+		t.Errorf("tuple ref = %+v", row.Tuple)
+	}
+	if row.Attrs["name"] != "Aurora Trail Runner 7" || row.Attrs["color"] != "red" {
+		t.Errorf("attrs = %v", row.Attrs)
+	}
+	if row.Props["productName"] != "Aurora Trail Runner" {
+		t.Errorf("props = %v", row.Props)
+	}
+	if row.Aligned["name"] != "productName" || row.Aligned["color"] != "hasColor" {
+		t.Errorf("aligned = %v", row.Aligned)
+	}
+	if _, err := sys.SemanticJoin("nonexistent"); err == nil {
+		t.Error("unknown relation should fail")
+	}
+}
+
+func TestSemanticJoinNeedsMapping(t *testing.T) {
+	g := NewGraph()
+	g.AddVertex("a")
+	sys, err := NewFromGraphs(g, g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.SemanticJoin("r"); err == nil {
+		t.Error("graph-only system should refuse semantic join")
+	}
+}
+
+func TestExplanationRender(t *testing.T) {
+	sys, _ := incrementalFixture(t)
+	u, _ := sys.Mapping.VertexOf("product", 0)
+	matches := sys.VPairVertex(u)
+	if len(matches) != 1 {
+		t.Fatal("setup")
+	}
+	ex, err := sys.Explain(u, matches[0].V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ex.Render(sys)
+	if !strings.Contains(out, "lineage S:") || !strings.Contains(out, "productName") {
+		t.Errorf("render output:\n%s", out)
+	}
+}
