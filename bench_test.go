@@ -30,10 +30,15 @@ var (
 )
 
 func benchSetup(b *testing.B, name string, entities int) *benchState {
+	return benchSetupOpts(b, name, name, entities, Options{Seed: 7})
+}
+
+// benchSetupOpts is benchSetup with caller-chosen Options, cached under
+// an explicit key so instrumented and plain variants coexist.
+func benchSetupOpts(b *testing.B, key, name string, entities int, opts Options) *benchState {
 	b.Helper()
 	benchMu.Lock()
 	defer benchMu.Unlock()
-	key := name
 	if st, ok := benchCache[key]; ok {
 		return st
 	}
@@ -45,7 +50,7 @@ func benchSetup(b *testing.B, name string, entities int) *benchState {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sys, err := New(d.DB, d.G, Options{Seed: 7})
+	sys, err := New(d.DB, d.G, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -225,6 +230,32 @@ func benchEmbedDim(b *testing.B, dim int) {
 
 func BenchmarkTableVII_Dim100(b *testing.B) { benchEmbedDim(b, 100) }
 func BenchmarkTableVII_Dim300(b *testing.B) { benchEmbedDim(b, 300) }
+
+// --- Observability overhead ----------------------------------------------
+//
+// The acceptance bar for internal/obs: a System built WITHOUT a metrics
+// registry (the default) must run warm-cache SPair at the same speed as
+// before the instrumentation landed — every recording site degrades to
+// a nil check. The Enabled variant quantifies the cost of turning the
+// registry on.
+
+func benchObsSPair(b *testing.B, st *benchState) {
+	pairs := st.anns
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)].Pair
+		st.sys.SPairVertices(p.U, p.V)
+	}
+}
+
+func BenchmarkObsSPair_Disabled(b *testing.B) {
+	benchObsSPair(b, benchSetup(b, "DBpediaP", 100))
+}
+
+func BenchmarkObsSPair_Enabled(b *testing.B) {
+	benchObsSPair(b, benchSetupOpts(b, "DBpediaP+metrics", "DBpediaP", 100,
+		Options{Seed: 7, Metrics: NewMetrics()}))
+}
 
 // --- Substrate micro-benchmarks -------------------------------------------
 

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"her"
+	"her/internal/dataset"
+)
+
+// benchRecord is the machine-readable benchmark trajectory entry
+// written by -json: one sequential APair measurement plus one parallel
+// measurement per worker count, for both BSP and async engines.
+type benchRecord struct {
+	Dataset     string  `json:"dataset"`
+	Entities    int     `json:"entities"`
+	Tuples      int     `json:"tuples"`
+	GraphVerts  int     `json:"graphVertices"`
+	GoVersion   string  `json:"goVersion"`
+	NumCPU      int     `json:"numCPU"`
+	GeneratedAt string  `json:"generatedAt"`
+	TrainMillis float64 `json:"trainMillis"`
+
+	Sequential seqResult      `json:"sequential"`
+	Parallel   []parResult    `json:"parallel"`
+	Counters   map[string]int `json:"matcherCounters"`
+}
+
+type seqResult struct {
+	WallMillis float64 `json:"wallMillis"`
+	Matches    int     `json:"matches"`
+}
+
+type parResult struct {
+	Mode            string    `json:"mode"` // "bsp" or "async"
+	Workers         int       `json:"workers"`
+	WallMillis      float64   `json:"wallMillis"`
+	Matches         int       `json:"matches"`
+	Supersteps      int       `json:"supersteps"`
+	Requests        int       `json:"requests"`
+	Invalidations   int       `json:"invalidations"`
+	CandidatePairs  int       `json:"candidatePairs"`
+	PerWorkerPairs  []int     `json:"perWorkerPairs"`
+	PerWorkerCalls  []int     `json:"perWorkerCalls"`
+	SuperstepMillis []float64 `json:"superstepMillis"`
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// runBenchJSON trains a system over the dataset and records wall times
+// for sequential and parallel APair, writing the result as JSON.
+func runBenchJSON(path, dsName string, entities int, workers []int, seed int64) error {
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	if entities <= 0 {
+		entities = 100
+	}
+	if seed == 0 {
+		seed = 7
+	}
+	cfg, ok := dataset.ByName(dsName, entities)
+	if !ok {
+		return fmt.Errorf("unknown dataset %q", dsName)
+	}
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	sys, err := her.New(d.DB, d.G, her.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	trainStart := time.Now()
+	var training []her.PathPair
+	for i := 0; i < 20; i++ {
+		training = append(training, d.PathPairs...)
+	}
+	if err := sys.TrainPathModel(training, 0); err != nil {
+		return err
+	}
+	if err := sys.TrainRanker(120, 10); err != nil {
+		return err
+	}
+	if err := sys.SetThresholds(her.Thresholds{Sigma: 0.8, Delta: 1.6, K: 15}); err != nil {
+		return err
+	}
+	rec := benchRecord{
+		Dataset:     cfg.Name,
+		Entities:    entities,
+		Tuples:      d.DB.NumTuples(),
+		GraphVerts:  d.G.NumVertices(),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		TrainMillis: millis(time.Since(trainStart)),
+	}
+
+	seqStart := time.Now()
+	seqMatches := sys.APair()
+	rec.Sequential = seqResult{WallMillis: millis(time.Since(seqStart)), Matches: len(seqMatches)}
+	rec.Counters = counterMap(sys.Stats())
+
+	for _, n := range workers {
+		matches, st, err := sys.APairParallel(n)
+		if err != nil {
+			return err
+		}
+		rec.Parallel = append(rec.Parallel, toParResult("bsp", st, len(matches)))
+		matches, st, err = sys.APairParallelAsync(n)
+		if err != nil {
+			return err
+		}
+		rec.Parallel = append(rec.Parallel, toParResult("async", st, len(matches)))
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: seq %.1fms, %d worker configs\n", path, rec.Sequential.WallMillis, len(rec.Parallel))
+	return nil
+}
+
+func toParResult(mode string, st her.ParallelStats, matches int) parResult {
+	steps := make([]float64, len(st.SuperstepDurations))
+	for i, d := range st.SuperstepDurations {
+		steps[i] = millis(d)
+	}
+	return parResult{
+		Mode:            mode,
+		Workers:         st.Workers,
+		WallMillis:      millis(st.WallTime),
+		Matches:         matches,
+		Supersteps:      st.Supersteps,
+		Requests:        st.Requests,
+		Invalidations:   st.Invalidations,
+		CandidatePairs:  st.CandidatePairs,
+		PerWorkerPairs:  st.PerWorkerPairs,
+		PerWorkerCalls:  st.PerWorkerCalls,
+		SuperstepMillis: steps,
+	}
+}
+
+func counterMap(c her.Counters) map[string]int {
+	return map[string]int{
+		"calls":     c.Calls,
+		"cacheHits": c.CacheHits,
+		"cleanups":  c.Cleanups,
+		"rechecks":  c.Rechecks,
+	}
+}

@@ -5,6 +5,12 @@
 //	herbench -exp tableV
 //	herbench -exp fig6d -entities 150 -workers 1,2,4,8
 //	herbench -exp all -entities 100
+//
+// With -json the command instead records a machine-readable benchmark
+// trajectory entry (dataset, worker counts, wall-times, matcher
+// counters) — the file the repository tracks as BENCH_results.json:
+//
+//	herbench -json BENCH_results.json -dataset Synthetic -entities 100 -workers 1,2,4,8
 package main
 
 import (
@@ -25,9 +31,11 @@ func main() {
 	trials := flag.Int("trials", 0, "random-search trials for threshold selection (0 = default)")
 	seed := flag.Int64("seed", 0, "model seed (0 = default)")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.String("json", "", "write a machine-readable benchmark record to this path instead of running -exp")
+	dsName := flag.String("dataset", "Synthetic", "dataset for the -json benchmark record")
 	flag.Parse()
 
-	if *exp == "" {
+	if *exp == "" && *jsonOut == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -46,6 +54,14 @@ func main() {
 			}
 			cfg.Workers = append(cfg.Workers, n)
 		}
+	}
+
+	if *jsonOut != "" {
+		if err := runBenchJSON(*jsonOut, *dsName, *entities, cfg.Workers, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "herbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	start := time.Now()

@@ -7,13 +7,21 @@
 //
 // With -models the learned parameters are loaded from (or, with
 // -save-models, written to) a model file, so training happens once.
+//
+// The serving path is instrumented: GET /metrics exposes Prometheus
+// counters and histograms for HTTP requests, ParaMatch phases and BSP
+// supersteps. With -debug-addr a second listener serves net/http/pprof
+// profiles and expvar (including the live matcher counters) for
+// debugging without exposing them on the public address.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"her"
@@ -26,6 +34,8 @@ func main() {
 	name := flag.String("dataset", "Synthetic", "dataset name")
 	entities := flag.Int("entities", 150, "matchable entity count")
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty = disabled)")
+	noMetrics := flag.Bool("no-metrics", false, "disable the metrics registry (drops /metrics content)")
 	models := flag.String("models", "", "load learned parameters from this file instead of training")
 	saveModels := flag.String("save-models", "", "write learned parameters to this file after training")
 	flag.Parse()
@@ -38,7 +48,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := her.New(d.DB, d.G, her.Options{Seed: 7})
+	opts := her.Options{Seed: 7}
+	if !*noMetrics {
+		opts.Metrics = her.NewMetrics()
+	}
+	sys, err := her.New(d.DB, d.G, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,6 +102,19 @@ func main() {
 			}
 			log.Printf("saved models to %s", *saveModels)
 		}
+	}
+
+	if *debugAddr != "" {
+		// The pprof and expvar packages register on DefaultServeMux;
+		// publish the live matcher counters alongside the memstats and
+		// cmdline defaults.
+		expvar.Publish("her_matcher_counters", expvar.Func(func() interface{} {
+			return sys.Stats()
+		}))
+		go func() {
+			log.Printf("debug listener (pprof, expvar) on %s", *debugAddr)
+			log.Println(http.ListenAndServe(*debugAddr, nil))
+		}()
 	}
 
 	fmt.Printf("serving %s (%d tuples, |V|=%d) on %s\n",

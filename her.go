@@ -30,6 +30,7 @@ import (
 	"her/internal/index"
 	"her/internal/learn"
 	"her/internal/lstm"
+	"her/internal/obs"
 	"her/internal/ranking"
 	"her/internal/rdb2rdf"
 	"her/internal/relational"
@@ -58,7 +59,20 @@ type (
 	ParallelStats = bsp.Stats
 	// Counters reports matcher work.
 	Counters = core.Counters
+	// MetricsRegistry is the observability registry of internal/obs:
+	// named counters, gauges and latency histograms with Prometheus
+	// text exposition. Install one via Options.Metrics.
+	MetricsRegistry = obs.Registry
+	// Span is a traced region of work (obs span tracing).
+	Span = obs.Span
 )
+
+// NewMetrics creates an empty metrics registry to pass in
+// Options.Metrics and to serve at GET /metrics.
+func NewMetrics() *MetricsRegistry { return obs.NewRegistry() }
+
+// StartSpan opens a root tracing span; see internal/obs.
+func StartSpan(name string) *Span { return obs.StartSpan(name) }
 
 // System is one HER instance over a database D and a graph G.
 type System struct {
@@ -74,10 +88,11 @@ type System struct {
 	rankerD *ranking.Ranker
 	rankerG *ranking.Ranker
 
-	mu        sync.Mutex // guards matcher and overrides
+	mu        sync.Mutex // guards matcher, overrides and lastPar
 	matcher   *core.Matcher
 	gen       core.CandidateGen
 	overrides map[core.Pair]bool // user-verified pairs (Section IV refinement)
+	lastPar   *bsp.Stats         // stats of the most recent parallel APair run
 }
 
 // New builds a System from a relational database and a graph, converting
@@ -157,9 +172,14 @@ func (s *System) resetMatcherLocked() error {
 	if err != nil {
 		return err
 	}
+	m.SetMetrics(s.opts.Metrics)
 	s.matcher = m
 	return nil
 }
+
+// Metrics returns the registry the system was built with (nil when
+// instrumentation is disabled).
+func (s *System) Metrics() *MetricsRegistry { return s.opts.Metrics }
 
 // ResetMatchState drops all cached match decisions (e.g. after the
 // underlying scorers changed).
@@ -269,12 +289,14 @@ func (s *System) APairParallel(workers int) ([]Pair, ParallelStats, error) {
 	if err != nil {
 		return nil, ParallelStats{}, err
 	}
+	eng.Metrics = s.opts.Metrics
 	matches, stats, err := eng.Run(s.sources(), s.gen, bsp.Config{Workers: workers})
 	if err != nil {
 		return nil, stats, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.lastPar = &stats
 	return s.applyOverrides(matches, graph.NoVertex), stats, nil
 }
 
@@ -286,12 +308,14 @@ func (s *System) APairParallelAsync(workers int) ([]Pair, ParallelStats, error) 
 	if err != nil {
 		return nil, ParallelStats{}, err
 	}
+	eng.Metrics = s.opts.Metrics
 	matches, stats, err := eng.RunAsync(s.sources(), s.gen, bsp.Config{Workers: workers})
 	if err != nil {
 		return nil, stats, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.lastPar = &stats
 	return s.applyOverrides(matches, graph.NoVertex), stats, nil
 }
 
@@ -341,6 +365,18 @@ func (s *System) Stats() Counters {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.matcher.Stats()
+}
+
+// LastParallelStats reports the statistics of the most recent parallel
+// APair run (synchronous or asynchronous); ok is false when no parallel
+// run has happened yet.
+func (s *System) LastParallelStats() (st ParallelStats, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastPar == nil {
+		return ParallelStats{}, false
+	}
+	return *s.lastPar, true
 }
 
 // Explanation explains why a pair matches.

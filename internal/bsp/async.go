@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"her/internal/core"
 	"her/internal/graph"
@@ -23,6 +24,8 @@ func (e *Engine) RunAsync(sources []graph.VID, gen core.CandidateGen, cfg Config
 	if n < 1 {
 		return nil, Stats{}, fmt.Errorf("bsp: Workers must be ≥ 1, got %d", n)
 	}
+	runStart := time.Now()
+	met := e.metrics("async")
 	part, err := graph.PartitionEdgeCutSCC(e.G, n)
 	if err != nil {
 		return nil, Stats{}, err
@@ -53,6 +56,7 @@ func (e *Engine) RunAsync(sources []graph.VID, gen core.CandidateGen, cfg Config
 			return nil, Stats{}, err
 		}
 		m.EnableReadTracking()
+		m.SetMetrics(e.Metrics)
 		w := &asyncWorker{id: i, m: m, subs: make(map[core.Pair]map[int]bool)}
 		w.box.cond = sync.NewCond(&w.box.mu)
 		w.owns = func(v graph.VID) bool { return part.Of[v] == w.id }
@@ -60,10 +64,16 @@ func (e *Engine) RunAsync(sources []graph.VID, gen core.CandidateGen, cfg Config
 	}
 	send := func(to int, msg asyncMsg) {
 		atomic.AddInt64(&pending, 1)
-		if msg.kind == msgRequest {
+		switch msg.kind {
+		case msgRequest:
 			atomic.AddInt64(&requests, 1)
-		} else {
+			met.requests.Inc()
+		case msgRevalid:
 			atomic.AddInt64(&invalidations, 1)
+			met.revalid.Inc()
+		default:
+			atomic.AddInt64(&invalidations, 1)
+			met.invalid.Inc()
 		}
 		ws[to].box.push(msg)
 	}
@@ -111,6 +121,7 @@ func (e *Engine) RunAsync(sources []graph.VID, gen core.CandidateGen, cfg Config
 		}
 	}
 	probe.Reset()
+	met.pairs.Add(int64(stats.CandidatePairs))
 
 	var wg sync.WaitGroup
 	for _, w := range ws {
@@ -147,7 +158,9 @@ func (e *Engine) RunAsync(sources []graph.VID, gen core.CandidateGen, cfg Config
 	stats.Supersteps = 1 // asynchronous: a single logical round
 
 	var matches []core.Pair
+	stats.PerWorkerCalls = make([]int, n)
 	for _, w := range ws {
+		stats.PerWorkerCalls[w.id] = w.m.Stats().Calls
 		stats.Calls += w.m.Stats().Calls
 		for _, p := range w.cands {
 			if valid, found := w.m.Cached(p); found && valid {
@@ -161,6 +174,10 @@ func (e *Engine) RunAsync(sources []graph.VID, gen core.CandidateGen, cfg Config
 		}
 		return matches[a].V < matches[b].V
 	})
+	stats.WallTime = time.Since(runStart)
+	stats.SuperstepDurations = []time.Duration{stats.WallTime}
+	met.superstep.Observe(stats.WallTime.Seconds())
+	met.run.Observe(stats.WallTime.Seconds())
 	return matches, stats, nil
 }
 

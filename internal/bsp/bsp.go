@@ -22,9 +22,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"her/internal/core"
 	"her/internal/graph"
+	"her/internal/obs"
 	"her/internal/ranking"
 )
 
@@ -45,6 +47,12 @@ type Stats struct {
 	CandidatePairs int   // total candidate pairs across workers
 	PerWorkerPairs []int // work division: candidates per worker
 	Calls          int   // total ParaMatch invocations across workers
+	PerWorkerCalls []int // work division: ParaMatch invocations per worker
+	// SuperstepDurations records the wall time of each superstep (one
+	// entry for the whole run under the asynchronous engine, which has
+	// no barriers).
+	SuperstepDurations []time.Duration
+	WallTime           time.Duration // total run wall time
 }
 
 // Engine computes all matches across G_D and G in parallel.
@@ -53,6 +61,32 @@ type Engine struct {
 	RD    *ranking.Ranker
 	RG    *ranking.Ranker
 	P     core.Params
+	// Metrics, when non-nil, receives superstep/message/run metrics and
+	// is propagated to every worker's matcher for phase counters.
+	Metrics *obs.Registry
+}
+
+// engineMetrics resolves the engine's registry handles (all nil when
+// Metrics is nil, making every recording a no-op).
+type engineMetrics struct {
+	superstep *obs.Histogram // her_bsp_superstep_seconds
+	run       *obs.Histogram // her_bsp_run_seconds{mode=...}
+	requests  *obs.Counter   // her_bsp_messages_total{kind="request"}
+	invalid   *obs.Counter   // her_bsp_messages_total{kind="invalidation"}
+	revalid   *obs.Counter   // her_bsp_messages_total{kind="revalidation"}
+	pairs     *obs.Counter   // her_bsp_candidate_pairs_total
+}
+
+func (e *Engine) metrics(mode string) engineMetrics {
+	r := e.Metrics
+	return engineMetrics{
+		superstep: r.Histogram("her_bsp_superstep_seconds", nil),
+		run:       r.Histogram(`her_bsp_run_seconds{mode="`+mode+`"}`, nil),
+		requests:  r.Counter(`her_bsp_messages_total{kind="request"}`),
+		invalid:   r.Counter(`her_bsp_messages_total{kind="invalidation"}`),
+		revalid:   r.Counter(`her_bsp_messages_total{kind="revalidation"}`),
+		pairs:     r.Counter("her_bsp_candidate_pairs_total"),
+	}
 }
 
 // NewEngine creates a parallel engine; the rankers may be shared with a
@@ -102,6 +136,8 @@ func (e *Engine) Run(sources []graph.VID, gen core.CandidateGen, cfg Config) ([]
 	if n < 1 {
 		return nil, Stats{}, fmt.Errorf("bsp: Workers must be ≥ 1, got %d", n)
 	}
+	runStart := time.Now()
+	met := e.metrics("bsp")
 	maxSteps := cfg.MaxSupersteps
 	if maxSteps <= 0 {
 		maxSteps = 1000
@@ -126,6 +162,7 @@ func (e *Engine) Run(sources []graph.VID, gen core.CandidateGen, cfg Config) ([]
 			return nil, Stats{}, err
 		}
 		m.EnableReadTracking()
+		m.SetMetrics(e.Metrics)
 		w := &worker{id: i, eng: e, m: m, subs: make(map[core.Pair]map[int]bool)}
 		w.owns = func(v graph.VID) bool { return part.Of[v] == w.id }
 		m.SetDelegate(func(p core.Pair) bool {
@@ -164,6 +201,7 @@ func (e *Engine) Run(sources []graph.VID, gen core.CandidateGen, cfg Config) ([]
 		}
 	}
 	probe.Reset() // discard any state CandidatesFor warmed
+	met.pairs.Add(int64(stats.CandidatePairs))
 
 	// Inboxes for the next superstep.
 	inRequests := make([][]request, n)
@@ -172,6 +210,7 @@ func (e *Engine) Run(sources []graph.VID, gen core.CandidateGen, cfg Config) ([]
 
 	for step := 0; step < maxSteps; step++ {
 		stats.Supersteps++
+		stepStart := time.Now()
 		var wg sync.WaitGroup
 		for _, w := range workers {
 			wg.Add(1)
@@ -192,12 +231,14 @@ func (e *Engine) Run(sources []graph.VID, gen core.CandidateGen, cfg Config) ([]
 				owner := part.Of[p.V]
 				nextReq[owner] = append(nextReq[owner], request{p: p, from: w.id})
 				stats.Requests++
+				met.requests.Inc()
 				busy = true
 			}
 			for _, p := range w.invalided {
 				for sub := range w.subs[p] {
 					nextInv[sub] = append(nextInv[sub], p)
 					stats.Invalidations++
+					met.invalid.Inc()
 					busy = true
 				}
 			}
@@ -205,17 +246,22 @@ func (e *Engine) Run(sources []graph.VID, gen core.CandidateGen, cfg Config) ([]
 				for sub := range w.subs[p] {
 					nextRev[sub] = append(nextRev[sub], p)
 					stats.Invalidations++
+					met.revalid.Inc()
 					busy = true
 				}
 			}
 			for _, msg := range w.directInv {
 				nextInv[msg.to] = append(nextInv[msg.to], msg.p)
 				stats.Invalidations++
+				met.invalid.Inc()
 				busy = true
 			}
 			w.newAssumed, w.invalided, w.revalided, w.directInv = nil, nil, nil, nil
 		}
 		inRequests, inInvalid, inRevalid = nextReq, nextInv, nextRev
+		stepDur := time.Since(stepStart)
+		stats.SuperstepDurations = append(stats.SuperstepDurations, stepDur)
+		met.superstep.Observe(stepDur.Seconds())
 		if !busy {
 			break
 		}
@@ -223,7 +269,9 @@ func (e *Engine) Run(sources []graph.VID, gen core.CandidateGen, cfg Config) ([]
 
 	// Union of partial results, read from the final per-owner caches.
 	var matches []core.Pair
+	stats.PerWorkerCalls = make([]int, n)
 	for _, w := range workers {
+		stats.PerWorkerCalls[w.id] = w.m.Stats().Calls
 		stats.Calls += w.m.Stats().Calls
 		for _, p := range w.cands {
 			if valid, found := w.m.Cached(p); found && valid {
@@ -239,6 +287,8 @@ func (e *Engine) Run(sources []graph.VID, gen core.CandidateGen, cfg Config) ([]
 	})
 	// Candidate lists are disjoint across workers (owned by v), so no
 	// dedup is needed.
+	stats.WallTime = time.Since(runStart)
+	met.run.Observe(stats.WallTime.Seconds())
 	return matches, stats, nil
 }
 

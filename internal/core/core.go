@@ -104,6 +104,10 @@ type Matcher struct {
 	// refinement terminates.
 	frozen map[Pair]bool
 
+	// met mirrors the stats counters into an obs.Registry and adds
+	// phase latency histograms; the zero value is disabled.
+	met coreMetrics
+
 	// onInvalid, when set, observes pairs whose cached state becomes
 	// false (used by the BSP engine to emit messages).
 	onInvalid func(Pair)
@@ -285,9 +289,10 @@ func (m *Matcher) Match(u, v graph.VID) bool {
 	p := Pair{U: u, V: v}
 	if e, ok := m.cache[p]; ok {
 		m.stats.CacheHits++
+		m.met.cacheHits.Inc()
 		return e.valid
 	}
-	return m.match(p)
+	return m.timedMatch(p)
 }
 
 // maxRechecks bounds cleanup-triggered re-runs per pair, implementing the
@@ -342,6 +347,7 @@ func (m *Matcher) match(p Pair) bool {
 		return true
 	}
 	m.stats.Calls++
+	m.met.calls.Inc()
 	u, v := p.U, p.V
 
 	// Initial stage (lines 1-11).
@@ -405,6 +411,7 @@ func (m *Matcher) match(p Pair) bool {
 			var ok bool
 			if e, found := m.cache[cp]; found {
 				m.stats.CacheHits++
+				m.met.cacheHits.Inc()
 				ok = e.valid
 			} else {
 				ok = m.match(cp)
@@ -439,6 +446,7 @@ func (m *Matcher) match(p Pair) bool {
 // overflow the stack.
 func (m *Matcher) fail(p Pair) bool {
 	m.stats.Cleanups++
+	m.met.cleanups.Inc()
 	m.setInvalid(p)
 	m.scheduleAffected(p)
 	m.drainReruns()
@@ -491,6 +499,7 @@ func (m *Matcher) drainReruns() {
 		delete(m.assumed, q)
 		m.recheck[q]++
 		m.stats.Rechecks++
+		m.met.rechecks.Inc()
 		if m.recheck[q] > m.maxRechecks() {
 			// Bounded-call safeguard: freeze the pair at a conservative
 			// invalid verdict (permanently — re-scheduling a capped pair
@@ -498,6 +507,7 @@ func (m *Matcher) drainReruns() {
 			// dependants one final time.
 			m.frozen[q] = true
 			m.stats.Cleanups++
+			m.met.cleanups.Inc()
 			m.setInvalid(q)
 			m.scheduleAffected(q)
 			continue

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"her/internal/graph"
+	"her/internal/obs"
+)
+
+// newTestMatcher builds a small scenario with one real match, one
+// refuted root (same label, mismatched properties → cleanup), and
+// enough structure to exercise the cache.
+func newTestMatcher(t *testing.T) *Matcher {
+	t.Helper()
+	gd := graph.New()
+	p1 := gd.AddVertex("product")
+	gd.MustAddEdge(p1, gd.AddVertex("red"), "color")
+	gd.MustAddEdge(p1, gd.AddVertex("shoe"), "type")
+	p2 := gd.AddVertex("product")
+	gd.MustAddEdge(p2, gd.AddVertex("green"), "color")
+	gd.MustAddEdge(p2, gd.AddVertex("boot"), "type")
+
+	g := graph.New()
+	q1 := g.AddVertex("product")
+	g.MustAddEdge(q1, g.AddVertex("red"), "color")
+	g.MustAddEdge(q1, g.AddVertex("shoe"), "type")
+
+	return newMatcher(t, gd, g, Params{Mv: exactMv, Mrho: exactMrho, Sigma: 0.9, Delta: 0.9, K: 4})
+}
+
+// TestMatcherMetricsMirrorCounters checks that a registry-backed matcher
+// records the same work the Counters report, plus phase latencies.
+func TestMatcherMetricsMirrorCounters(t *testing.T) {
+	m := newTestMatcher(t)
+	r := obs.NewRegistry()
+	m.SetMetrics(r)
+
+	pairs := m.APair(nil, nil)
+	if len(pairs) == 0 {
+		t.Fatal("no matches on the test graphs")
+	}
+	// Re-query to force cache hits.
+	for _, p := range pairs {
+		m.Match(p.U, p.V)
+	}
+
+	st := m.Stats()
+	if got := r.Counter("her_core_paramatch_calls_total").Value(); got != int64(st.Calls) {
+		t.Errorf("calls metric = %d, counters = %d", got, st.Calls)
+	}
+	if got := r.Counter("her_core_cache_hits_total").Value(); got != int64(st.CacheHits) {
+		t.Errorf("cache hits metric = %d, counters = %d", got, st.CacheHits)
+	}
+	if got := r.Counter("her_core_cleanups_total").Value(); got != int64(st.Cleanups) {
+		t.Errorf("cleanups metric = %d, counters = %d", got, st.Cleanups)
+	}
+	if h := r.Histogram("her_core_paramatch_seconds", nil); h.Count() == 0 {
+		t.Error("no ParaMatch latency observations")
+	}
+	if h := r.Histogram("her_core_candgen_seconds", nil); h.Count() == 0 {
+		t.Error("no candidate-generation latency observations")
+	}
+	if got := r.Counter("her_core_candidates_total").Value(); got == 0 {
+		t.Error("no candidates counted")
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# TYPE her_core_paramatch_seconds histogram") {
+		t.Errorf("exposition missing core histogram:\n%s", b.String())
+	}
+}
+
+// TestMatcherMetricsDisabled confirms the nil registry leaves handles
+// inert and behavior identical.
+func TestMatcherMetricsDisabled(t *testing.T) {
+	m := newTestMatcher(t)
+	m.SetMetrics(nil)
+	with := m.APair(nil, nil)
+
+	m2 := newTestMatcher(t)
+	r := obs.NewRegistry()
+	m2.SetMetrics(r)
+	without := m2.APair(nil, nil)
+
+	if len(with) != len(without) {
+		t.Errorf("instrumentation changed results: %d vs %d", len(with), len(without))
+	}
+	if m.Stats() != m2.Stats() {
+		t.Errorf("instrumentation changed counters: %+v vs %+v", m.Stats(), m2.Stats())
+	}
+}

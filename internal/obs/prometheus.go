@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// family returns the metric family of a possibly-labeled series name:
+// the part before the first '{'.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labels returns the label block of a series name without the braces,
+// or "" when unlabeled.
+func labels(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return strings.TrimSuffix(name[i+1:], "}")
+	}
+	return ""
+}
+
+// withLabel appends one label to a series name's label set, e.g.
+// withLabel(`h{path="/x"}`, "le", "0.5") → `h{path="/x",le="0.5"}`.
+func withLabel(name, key, val string) string {
+	fam, lb := family(name), labels(name)
+	if lb == "" {
+		return fmt.Sprintf("%s{%s=%q}", fam, key, val)
+	}
+	return fmt.Sprintf("%s{%s,%s=%q}", fam, lb, key, val)
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4), grouped by family with # TYPE
+// headers and sorted for deterministic output. Safe for concurrent use
+// with ongoing observations. No-op on a nil registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	writeFamilies(&b, "counter", sortedKeys(counters), func(name string) {
+		fmt.Fprintf(&b, "%s %d\n", name, counters[name].Value())
+	})
+	writeFamilies(&b, "gauge", sortedKeys(gauges), func(name string) {
+		fmt.Fprintf(&b, "%s %s\n", name, formatFloat(gauges[name].Value()))
+	})
+	writeFamilies(&b, "histogram", sortedKeys(histograms), func(name string) {
+		h := histograms[name]
+		bounds, cum, total := h.snapshot()
+		bucket := family(name) + "_bucket" + braced(labels(name))
+		for i, ub := range bounds {
+			fmt.Fprintf(&b, "%s %d\n", withLabel(bucket, "le", formatFloat(ub)), cum[i])
+		}
+		fmt.Fprintf(&b, "%s %d\n", withLabel(bucket, "le", "+Inf"), total)
+		fmt.Fprintf(&b, "%s %s\n", family(name)+"_sum"+braced(labels(name)), formatFloat(h.Sum()))
+		fmt.Fprintf(&b, "%s %d\n", family(name)+"_count"+braced(labels(name)), h.Count())
+	})
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func braced(lb string) string {
+	if lb == "" {
+		return ""
+	}
+	return "{" + lb + "}"
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// writeFamilies emits series grouped by family, with one # TYPE header
+// per family.
+func writeFamilies(b *strings.Builder, typ string, names []string, emit func(name string)) {
+	lastFam := ""
+	for _, name := range names {
+		if f := family(name); f != lastFam {
+			fmt.Fprintf(b, "# TYPE %s %s\n", f, typ)
+			lastFam = f
+		}
+		emit(name)
+	}
+}

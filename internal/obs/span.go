@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed region of work. Spans form a tree: StartSpan opens
+// a root, Child opens a nested span, End closes one. A nil *Span is a
+// valid disabled span — Child returns nil and End is a no-op — so
+// tracing call sites need no conditionals.
+//
+// A Span's children may be appended from the goroutine that owns the
+// span; concurrent children are supported through the internal lock.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	children []*Span
+}
+
+// StartSpan opens a root span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child opens a sub-span under s. Returns nil on a nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span. Closing twice keeps the first end time. No-op on
+// a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SpanNode is the exported form of a span tree, JSON-serializable.
+type SpanNode struct {
+	Name       string     `json:"name"`
+	StartNanos int64      `json:"startNanos"`
+	Millis     float64    `json:"millis"`
+	Children   []SpanNode `json:"children,omitempty"`
+}
+
+// Export snapshots the span tree with wall-times. A still-open span
+// reports its duration up to now. Returns a zero node on nil.
+func (s *Span) Export() SpanNode {
+	if s == nil {
+		return SpanNode{}
+	}
+	s.mu.Lock()
+	end := s.end
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	s.mu.Unlock()
+	if end.IsZero() {
+		end = time.Now()
+	}
+	n := SpanNode{
+		Name:       s.name,
+		StartNanos: s.start.UnixNano(),
+		Millis:     float64(end.Sub(s.start)) / float64(time.Millisecond),
+	}
+	for _, c := range kids {
+		n.Children = append(n.Children, c.Export())
+	}
+	return n
+}
+
+// Render writes the tree as an indented outline, for logs and CLIs.
+func (n SpanNode) Render() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n SpanNode) render(b *strings.Builder, depth int) {
+	fmt.Fprintf(b, "%s%s %.3fms\n", strings.Repeat("  ", depth), n.Name, n.Millis)
+	for _, c := range n.Children {
+		c.render(b, depth+1)
+	}
+}

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"her"
+)
+
+// instrumentedSystem is trainedSystem with a metrics registry attached,
+// so HTTP, core and (after /apair) BSP metrics share one exposition.
+func instrumentedSystem(t *testing.T) (*her.System, her.VertexID) {
+	t.Helper()
+	sys, p1, _ := trainedSystemWithOpts(t, her.Options{Seed: 2, Metrics: her.NewMetrics()})
+	return sys, p1
+}
+
+func getRaw(t *testing.T, h http.Handler, url string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	sys, p1 := instrumentedSystem(t)
+	srv := New(sys)
+
+	// Generate traffic across statuses and a parallel run.
+	get(t, srv, "/spair?rel=product&tuple=0&vertex="+itoa(p1)) // 200
+	get(t, srv, "/vpair?rel=product&tuple=0")                  // 200
+	get(t, srv, "/spair?rel=product&tuple=zzz&vertex=0")       // 400
+	get(t, srv, "/spair?rel=ghost&tuple=0&vertex=0")           // 404
+	get(t, srv, "/apair?workers=2")                            // 200, BSP run
+
+	code, body := getRaw(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE her_http_requests_total counter",
+		`her_http_requests_total{endpoint="/spair",status="200"} 1`,
+		`her_http_requests_total{endpoint="/spair",status="400"} 1`,
+		`her_http_requests_total{endpoint="/spair",status="404"} 1`,
+		`her_http_requests_total{endpoint="/vpair",status="200"} 1`,
+		"# TYPE her_http_request_seconds histogram",
+		`her_http_request_seconds_bucket{endpoint="/vpair",le="+Inf"} 1`,
+		`her_http_request_seconds_count{endpoint="/vpair"} 1`,
+		// Core phase metrics flow through the shared registry.
+		"# TYPE her_core_paramatch_seconds histogram",
+		"her_core_paramatch_calls_total",
+		// BSP metrics from the /apair run.
+		"# TYPE her_bsp_superstep_seconds histogram",
+		`her_bsp_run_seconds_count{mode="bsp"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestMetricsWithoutSystemRegistry(t *testing.T) {
+	// A system built without Options.Metrics still gets HTTP metrics
+	// from the server's private registry.
+	sys, _, _ := trainedSystem(t)
+	srv := New(sys)
+	get(t, srv, "/healthz")
+	code, body := getRaw(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	if !strings.Contains(body, `her_http_requests_total{endpoint="/healthz",status="200"} 1`) {
+		t.Errorf("missing healthz sample:\n%s", body)
+	}
+	// No core metrics: the matcher has no registry.
+	if strings.Contains(body, "her_core_paramatch_calls_total") {
+		t.Error("core metrics leaked into a server-private registry")
+	}
+}
+
+func TestMiddlewareBoundsEndpointCardinality(t *testing.T) {
+	sys, _, _ := trainedSystem(t)
+	srv := New(sys)
+	getRaw(t, srv, "/totally/unknown/path-1")
+	getRaw(t, srv, "/totally/unknown/path-2")
+	_, body := getRaw(t, srv, "/metrics")
+	if !strings.Contains(body, `her_http_requests_total{endpoint="other",status="404"} 2`) {
+		t.Errorf("unknown paths not folded into \"other\":\n%s", body)
+	}
+	if strings.Contains(body, "path-1") {
+		t.Error("raw unknown path leaked into a metric label")
+	}
+}
+
+func TestAPairWorkersBound(t *testing.T) {
+	sys, _, _ := trainedSystem(t)
+	srv := New(sys)
+	if code, _ := get(t, srv, "/apair?workers=100000"); code != http.StatusBadRequest {
+		t.Errorf("absurd workers accepted: %d", code)
+	}
+	if code, _ := get(t, srv, "/apair?workers=-3"); code != http.StatusBadRequest {
+		t.Errorf("negative workers accepted: %d", code)
+	}
+	srv.MaxWorkers = 2
+	if code, _ := get(t, srv, "/apair?workers=3"); code != http.StatusBadRequest {
+		t.Errorf("workers above custom bound accepted: %d", code)
+	}
+	if code, _ := get(t, srv, "/apair?workers=2"); code != http.StatusOK {
+		t.Errorf("workers at the bound rejected: %d", code)
+	}
+}
+
+func TestStatsIncludesParallelRun(t *testing.T) {
+	sys, _, _ := trainedSystem(t)
+	srv := New(sys)
+	// Before any parallel run the key is absent.
+	_, body := get(t, srv, "/stats")
+	if _, ok := body["parallel"]; ok {
+		t.Error("parallel stats present before any parallel run")
+	}
+	get(t, srv, "/apair?workers=2")
+	_, body = get(t, srv, "/stats")
+	par, ok := body["parallel"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("no parallel stats after /apair: %v", body)
+	}
+	if par["workers"].(float64) != 2 {
+		t.Errorf("workers = %v", par["workers"])
+	}
+	if par["supersteps"].(float64) < 1 {
+		t.Errorf("supersteps = %v", par["supersteps"])
+	}
+	if _, ok := par["perWorkerPairs"].([]interface{}); !ok {
+		t.Errorf("perWorkerPairs = %v", par["perWorkerPairs"])
+	}
+	if par["wallMillis"].(float64) <= 0 {
+		t.Errorf("wallMillis = %v", par["wallMillis"])
+	}
+}
+
+func TestServerErrorPaths(t *testing.T) {
+	sys, _, _ := trainedSystem(t)
+	srv := New(sys)
+	cases := []struct {
+		url  string
+		want int
+	}{
+		{"/vpair?rel=ghost&tuple=0", http.StatusNotFound},       // bad rel
+		{"/vpair?rel=product&tuple=abc", http.StatusBadRequest}, // non-numeric tuple
+		{"/vpair?tuple=0", http.StatusBadRequest},               // missing rel
+		{"/explain?rel=product&tuple=nope&vertex=0", http.StatusBadRequest},
+		{"/feedback", http.StatusMethodNotAllowed}, // GET on a POST endpoint
+	}
+	for _, c := range cases {
+		if code, _ := get(t, srv, c.url); code != c.want {
+			t.Errorf("GET %s = %d, want %d", c.url, code, c.want)
+		}
+	}
+	// Malformed feedback body.
+	req := httptest.NewRequest(http.MethodPost, "/feedback", strings.NewReader("{not json"))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad feedback body = %d", rec.Code)
+	}
+	// Unknown tuple in feedback.
+	req = httptest.NewRequest(http.MethodPost, "/feedback",
+		strings.NewReader(`[{"rel":"ghost","tuple":9,"vertex":0,"match":true}]`))
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown feedback tuple = %d", rec.Code)
+	}
+}

@@ -10,6 +10,13 @@
 //	GET  /explain?rel=item&tuple=0&vertex=12
 //	POST /feedback     [{"rel":"item","tuple":0,"vertex":12,"match":true}]
 //	GET  /stats
+//	GET  /metrics      (Prometheus text exposition)
+//
+// Every request passes through an instrumentation middleware that
+// records per-endpoint request counts, status codes and latency
+// histograms into the system's metrics registry (or a private one when
+// the system was built without instrumentation), so /metrics always
+// covers the serving path.
 package server
 
 import (
@@ -17,22 +24,35 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"her"
+	"her/internal/obs"
 )
 
 // Server wraps a System with HTTP handlers.
 type Server struct {
 	sys *her.System
 	mux *http.ServeMux
+	reg *obs.Registry
 	// MaxAPairMatches caps the matches returned inline by /apair
 	// (default 1000); the full count is always reported.
 	MaxAPairMatches int
+	// MaxWorkers bounds the workers query parameter of /apair (default
+	// 32): a request may not spawn an arbitrary goroutine fleet.
+	MaxWorkers int
 }
 
-// New builds the handler around a trained system.
+// New builds the handler around a trained system. HTTP metrics land in
+// the system's registry when it has one, so core/bsp and serving
+// metrics share one /metrics page; otherwise a server-private registry
+// still captures the HTTP side.
 func New(sys *her.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux(), MaxAPairMatches: 1000}
+	reg := sys.Metrics()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{sys: sys, mux: http.NewServeMux(), reg: reg, MaxAPairMatches: 1000, MaxWorkers: 32}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/spair", s.handleSPair)
 	s.mux.HandleFunc("/vpair", s.handleVPair)
@@ -40,12 +60,53 @@ func New(sys *her.System) *Server {
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/feedback", s.handleFeedback)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// Metrics returns the registry the server records HTTP metrics into.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// knownEndpoints bounds the cardinality of the endpoint label: paths
+// outside this set are recorded as "other".
+var knownEndpoints = map[string]bool{
+	"/healthz": true, "/spair": true, "/vpair": true, "/apair": true,
+	"/explain": true, "/feedback": true, "/stats": true, "/metrics": true,
+}
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler: the instrumentation middleware
+// wrapping the mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	t0 := time.Now()
+	sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sr, r)
+
+	endpoint := r.URL.Path
+	if !knownEndpoints[endpoint] {
+		endpoint = "other"
+	}
+	s.reg.Counter(fmt.Sprintf(`her_http_requests_total{endpoint=%q,status="%d"}`,
+		endpoint, sr.status)).Inc()
+	s.reg.Histogram(fmt.Sprintf(`her_http_request_seconds{endpoint=%q}`, endpoint),
+		nil).ObserveSince(t0)
+}
+
+// handleMetrics serves the Prometheus text exposition of every metric
+// recorded so far (HTTP, core matcher phases, BSP engine).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -129,6 +190,11 @@ func (s *Server) handleAPair(w http.ResponseWriter, r *http.Request) {
 		n, err := strconv.Atoi(q)
 		if err != nil || n < 1 {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad workers parameter %q", q))
+			return
+		}
+		if n > s.MaxWorkers {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("workers %d exceeds the limit of %d", n, s.MaxWorkers))
 			return
 		}
 		workers = n
@@ -237,11 +303,30 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.sys.Stats()
 	th := s.sys.Thresholds()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	out := map[string]interface{}{
 		"thresholds": map[string]interface{}{"sigma": th.Sigma, "delta": th.Delta, "k": th.K},
 		"matcher": map[string]int{
 			"calls": st.Calls, "cacheHits": st.CacheHits,
 			"cleanups": st.Cleanups, "rechecks": st.Rechecks,
 		},
-	})
+	}
+	if ps, ok := s.sys.LastParallelStats(); ok {
+		stepMillis := make([]float64, len(ps.SuperstepDurations))
+		for i, d := range ps.SuperstepDurations {
+			stepMillis[i] = float64(d) / float64(time.Millisecond)
+		}
+		out["parallel"] = map[string]interface{}{
+			"workers":         ps.Workers,
+			"supersteps":      ps.Supersteps,
+			"requests":        ps.Requests,
+			"invalidations":   ps.Invalidations,
+			"candidatePairs":  ps.CandidatePairs,
+			"perWorkerPairs":  ps.PerWorkerPairs,
+			"perWorkerCalls":  ps.PerWorkerCalls,
+			"calls":           ps.Calls,
+			"superstepMillis": stepMillis,
+			"wallMillis":      float64(ps.WallTime) / float64(time.Millisecond),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }

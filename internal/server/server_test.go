@@ -15,6 +15,13 @@ import (
 // the handler tests.
 func trainedSystem(t *testing.T) (*her.System, her.VertexID, her.VertexID) {
 	t.Helper()
+	return trainedSystemWithOpts(t, her.Options{Seed: 2})
+}
+
+// trainedSystemWithOpts is trainedSystem with caller-chosen Options
+// (e.g. a metrics registry).
+func trainedSystemWithOpts(t *testing.T, opts her.Options) (*her.System, her.VertexID, her.VertexID) {
+	t.Helper()
 	schema, err := her.NewSchema("product", []string{"name", "color"}, "name")
 	if err != nil {
 		t.Fatal(err)
@@ -33,7 +40,7 @@ func trainedSystem(t *testing.T) (*her.System, her.VertexID, her.VertexID) {
 	p1 := mk("Aurora Trail Runner", "red")
 	p2 := mk("Comet Road Cruiser", "blue")
 
-	sys, err := her.New(db, g, her.Options{Seed: 2})
+	sys, err := her.New(db, g, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

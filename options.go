@@ -41,6 +41,14 @@ type Options struct {
 	// inverted index (default 2: a candidate entity must share at least
 	// two tokens of "critical information" with the tuple).
 	MinSharedTokens int
+
+	// Metrics, when non-nil, instruments the system: the sequential
+	// matcher, the BSP engine's workers and supersteps, and (through
+	// internal/server) the HTTP serving path all record into this
+	// registry, exposable in Prometheus text format. Nil (the default)
+	// disables instrumentation at effectively zero cost — every
+	// recording site degrades to a single nil check.
+	Metrics *MetricsRegistry
 }
 
 // Normalize returns a copy with defaults filled in.

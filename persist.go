@@ -41,6 +41,8 @@ func (s *System) SaveModels(w io.Writer) error {
 		Overrides: make(map[core.Pair]bool, len(s.overrides)),
 		MvTable:   make(map[[2]string]float64),
 	}
+	// The metrics registry is runtime state, not a learned parameter.
+	f.Options.Metrics = nil
 	for k, v := range s.overrides {
 		f.Overrides[k] = v
 	}
@@ -74,7 +76,9 @@ func (s *System) LoadModels(r io.Reader) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	met := s.opts.Metrics // registry stays with the live System, not the file
 	s.opts = f.Options.Normalize()
+	s.opts.Metrics = met
 	if s.sc.enc.Dim() != s.opts.EmbeddingDim {
 		// The metric network's features are tied to the embedding
 		// dimension it was trained with; rebuild the scorers around a

@@ -80,3 +80,37 @@ func TestLoadModelsErrors(t *testing.T) {
 	u, _ := other.Mapping.VertexOf("product", 0)
 	other.VPairVertex(u)
 }
+
+// TestPersistWithMetricsRegistry: the gob envelope must not serialize
+// the runtime metrics registry (a struct with no exported fields), a
+// save from an instrumented system must succeed, and a load must keep
+// the receiving System's registry wired to the rebuilt matcher.
+func TestPersistWithMetricsRegistry(t *testing.T) {
+	sys, _ := incrementalFixture(t)
+	var buf bytes.Buffer
+	if err := sys.SaveModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewMetrics()
+	other, err := New(sys.DB, sys.G, Options{Seed: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if other.Metrics() != reg {
+		t.Fatal("LoadModels dropped the live metrics registry")
+	}
+	other.APair()
+	if reg.Counter("her_core_paramatch_calls_total").Value() == 0 {
+		t.Error("matcher not wired to the registry after LoadModels")
+	}
+
+	// And the instrumented system itself must be able to save.
+	var buf2 bytes.Buffer
+	if err := other.SaveModels(&buf2); err != nil {
+		t.Fatalf("saving from an instrumented system: %v", err)
+	}
+}

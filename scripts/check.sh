@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# check.sh is the tier-1 gate (see ROADMAP.md): formatting, vet, build,
+# the full test suite, and the race detector over the concurrency-heavy
+# packages. Run it before every commit; CI runs exactly this.
+#
+# The race run is scoped rather than ./... because race instrumentation
+# slows the training-heavy root-package tests 10-20x — enough to trip
+# Go's 10-minute per-package timeout on small machines. The packages
+# below are the ones with real concurrency (the metrics registry, the
+# HTTP server, the BSP/async engines and the matcher they share).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l . 2>/dev/null || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/obs ./internal/server ./internal/bsp ./internal/core
+
+echo "check.sh: all gates passed"
