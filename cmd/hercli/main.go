@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -22,29 +23,42 @@ import (
 )
 
 func main() {
-	name := flag.String("dataset", "Synthetic", "dataset name")
-	entities := flag.Int("entities", 150, "matchable entity count")
-	mode := flag.String("mode", "apair", "spair | vpair | apair | explain")
-	tuple := flag.Int("tuple", 0, "tuple id within the main relation (spair/vpair/explain)")
-	vertex := flag.Int("vertex", -1, "graph vertex id (spair/explain)")
-	workers := flag.Int("workers", 1, "workers for apair")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with testable plumbing: explicit args, writers and exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hercli", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("dataset", "Synthetic", "dataset name")
+	entities := fs.Int("entities", 150, "matchable entity count")
+	mode := fs.String("mode", "apair", "spair | vpair | apair | explain")
+	tuple := fs.Int("tuple", 0, "tuple id within the main relation (spair/vpair/explain)")
+	vertex := fs.Int("vertex", -1, "graph vertex id (spair/explain)")
+	workers := fs.Int("workers", 1, "workers for apair")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "hercli: %v\n", err)
+		return 1
+	}
 
 	cfg, ok := dataset.ByName(*name, *entities)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "hercli: unknown dataset %q\n", *name)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "hercli: unknown dataset %q\n", *name)
+		return 2
 	}
 	d, err := dataset.Generate(cfg)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Printf("dataset %s: %d tuples, graph |V|=%d |E|=%d\n",
+	fmt.Fprintf(stdout, "dataset %s: %d tuples, graph |V|=%d |E|=%d\n",
 		cfg.Name, d.DB.NumTuples(), d.G.NumVertices(), d.G.NumEdges())
 
 	sys, err := her.New(d.DB, d.G, her.Options{Seed: 7})
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	start := time.Now()
 	pairs := d.PathPairs
@@ -53,84 +67,80 @@ func main() {
 		training = append(training, pairs...)
 	}
 	if err := sys.TrainPathModel(training, 0); err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if err := sys.TrainRanker(150, 10); err != nil {
-		fail(err)
+		return fail(err)
 	}
 	train, val, _, err := learn.Split(d.Truth, 0.5, 0.15, 7)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	th, f, err := sys.LearnThresholds(append(train, val...), learn.SearchSpace{
 		SigmaMin: 0.5, SigmaMax: 0.95, DeltaMin: 0.4, DeltaMax: 3.2, KMin: 8, KMax: 20,
 	}, 30)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Printf("learned parameters in %s: sigma=%.2f delta=%.2f k=%d (val F=%.3f)\n",
+	fmt.Fprintf(stdout, "learned parameters in %s: sigma=%.2f delta=%.2f k=%d (val F=%.3f)\n",
 		time.Since(start).Round(time.Millisecond), th.Sigma, th.Delta, th.K, f)
 
 	rel := cfg.MainRelation
 	switch *mode {
 	case "spair":
 		if *vertex < 0 {
-			fmt.Fprintln(os.Stderr, "hercli: spair needs -vertex")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "hercli: spair needs -vertex")
+			return 2
 		}
 		t0 := time.Now()
 		okMatch, err := sys.SPair(rel, *tuple, her.VertexID(*vertex))
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Printf("SPair(%s/%d, v%d) = %v  [%s]\n", rel, *tuple, *vertex, okMatch, time.Since(t0))
+		fmt.Fprintf(stdout, "SPair(%s/%d, v%d) = %v  [%s]\n", rel, *tuple, *vertex, okMatch, time.Since(t0))
 	case "vpair":
 		t0 := time.Now()
 		matches, err := sys.VPair(rel, *tuple)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Printf("VPair(%s/%d): %d matches  [%s]\n", rel, *tuple, len(matches), time.Since(t0))
+		fmt.Fprintf(stdout, "VPair(%s/%d): %d matches  [%s]\n", rel, *tuple, len(matches), time.Since(t0))
 		for _, m := range matches {
-			fmt.Printf("  v%d (%s)\n", m.V, d.G.Label(m.V))
+			fmt.Fprintf(stdout, "  v%d (%s)\n", m.V, d.G.Label(m.V))
 		}
 	case "apair":
 		t0 := time.Now()
 		matches, stats, err := sys.APairParallel(*workers)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Printf("APair: %d matches with %d workers in %s (%d supersteps, %d candidate pairs)\n",
+		fmt.Fprintf(stdout, "APair: %d matches with %d workers in %s (%d supersteps, %d candidate pairs)\n",
 			len(matches), *workers, time.Since(t0).Round(time.Millisecond),
 			stats.Supersteps, stats.CandidatePairs)
 	case "explain":
 		if *vertex < 0 {
-			fmt.Fprintln(os.Stderr, "hercli: explain needs -vertex")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "hercli: explain needs -vertex")
+			return 2
 		}
 		u, found := sys.Mapping.VertexOf(rel, *tuple)
 		if !found {
-			fail(fmt.Errorf("unknown tuple %s/%d", rel, *tuple))
+			return fail(fmt.Errorf("unknown tuple %s/%d", rel, *tuple))
 		}
 		ex, e2 := sys.Explain(u, her.VertexID(*vertex))
 		if e2 != nil {
-			fail(e2)
+			return fail(e2)
 		}
-		fmt.Printf("witness Pi has %d pairs; lineage:\n", len(ex.Witness))
+		fmt.Fprintf(stdout, "witness Pi has %d pairs; lineage:\n", len(ex.Witness))
 		for _, p := range ex.Lineage {
-			fmt.Printf("  (%q, %q)\n", d.GD.Label(p.U), d.G.Label(p.V))
+			fmt.Fprintf(stdout, "  (%q, %q)\n", d.GD.Label(p.U), d.G.Label(p.V))
 		}
-		fmt.Println("schema matches Gamma:")
+		fmt.Fprintln(stdout, "schema matches Gamma:")
 		for _, sm := range ex.SchemaMatches {
-			fmt.Printf("  %s -> %s\n", sm.Attr, sm.Rho.LabelString())
+			fmt.Fprintf(stdout, "  %s -> %s\n", sm.Attr, sm.Rho.LabelString())
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "hercli: unknown mode %q\n", *mode)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "hercli: unknown mode %q\n", *mode)
+		return 2
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "hercli: %v\n", err)
-	os.Exit(1)
+	return 0
 }

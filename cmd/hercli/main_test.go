@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestRunAPair smokes the full hercli pipeline once (generate, train,
+// learn thresholds, answer) in apair mode — the mode that exercises the
+// parallel engine end to end. One run only: training dominates the cost.
+func TestRunAPair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline training takes ~15s")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dataset", "Synthetic", "-entities", "10", "-mode", "apair", "-workers", "2"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, re := range []string{
+		`(?m)^dataset Synthetic: \d+ tuples, graph \|V\|=\d+ \|E\|=\d+$`,
+		`(?m)^learned parameters in .*: sigma=\d+\.\d\d delta=\d+\.\d\d k=\d+`,
+		`(?m)^APair: \d+ matches with 2 workers in .* \(\d+ supersteps, \d+ candidate pairs\)$`,
+	} {
+		if !regexp.MustCompile(re).MatchString(out) {
+			t.Errorf("output missing %s:\n%s", re, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		msg  string
+	}{
+		{"unknown dataset", []string{"-dataset", "Nope"}, 2, `unknown dataset "Nope"`},
+		{"bad flag", []string{"-no-such-flag"}, 2, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != tc.code {
+				t.Fatalf("run = %d, want %d (stderr: %s)", code, tc.code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.msg) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.msg)
+			}
+		})
+	}
+}

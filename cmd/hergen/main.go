@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -15,65 +16,78 @@ import (
 )
 
 func main() {
-	name := flag.String("dataset", "Synthetic", "dataset name: UKGOV, DBpediaP, DBLP, IMDB, FBWIKI, 2T, Synthetic")
-	entities := flag.Int("entities", 0, "matchable entity count (0 = dataset default)")
-	out := flag.String("out", "", "output directory (required)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with testable plumbing: explicit args, writers and exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hergen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("dataset", "Synthetic", "dataset name: UKGOV, DBpediaP, DBLP, IMDB, FBWIKI, 2T, Synthetic")
+	entities := fs.Int("entities", 0, "matchable entity count (0 = dataset default)")
+	out := fs.String("out", "", "output directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "hergen: %v\n", err)
+		return 1
+	}
 
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "hergen: -out directory is required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "hergen: -out directory is required")
+		return 2
 	}
 	cfg, ok := dataset.ByName(*name, *entities)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "hergen: unknown dataset %q\n", *name)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "hergen: unknown dataset %q\n", *name)
+		return 2
 	}
 	d, err := dataset.Generate(cfg)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	if err := d.DB.DumpDir(*out); err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Printf("wrote %s (schemas for %d relations)\n",
+	fmt.Fprintf(stdout, "wrote %s (schemas for %d relations)\n",
 		filepath.Join(*out, "schema.txt"), len(d.DB.Relations))
 	for _, relName := range d.DB.RelationNames() {
 		path := filepath.Join(*out, relName+".csv")
 		f, err := os.Create(path)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := d.DB.Relation(relName).WriteCSV(f); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Printf("wrote %s (%d tuples)\n", path, len(d.DB.Relation(relName).Tuples))
+		fmt.Fprintf(stdout, "wrote %s (%d tuples)\n", path, len(d.DB.Relation(relName).Tuples))
 	}
 
 	gpath := filepath.Join(*out, "graph.tsv")
 	gf, err := os.Create(gpath)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if err := d.G.WriteTSV(gf); err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if err := gf.Close(); err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Printf("wrote %s (%d vertices, %d edges)\n", gpath, d.G.NumVertices(), d.G.NumEdges())
+	fmt.Fprintf(stdout, "wrote %s (%d vertices, %d edges)\n", gpath, d.G.NumVertices(), d.G.NumEdges())
 
 	tpath := filepath.Join(*out, "truth.tsv")
 	tf, err := os.Create(tpath)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	fmt.Fprintln(tf, "# relation\ttuple_id\tgraph_vertex\tmatch")
 	for _, a := range d.Truth {
@@ -81,15 +95,11 @@ func main() {
 		fmt.Fprintf(tf, "%s\t%d\t%d\t%v\n", ref.Relation, ref.TupleID, a.Pair.V, a.Match)
 	}
 	if err := tf.Close(); err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Printf("wrote %s (%d annotations)\n", tpath, len(d.Truth))
+	fmt.Fprintf(stdout, "wrote %s (%d annotations)\n", tpath, len(d.Truth))
 
 	vd, ed, v, e := d.Sizes()
-	fmt.Printf("dataset %s: |V_D|=%d |E_D|=%d |V|=%d |E|=%d\n", cfg.Name, vd, ed, v, e)
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "hergen: %v\n", err)
-	os.Exit(1)
+	fmt.Fprintf(stdout, "dataset %s: |V_D|=%d |E_D|=%d |V|=%d |E|=%d\n", cfg.Name, vd, ed, v, e)
+	return 0
 }

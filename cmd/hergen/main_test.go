@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"her/internal/graph"
+)
+
+// TestRunWritesDataset smokes the full hergen path: generate a small
+// synthetic dataset, materialize it into a temp dir, and check the
+// artifacts parse back.
+func TestRunWritesDataset(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dataset", "Synthetic", "-entities", "10", "-out", dir}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr:\n%s", code, stderr.String())
+	}
+	for _, name := range []string{"schema.txt", "graph.tsv", "truth.tsv"} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing artifact %s: %v", name, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("artifact %s is empty", name)
+		}
+	}
+	csvs, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil || len(csvs) == 0 {
+		t.Fatalf("no relation CSVs written (err=%v)", err)
+	}
+	gf, err := os.Open(filepath.Join(dir, "graph.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	g, err := graph.ReadTSV(gf)
+	if err != nil {
+		t.Fatalf("written graph.tsv does not parse back: %v", err)
+	}
+	if g.NumVertices() == 0 || g.NumEdges() == 0 {
+		t.Errorf("parsed graph is empty: |V|=%d |E|=%d", g.NumVertices(), g.NumEdges())
+	}
+	truth, err := os.ReadFile(filepath.Join(dir, "truth.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(truth)), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "#") {
+		t.Fatalf("truth.tsv shape unexpected:\n%s", truth)
+	}
+	for _, l := range lines[1:] {
+		if len(strings.Split(l, "\t")) != 4 {
+			t.Errorf("truth.tsv row %q does not have 4 fields", l)
+		}
+	}
+	if !strings.Contains(stdout.String(), "wrote "+filepath.Join(dir, "graph.tsv")) {
+		t.Errorf("stdout does not report the graph artifact:\n%s", stdout.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		msg  string
+	}{
+		{"missing out", []string{"-dataset", "Synthetic"}, 2, "-out directory is required"},
+		{"unknown dataset", []string{"-dataset", "Nope", "-out", t.TempDir()}, 2, `unknown dataset "Nope"`},
+		{"bad flag", []string{"-no-such-flag"}, 2, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != tc.code {
+				t.Fatalf("run = %d, want %d (stderr: %s)", code, tc.code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.msg) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.msg)
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTSV exercises the untrusted graph-TSV parse surface: arbitrary
+// bytes must either fail with an error or produce a graph that survives
+// a write/re-read round trip unchanged (escaping included).
+func FuzzReadTSV(f *testing.F) {
+	f.Add([]byte("v\t0\talpha\nv\t1\tbeta\ne\t0\t1\tx\n"))
+	f.Add([]byte("v\t0\ttab\\there\nv\t1\tnew\\nline\ne\t0\t0\tself\n"))
+	f.Add([]byte("# comment\n\nv\t0\tlone\n"))
+	f.Add([]byte("e\t0\t1\tdangling\n"))
+	f.Add([]byte("v\t5\tout of order\n"))
+	f.Add([]byte("v\t0\n"))
+	f.Add([]byte("v\t0\tback\\\\slash\nv\t1\t\\q\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadTSV(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		var buf bytes.Buffer
+		if err := g.WriteTSV(&buf); err != nil {
+			t.Fatalf("WriteTSV of accepted graph: %v", err)
+		}
+		g2, err := ReadTSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of serialized graph: %v\n%s", err, buf.Bytes())
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed size: %d/%d -> %d/%d",
+				g.NumVertices(), g.NumEdges(), g2.NumVertices(), g2.NumEdges())
+		}
+		for i := 0; i < g.NumVertices(); i++ {
+			v := VID(i)
+			if g.Label(v) != g2.Label(v) {
+				t.Fatalf("round trip changed label of %d: %q -> %q", i, g.Label(v), g2.Label(v))
+			}
+			out, out2 := g.Out(v), g2.Out(v)
+			if len(out) != len(out2) {
+				t.Fatalf("round trip changed out-degree of %d", i)
+			}
+			for j := range out {
+				if out[j] != out2[j] {
+					t.Fatalf("round trip changed edge %d/%d: %+v -> %+v", i, j, out[j], out2[j])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package json2graph
+
+import (
+	"bytes"
+	"testing"
+
+	"her/internal/graph"
+)
+
+// FuzzConvert exercises the untrusted JSON parse surface: arbitrary
+// bytes must either fail with an error or build a well-formed rooted
+// subgraph, and conversion must be deterministic (object keys are
+// visited in sorted order, so two conversions of the same document
+// serialize identically).
+func FuzzConvert(f *testing.F) {
+	f.Add([]byte(`{"name":"widget","qty":3}`))
+	f.Add([]byte(`{"a":{"b":{"c":null}},"tags":["x","y"]}`))
+	f.Add([]byte(`{"n":1.5,"big":1e300,"neg":-7,"t":true}`))
+	f.Add([]byte(`{"":""}`))
+	f.Add([]byte(`["not","an","object"]`))
+	f.Add([]byte(`{"broken":`))
+	f.Add([]byte(`{"dup":1,"dup":2}`))
+	f.Fuzz(func(t *testing.T, doc []byte) {
+		g := graph.New()
+		root, err := Convert(g, "thing", doc)
+		if err != nil {
+			if root != graph.NoVertex {
+				t.Fatalf("Convert returned both a root (%d) and an error: %v", root, err)
+			}
+			return
+		}
+		if root < 0 || int(root) >= g.NumVertices() {
+			t.Fatalf("Convert returned out-of-range root %d (graph has %d vertices)",
+				root, g.NumVertices())
+		}
+		if g.Label(root) != "thing" {
+			t.Fatalf("root labeled %q, want %q", g.Label(root), "thing")
+		}
+		g2 := graph.New()
+		if _, err := Convert(g2, "thing", doc); err != nil {
+			t.Fatalf("second conversion of accepted document failed: %v", err)
+		}
+		var b1, b2 bytes.Buffer
+		if err := g.WriteTSV(&b1); err != nil {
+			t.Fatal(err)
+		}
+		if err := g2.WriteTSV(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("conversion not deterministic for %q", doc)
+		}
+	})
+}

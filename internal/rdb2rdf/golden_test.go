@@ -1,0 +1,62 @@
+package rdb2rdf
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"her/internal/relational"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenDB is a compact schema exercising every mapping rule: a plain
+// attribute, a nullable attribute (omitted from the graph), and a
+// foreign key (edge to the referenced tuple vertex, no leaf).
+func goldenDB(t *testing.T) *relational.Database {
+	t.Helper()
+	maker := relational.MustSchema("maker", []string{"name", "country"}, "name")
+	part := relational.MustSchema("part", []string{"sku", "color", "maker"}, "sku",
+		relational.ForeignKey{Attr: "maker", RefRelation: "maker"})
+	db := relational.NewDatabase(part, maker)
+	db.Relation("maker").MustInsert("Acme", "US")
+	db.Relation("maker").MustInsert("Umbrella", relational.Null)
+	db.Relation("part").MustInsert("bolt-1", "red", "Acme")
+	db.Relation("part").MustInsert("nut-2", relational.Null, "Umbrella")
+	db.Relation("part").MustInsert("cog-3", "blue", relational.Null)
+	return db
+}
+
+// TestDirectMappingGolden pins the canonical mapping f_D byte for byte:
+// the serialized G_D of a fixed database must match the committed golden
+// TSV. Run with -update to regenerate after an intentional change.
+func TestDirectMappingGolden(t *testing.T) {
+	db := goldenDB(t)
+	g, _, err := Map(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "direct_mapping.tsv")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("canonical mapping drifted from golden file %s\n--- got ---\n%s--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"her"
+)
+
+// fuzzServer lazily builds one trained system per process, shared across
+// fuzz iterations (training is far too expensive per input). Handlers
+// must tolerate any request sequence, so cross-iteration state (e.g.
+// feedback overrides) is part of the surface under test.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+	fuzzErr  error
+)
+
+func fuzzServer() (*Server, error) {
+	fuzzOnce.Do(func() {
+		schema, err := her.NewSchema("product", []string{"name", "color"}, "name")
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		db := her.NewDatabase(schema)
+		db.Relation("product").MustInsert("Aurora Trail Runner 7", "red")
+		db.Relation("product").MustInsert("Comet Road Cruiser 2", "blue")
+
+		g := her.NewGraph()
+		mk := func(name, color string) {
+			p := g.AddVertex("product")
+			g.MustAddEdge(p, g.AddVertex(name), "productName")
+			g.MustAddEdge(p, g.AddVertex(color), "hasColor")
+		}
+		mk("Aurora Trail Runner", "red")
+		mk("Comet Road Cruiser", "blue")
+
+		sys, err := her.New(db, g, her.Options{Seed: 2})
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		pairs := []her.PathPair{
+			{A: []string{"name"}, B: []string{"productName"}, Match: true},
+			{A: []string{"color"}, B: []string{"hasColor"}, Match: true},
+			{A: []string{"name"}, B: []string{"hasColor"}, Match: false},
+			{A: []string{"color"}, B: []string{"productName"}, Match: false},
+		}
+		var training []her.PathPair
+		for i := 0; i < 30; i++ {
+			training = append(training, pairs...)
+		}
+		if err := sys.TrainPathModel(training, 0); err != nil {
+			fuzzErr = err
+			return
+		}
+		if err := sys.TrainRanker(50, 120); err != nil {
+			fuzzErr = err
+			return
+		}
+		if err := sys.SetThresholds(her.Thresholds{Sigma: 0.75, Delta: 0.9, K: 5}); err != nil {
+			fuzzErr = err
+			return
+		}
+		fuzzSrv = New(sys)
+	})
+	return fuzzSrv, fuzzErr
+}
+
+var fuzzMethods = []string{
+	http.MethodGet, http.MethodPost, http.MethodPut,
+	http.MethodDelete, http.MethodHead,
+}
+
+// FuzzServeHTTP exercises the server's request-decoding surface: any
+// method/target/body combination must produce an HTTP response — never a
+// handler panic — and JSON responses must actually be JSON.
+func FuzzServeHTTP(f *testing.F) {
+	f.Add(uint8(0), "/healthz", []byte(""))
+	f.Add(uint8(0), "/spair?rel=product&tuple=0&vertex=0", []byte(""))
+	f.Add(uint8(0), "/spair?rel=product&tuple=0&vertex=9999", []byte(""))
+	f.Add(uint8(0), "/spair?rel=product&tuple=-1&vertex=-1", []byte(""))
+	f.Add(uint8(0), "/vpair?rel=product&tuple=0", []byte(""))
+	f.Add(uint8(0), "/apair?workers=2", []byte(""))
+	f.Add(uint8(0), "/apair?workers=100000", []byte(""))
+	f.Add(uint8(0), "/explain?rel=product&tuple=0&vertex=0", []byte(""))
+	f.Add(uint8(1), "/feedback", []byte(`[{"rel":"product","tuple":0,"vertex":0,"match":true}]`))
+	f.Add(uint8(1), "/feedback", []byte(`[{"rel":"product","tuple":0,"vertex":-5,"match":true}]`))
+	f.Add(uint8(1), "/feedback", []byte(`{"not":"a list"}`))
+	f.Add(uint8(0), "/stats", []byte(""))
+	f.Add(uint8(0), "/metrics", []byte(""))
+	f.Add(uint8(3), "/nowhere?%zz=1", []byte("junk"))
+	f.Fuzz(func(t *testing.T, methodIdx uint8, target string, body []byte) {
+		srv, err := fuzzServer()
+		if err != nil {
+			t.Fatalf("building fuzz system: %v", err)
+		}
+		if !strings.HasPrefix(target, "/") {
+			target = "/" + target
+		}
+		u, err := url.ParseRequestURI(target)
+		if err != nil {
+			return // not a parseable request target; nothing to serve
+		}
+		req := &http.Request{
+			Method:     fuzzMethods[int(methodIdx)%len(fuzzMethods)],
+			URL:        u,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     make(http.Header),
+			Body:       io.NopCloser(bytes.NewReader(body)),
+			Host:       "fuzz.test",
+			RemoteAddr: "192.0.2.1:1234",
+			RequestURI: target,
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code < 100 || rec.Code > 599 {
+			t.Fatalf("%s %s: implausible status %d", req.Method, target, rec.Code)
+		}
+		ct := rec.Header().Get("Content-Type")
+		if strings.Contains(ct, "application/json") && rec.Body.Len() > 0 {
+			var v interface{}
+			if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+				t.Fatalf("%s %s: Content-Type json but body is not: %v\n%s",
+					req.Method, target, err, rec.Body.Bytes())
+			}
+		}
+	})
+}

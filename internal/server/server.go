@@ -149,6 +149,10 @@ func (s *Server) handleSPair(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if !s.sys.G.Valid(vertex) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown vertex %d", vertex))
+		return
+	}
 	match, err := s.sys.SPair(rel, tuple, vertex)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
@@ -237,6 +241,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if !s.sys.G.Valid(vertex) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown vertex %d", vertex))
+		return
+	}
 	u, ok := s.sys.Mapping.VertexOf(rel, tuple)
 	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown tuple %s/%d", rel, tuple))
@@ -289,6 +297,10 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		u, ok := s.sys.Mapping.VertexOf(it.Rel, it.Tuple)
 		if !ok {
 			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown tuple %s/%d", it.Rel, it.Tuple))
+			return
+		}
+		if !s.sys.G.Valid(her.VertexID(it.Vertex)) {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown vertex %d", it.Vertex))
 			return
 		}
 		fb = append(fb, her.Feedback{

@@ -107,6 +107,13 @@ func TestSPairEndpoint(t *testing.T) {
 	if code, _ := get(t, srv, "/spair?rel=ghost&tuple=0&vertex=0"); code != http.StatusNotFound {
 		t.Errorf("unknown relation = %d", code)
 	}
+	// Out-of-range vertices must be rejected, not crash the matcher.
+	if code, _ := get(t, srv, "/spair?rel=product&tuple=0&vertex=9999"); code != http.StatusNotFound {
+		t.Errorf("out-of-range vertex = %d", code)
+	}
+	if code, _ := get(t, srv, "/spair?rel=product&tuple=0&vertex=-1"); code != http.StatusNotFound {
+		t.Errorf("negative vertex = %d", code)
+	}
 }
 
 func TestVPairEndpoint(t *testing.T) {
@@ -153,6 +160,9 @@ func TestExplainEndpoint(t *testing.T) {
 	if code, _ := get(t, srv, "/explain?rel=product&tuple=0&vertex="+itoa(p2)); code != http.StatusNotFound {
 		t.Errorf("non-match explain = %d", code)
 	}
+	if code, _ := get(t, srv, "/explain?rel=product&tuple=0&vertex=9999"); code != http.StatusNotFound {
+		t.Errorf("out-of-range vertex explain = %d", code)
+	}
 }
 
 func TestFeedbackEndpoint(t *testing.T) {
@@ -179,6 +189,14 @@ func TestFeedbackEndpoint(t *testing.T) {
 	// GET is rejected.
 	if code, _ := get(t, srv, "/feedback"); code != http.StatusMethodNotAllowed {
 		t.Errorf("GET feedback = %d", code)
+	}
+	// Out-of-range vertices in the payload are rejected.
+	req = httptest.NewRequest(http.MethodPost, "/feedback",
+		strings.NewReader(`[{"rel":"product","tuple":0,"vertex":9999,"match":true}]`))
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("out-of-range vertex feedback = %d", rec.Code)
 	}
 }
 

@@ -1,0 +1,139 @@
+package text
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// Edge cases for the string primitives: empty inputs, multi-byte
+// Unicode (edit distance must count runes, not bytes), and strings
+// shorter or longer than the n-gram window.
+
+func TestLevenshteinEdgeCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"ab", "ba", 2},
+		// Multi-byte runes: each é is one edit, not two byte edits.
+		{"café", "cafe", 1},
+		{"", "日本語", 3},
+		{"日本語", "日本", 1},
+		{"héllo", "hello", 1},
+		{"ü", "u", 1},
+		// Combining mark vs precomposed: distinct rune sequences.
+		{"é", "é", 2},
+	}
+	for _, tc := range cases {
+		if got := Levenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		if got := Levenshtein(tc.b, tc.a); got != tc.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d (asymmetric)", tc.b, tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestLevenshteinSimEdgeCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"", "abc", 0},
+		{"abc", "abc", 1},
+		{"日本語", "日本", 1 - 1.0/3},
+		{"café", "cafe", 0.75},
+	}
+	for _, tc := range cases {
+		if got := LevenshteinSim(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("LevenshteinSim(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+	for _, pair := range [][2]string{{"", ""}, {"a", "xyz"}, {"日本", "ab"}} {
+		s := LevenshteinSim(pair[0], pair[1])
+		if s < 0 || s > 1 {
+			t.Errorf("LevenshteinSim(%q, %q) = %v outside [0,1]", pair[0], pair[1], s)
+		}
+	}
+}
+
+func TestNGramsEdgeCases(t *testing.T) {
+	cases := []struct {
+		s    string
+		n    int
+		want []string
+	}{
+		{"", 3, nil},
+		{"   ", 3, nil}, // separators only: normalizes to empty
+		{"ab", 0, nil},
+		{"ab", -1, nil},
+		// Shorter than the window: padding still yields grams.
+		{"a", 3, []string{"##a", "#a#", "a##"}},
+		{"ab", 2, []string{"#a", "ab", "b#"}},
+		// Exactly the window.
+		{"abc", 3, []string{"##a", "#ab", "abc", "bc#", "c##"}},
+		// Longer than the window.
+		{"abcd", 2, []string{"#a", "ab", "bc", "cd", "d#"}},
+		// Multi-byte runes are single gram positions.
+		{"日本語", 2, []string{"#日", "日本", "本語", "語#"}},
+		// n=1: no padding, one gram per rune of the normalized form.
+		{"ab", 1, []string{"a", "b"}},
+	}
+	for _, tc := range cases {
+		if got := NGrams(tc.s, tc.n); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("NGrams(%q, %d) = %q, want %q", tc.s, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestTokenizeEdgeCases(t *testing.T) {
+	cases := []struct {
+		s    string
+		want []string
+	}{
+		{"", nil},
+		{"---", nil},
+		{"camelCaseID", []string{"camel", "case", "id"}},
+		{"snake_case-kebab", []string{"snake", "case", "kebab"}},
+		{"/akt:has-author", []string{"akt", "has", "author"}},
+		{"x86_64", []string{"x86", "64"}},
+		{"日本語ラベル", []string{"日本語ラベル"}},
+		{"Grüße an alle", []string{"grüße", "an", "alle"}},
+	}
+	for _, tc := range cases {
+		if got := Tokenize(tc.s); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Tokenize(%q) = %q, want %q", tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestTokenSimilarityEdgeCases(t *testing.T) {
+	if got := JaccardTokens("", ""); got != 1 {
+		t.Errorf("JaccardTokens of two empties = %v, want 1", got)
+	}
+	if got := JaccardTokens("", "word"); got != 0 {
+		t.Errorf("JaccardTokens(empty, word) = %v, want 0", got)
+	}
+	if got := JaccardTokens("red shoe", "shoe red"); got != 1 {
+		t.Errorf("JaccardTokens is order-sensitive: %v", got)
+	}
+	if got := JaccardTokens("red shoe", "red boot"); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("JaccardTokens(red shoe, red boot) = %v, want 1/3", got)
+	}
+	if got := OverlapTokens("", ""); got != 1 {
+		t.Errorf("OverlapTokens of two empties = %v, want 1", got)
+	}
+	if got := OverlapTokens("", "word"); got != 0 {
+		t.Errorf("OverlapTokens(empty, word) = %v, want 0", got)
+	}
+	if got := OverlapTokens("red", "red shoe boot"); got != 1 {
+		t.Errorf("OverlapTokens subset = %v, want 1", got)
+	}
+}

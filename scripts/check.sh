@@ -23,4 +23,20 @@ go build ./...
 go test ./...
 go test -race ./internal/obs ./internal/server ./internal/bsp ./internal/core
 
+# Tier-2: differential correctness and fuzz smokes. The differential
+# suite re-runs internal/testkit with a widened seed sweep (the default
+# 60-per-family run is already part of `go test ./...` above); the fuzz
+# smokes give each Go-native fuzz target a bounded budget on top of the
+# committed corpora. Tune with TESTKIT_SEEDS / CHECK_FUZZTIME; set
+# CHECK_FUZZTIME=0 to skip fuzzing (e.g. on very slow machines).
+TESTKIT_SEEDS="${TESTKIT_SEEDS:-150}" go test -count=1 ./internal/testkit
+
+fuzztime="${CHECK_FUZZTIME:-10s}"
+if [ "$fuzztime" != "0" ]; then
+    go test -run='^$' -fuzz='^FuzzReadTSV$' -fuzztime="$fuzztime" ./internal/graph
+    go test -run='^$' -fuzz='^FuzzReadCSV$' -fuzztime="$fuzztime" ./internal/relational
+    go test -run='^$' -fuzz='^FuzzConvert$' -fuzztime="$fuzztime" ./internal/json2graph
+    go test -run='^$' -fuzz='^FuzzServeHTTP$' -fuzztime="$fuzztime" ./internal/server
+fi
+
 echo "check.sh: all gates passed"
