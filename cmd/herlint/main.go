@@ -1,0 +1,103 @@
+// Command herlint runs the project's static-analysis suite
+// (internal/lint) over the given package patterns and reports every
+// violation of the determinism, nil-metrics, and seed-reproducibility
+// contracts.
+//
+// Usage:
+//
+//	herlint [-json] [-only mapiter,floateq,...] [-list] [packages]
+//
+// Packages default to ./... relative to the current directory; "dir/..."
+// patterns and plain directories are accepted. Exit status is 0 when
+// clean, 1 when findings were reported, 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"her/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("herlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: herlint [-json] [-only names] [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := lint.ByName(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	dirs, err := lint.ExpandPatterns(cwd, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	var pkgs []*lint.Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	diags := lint.Run(pkgs, analyzers, loader.Fset)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "herlint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"mapiter", "floateq", "nilrecv", "globalrand", "errdrop"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"../../internal/feq"}, &out, &errb); code != 0 {
+		t.Fatalf("internal/feq should be clean; exit %d\n%s%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output: %s", out.String())
+	}
+}
+
+func TestRunFindingsAndJSON(t *testing.T) {
+	// The floateq fixture is a known-dirty package.
+	target := "../../internal/lint/testdata/src/floateq"
+
+	var out, errb bytes.Buffer
+	if code := run([]string{target}, &out, &errb); code != 1 {
+		t.Fatalf("dirty package should exit 1, got %d\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "[floateq]") {
+		t.Errorf("text output missing analyzer tag:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-json", target}, &out, &errb); code != 1 {
+		t.Fatalf("-json dirty run should exit 1, got %d\n%s", code, errb.String())
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json reported no findings for a dirty package")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "floateq" || d.Line == 0 || d.File == "" || d.Message == "" {
+			t.Errorf("incomplete JSON diagnostic: %+v", d)
+		}
+	}
+}
+
+func TestRunOnlySelection(t *testing.T) {
+	target := "../../internal/lint/testdata/src/floateq"
+	var out, errb bytes.Buffer
+	// With only mapiter selected, the floateq fixture is clean.
+	if code := run([]string{"-only", "mapiter", target}, &out, &errb); code != 0 {
+		t.Fatalf("-only mapiter over floateq fixture should be clean, got %d\n%s", code, out.String())
+	}
+	if code := run([]string{"-only", "bogus", target}, &out, &errb); code != 2 {
+		t.Fatalf("unknown analyzer should exit 2, got %d", code)
+	}
+}
+
+func TestRunBadDir(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./does-not-exist"}, &out, &errb); code != 2 {
+		t.Fatalf("missing dir should exit 2, got %d", code)
+	}
+}

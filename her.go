@@ -335,12 +335,16 @@ func (s *System) applyOverrides(matches []Pair, scope graph.VID) []Pair {
 		out = append(out, p)
 		have[p] = true
 	}
+	// Collect the confirmed additions and sort them: s.overrides is a
+	// map, and letting its iteration order reach the returned match list
+	// would make VPair/APair responses differ run to run.
+	var added []Pair
 	for p, verdict := range s.overrides {
 		if verdict && !have[p] && (scope == graph.NoVertex || p.U == scope) {
-			out = append(out, p)
+			added = append(added, p)
 		}
 	}
-	return out
+	return append(out, core.SortPairs(added)...)
 }
 
 // Candidates exposes the blocking candidate generator: the G vertices

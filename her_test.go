@@ -11,6 +11,13 @@ import (
 // dataset: the full pipeline of Fig. 2 (RDB2RDF → Learn → query modes).
 func buildTrained(t *testing.T, name string, entities int) (*System, *dataset.Generated) {
 	t.Helper()
+	if testing.Short() {
+		// Each caller trains the metric network and ranker from scratch
+		// (~8s, 10-20x that under -race). The fast tier of the root
+		// package — incremental, override, persistence and JSON tests —
+		// still runs in -short.
+		t.Skip("trains the full pipeline; skipped in -short")
+	}
 	cfg, ok := dataset.ByName(name, entities)
 	if !ok {
 		t.Fatalf("unknown dataset %s", name)

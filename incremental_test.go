@@ -1,28 +1,40 @@
 package her
 
 import (
+	"bytes"
+	"sync"
 	"testing"
 )
 
 // incrementalFixture builds a small trained system plus its parallel
 // from-scratch twin for equivalence checks.
+// incrementalModels caches the trained model snapshot for
+// incrementalFixture: training dominates fixture cost (especially under
+// -race), and LoadModels restores identical decisions (pinned by
+// TestSaveLoadModels), so after the first fixture every call restores
+// the snapshot into a fresh system instead of retraining.
+var incrementalModels struct {
+	once sync.Once
+	blob []byte
+	err  error
+}
+
 func incrementalFixture(t *testing.T) (*System, []PathPair) {
 	t.Helper()
-	schema, err := NewSchema("product", []string{"name", "color"}, "name")
-	if err != nil {
-		t.Fatal(err)
-	}
-	db := NewDatabase(schema)
-	db.Relation("product").MustInsert("Aurora Trail Runner 7", "red")
+	build := func() (*System, error) {
+		schema, err := NewSchema("product", []string{"name", "color"}, "name")
+		if err != nil {
+			return nil, err
+		}
+		db := NewDatabase(schema)
+		db.Relation("product").MustInsert("Aurora Trail Runner 7", "red")
 
-	g := NewGraph()
-	p1 := g.AddVertex("product")
-	g.MustAddEdge(p1, g.AddVertex("Aurora Trail Runner"), "productName")
-	g.MustAddEdge(p1, g.AddVertex("red"), "hasColor")
+		g := NewGraph()
+		p1 := g.AddVertex("product")
+		g.MustAddEdge(p1, g.AddVertex("Aurora Trail Runner"), "productName")
+		g.MustAddEdge(p1, g.AddVertex("red"), "hasColor")
 
-	sys, err := New(db, g, Options{Seed: 2})
-	if err != nil {
-		t.Fatal(err)
+		return New(db, g, Options{Seed: 2})
 	}
 	pairs := []PathPair{
 		{A: []string{"name"}, B: []string{"productName"}, Match: true},
@@ -30,17 +42,45 @@ func incrementalFixture(t *testing.T) (*System, []PathPair) {
 		{A: []string{"name"}, B: []string{"hasColor"}, Match: false},
 		{A: []string{"color"}, B: []string{"productName"}, Match: false},
 	}
-	var training []PathPair
-	for i := 0; i < 30; i++ {
-		training = append(training, pairs...)
+
+	incrementalModels.once.Do(func() {
+		ref, err := build()
+		if err != nil {
+			incrementalModels.err = err
+			return
+		}
+		var training []PathPair
+		for i := 0; i < 30; i++ {
+			training = append(training, pairs...)
+		}
+		if err := ref.TrainPathModel(training, 0); err != nil {
+			incrementalModels.err = err
+			return
+		}
+		if err := ref.TrainRanker(50, 120); err != nil {
+			incrementalModels.err = err
+			return
+		}
+		if err := ref.SetThresholds(Thresholds{Sigma: 0.75, Delta: 0.9, K: 5}); err != nil {
+			incrementalModels.err = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := ref.SaveModels(&buf); err != nil {
+			incrementalModels.err = err
+			return
+		}
+		incrementalModels.blob = buf.Bytes()
+	})
+	if incrementalModels.err != nil {
+		t.Fatal(incrementalModels.err)
 	}
-	if err := sys.TrainPathModel(training, 0); err != nil {
+
+	sys, err := build()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.TrainRanker(50, 120); err != nil {
-		t.Fatal(err)
-	}
-	if err := sys.SetThresholds(Thresholds{Sigma: 0.75, Delta: 0.9, K: 5}); err != nil {
+	if err := sys.LoadModels(bytes.NewReader(incrementalModels.blob)); err != nil {
 		t.Fatal(err)
 	}
 	return sys, pairs

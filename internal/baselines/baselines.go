@@ -13,6 +13,7 @@ import (
 
 	"her/internal/core"
 	"her/internal/embed"
+	"her/internal/feq"
 	"her/internal/graph"
 	"her/internal/learn"
 )
@@ -154,7 +155,7 @@ func tuneThreshold(scores []float64, truth []bool) float64 {
 			fp++
 		}
 		// Threshold just below items[i].s keeps items[0..i].
-		if i+1 < len(items) && items[i+1].s == it.s {
+		if i+1 < len(items) && feq.Eq(items[i+1].s, it.s) {
 			continue
 		}
 		if tp == 0 {

@@ -89,7 +89,7 @@ func (b *Bsim) APair(sources []graph.VID, gen core.CandidateGen) []core.Pair {
 			out = append(out, p)
 		}
 	}
-	return out
+	return core.SortPairs(out)
 }
 
 // Run computes the maximum bounded simulation of pattern G_D in G.

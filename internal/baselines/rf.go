@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"her/internal/feq"
 )
 
 // forest is a small random forest (bagged CART trees with random feature
@@ -92,7 +94,7 @@ func growTree(x [][]float64, y []float64, idx []int, cfg rfConfig, mtry int, rng
 			step = 1
 		}
 		for q := step; q < len(vals); q += step {
-			if vals[q] == vals[q-1] {
+			if feq.Eq(vals[q], vals[q-1]) {
 				continue
 			}
 			th := (vals[q] + vals[q-1]) / 2

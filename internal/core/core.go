@@ -14,7 +14,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
+	"her/internal/feq"
 	"her/internal/graph"
 	"her/internal/ranking"
 )
@@ -31,6 +33,21 @@ type PathScorer func(a, b []string) float64
 type Pair struct {
 	U graph.VID
 	V graph.VID
+}
+
+// SortPairs sorts pairs by (U, V) in place and returns the slice. Match
+// sets are semantically order-free, but anything collected from a map
+// must be sorted before it is exposed, serialized, or used to drive
+// further work — otherwise map iteration order leaks into output and
+// breaks run-to-run reproducibility (herlint's mapiter contract).
+func SortPairs(pairs []Pair) []Pair {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].U != pairs[j].U {
+			return pairs[i].U < pairs[j].U
+		}
+		return pairs[i].V < pairs[j].V
+	})
+	return pairs
 }
 
 // Params bundles the parameters of parametric simulation.
@@ -262,6 +279,10 @@ func (m *Matcher) ForgetVertices(affected func(v graph.VID) bool) {
 			queue = append(queue, p)
 		}
 	}
+	// Deterministic cleanup order: the final state is order-independent,
+	// but sorted worklists keep run-to-run behavior (and stats such as
+	// cleanup counts under interleaved queries) reproducible.
+	SortPairs(queue)
 	seen := make(map[Pair]bool, len(queue))
 	for len(queue) > 0 {
 		p := queue[len(queue)-1]
@@ -273,9 +294,11 @@ func (m *Matcher) ForgetVertices(affected func(v graph.VID) bool) {
 		if _, ok := m.cache[p]; !ok {
 			continue
 		}
+		deps := make([]Pair, 0, len(m.dependents[p]))
 		for q := range m.dependents[p] {
-			queue = append(queue, q)
+			deps = append(deps, q)
 		}
+		queue = append(queue, SortPairs(deps)...)
 		m.unregister(p)
 		delete(m.cache, p)
 		delete(m.assumed, p)
@@ -550,7 +573,7 @@ func (m *Matcher) candidateList(su ranking.Selected, vvk []ranking.Selected) []s
 	// Insertion sort: lists are at most k long.
 	for i := 1; i < len(l); i++ {
 		for j := i; j > 0 && (l[j].score > l[j-1].score ||
-			(l[j].score == l[j-1].score && l[j].v < l[j-1].v)); j-- {
+			(feq.Eq(l[j].score, l[j-1].score) && l[j].v < l[j-1].v)); j-- {
 			l[j], l[j-1] = l[j-1], l[j]
 		}
 	}

@@ -67,6 +67,9 @@ func TestTableIV(t *testing.T) {
 }
 
 func TestPrepareTrainsFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the full pipeline; skipped in -short")
+	}
 	p, err := prepare("Synthetic", tinyConfig(), her.Options{})
 	if err != nil {
 		t.Fatal(err)

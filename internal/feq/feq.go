@@ -1,0 +1,46 @@
+// Package feq provides tolerance-based floating-point comparison — the
+// sanctioned alternative to `==`/`!=` on computed float64 values.
+//
+// Exact equality on computed scores is one of the nondeterminism traps
+// herlint (internal/lint, analyzer "floateq") guards against: two
+// mathematically equal similarity scores can differ in their last ulp
+// depending on evaluation order, and a `==` tie-break then silently
+// changes ranking between otherwise-equivalent implementations. Call
+// sites comparing computed floats use Eq/EqTol instead; comparisons
+// against compile-time constants (sentinels like 0) remain exact and
+// are not flagged.
+package feq
+
+import "math"
+
+// Tol is the default comparison tolerance. It is far above the ulp
+// noise of the double-precision score pipelines (embedding cosines,
+// metric-network sigmoids) and far below any meaningful score gap.
+const Tol = 1e-9
+
+// Eq reports whether a and b are equal within the default tolerance.
+func Eq(a, b float64) bool { return EqTol(a, b, Tol) }
+
+// EqTol reports whether a and b are equal within tol, scaled by the
+// larger magnitude once values leave [-1, 1]: |a-b| <= tol*max(1,|a|,|b|).
+// NaN compares unequal to everything, including NaN; equal infinities
+// compare equal.
+func EqTol(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { //herlint:ignore floateq — the helper itself needs the exact case (infinities, exact hits)
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // an infinity only equals itself, handled above
+	}
+	scale := 1.0
+	if aa := math.Abs(a); aa > scale {
+		scale = aa
+	}
+	if ab := math.Abs(b); ab > scale {
+		scale = ab
+	}
+	return math.Abs(a-b) <= tol*scale
+}

@@ -1,0 +1,46 @@
+package feq
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + 1e-12, true},                  // ulp-scale noise
+		{1, 1 + 1e-6, false},                  // a real gap
+		{0.3, 0.1 + 0.2, true},                // the classic
+		{1e12, 1e12 * (1 + 1e-12), true},      // relative scaling
+		{1e12, 1e12 + 1, true},                // 1 part in 1e12
+		{1e12, 1e12 * (1 + 1e-6), false},      // relative gap
+		{math.Inf(1), math.Inf(1), true},      // equal infinities
+		{math.Inf(1), math.Inf(-1), false},    // opposite infinities
+		{math.Inf(1), math.MaxFloat64, false}, // inf vs finite
+		{math.NaN(), math.NaN(), false},       // NaN never equal
+		{math.NaN(), 0, false},
+		{-0.0, 0.0, true},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqTol(t *testing.T) {
+	if !EqTol(1, 1.05, 0.1) {
+		t.Error("EqTol(1, 1.05, 0.1) should hold")
+	}
+	if EqTol(1, 1.2, 0.1) {
+		t.Error("EqTol(1, 1.2, 0.1) should not hold")
+	}
+	// Symmetry.
+	if EqTol(1, 1.05, 0.1) != EqTol(1.05, 1, 0.1) {
+		t.Error("EqTol is not symmetric")
+	}
+}

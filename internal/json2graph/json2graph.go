@@ -94,7 +94,7 @@ func addValue(g *graph.Graph, owner graph.VID, key string, val interface{}) erro
 // formatNumber renders integers without a decimal point, so JSON 500
 // matches the relational value "500".
 func formatNumber(f float64) string {
-	if f == float64(int64(f)) {
+	if f == float64(int64(f)) { //herlint:ignore floateq — exact integrality test on purpose, not a score compare
 		return strconv.FormatInt(int64(f), 10)
 	}
 	return strconv.FormatFloat(f, 'g', -1, 64)

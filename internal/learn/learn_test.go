@@ -95,11 +95,17 @@ func TestRandomSearch(t *testing.T) {
 	obj := func(th Thresholds) float64 {
 		return 3 - math.Abs(th.Sigma-0.8) - math.Abs(th.Delta-1.0) - math.Abs(float64(th.K)-5)/10
 	}
-	best, score, err := RandomSearch(space, 300, 7, obj)
+	trials := 300
+	if testing.Short() {
+		// Short tier: exercise the API contract only; the convergence
+		// assertion below needs the full trial budget.
+		trials = 30
+	}
+	best, score, err := RandomSearch(space, trials, 7, obj)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if score < 2.5 {
+	if !testing.Short() && score < 2.5 {
 		t.Errorf("random search converged poorly: %+v score %f", best, score)
 	}
 	if best.K < space.KMin || best.K > space.KMax {

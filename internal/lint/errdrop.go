@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// ErrDrop flags discarded error returns from the parse-shaped surfaces
+// the fuzzers exercise: functions and methods named Read*, Parse*,
+// Decode*, Convert*, Load*, or Unmarshal* (graph TSV, relational CSV,
+// json2graph, gob model files, server request decoding). Dropping these
+// errors is how a malformed input stops being a rejected request and
+// becomes silently-wrong state — exactly the regressions the fuzz
+// corpora were built to catch.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "forbid discarding the error from Read*/Parse*/Decode*/Convert*/Load*/Unmarshal* calls",
+	Run:  runErrDrop,
+}
+
+var parseSurfaceRe = regexp.MustCompile(`^(Read|Parse|Decode|Convert|Load|Unmarshal)`)
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					if name, drops := p.parseCallDroppingError(call, -1); drops {
+						p.Reportf(call.Pos(), "error from %s is discarded on a fuzzed parse surface; handle it or check it explicitly", name)
+					}
+				}
+			case *ast.AssignStmt:
+				if len(stmt.Rhs) != 1 {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				// The error is by convention the last result; flag when
+				// its assignment target is the blank identifier.
+				last := len(stmt.Lhs) - 1
+				if id, ok := stmt.Lhs[last].(*ast.Ident); !ok || id.Name != "_" {
+					return true
+				}
+				if name, drops := p.parseCallDroppingError(call, len(stmt.Lhs)); drops {
+					p.Reportf(stmt.Pos(), "error from %s is assigned to _ on a fuzzed parse surface; handle it or check it explicitly", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// parseCallDroppingError reports whether call targets a parse-surface
+// function whose final result is an error. nresults, when ≥ 0, must
+// match the callee's result count (an assignment that takes fewer
+// values than the callee returns does not compile, so this only guards
+// against single-value weirdness).
+func (p *Pass) parseCallDroppingError(call *ast.CallExpr, nresults int) (string, bool) {
+	var ident *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		ident = fun
+	case *ast.SelectorExpr:
+		ident = fun.Sel
+	default:
+		return "", false
+	}
+	fn, ok := p.Pkg.Info.Uses[ident].(*types.Func)
+	if !ok && p.Pkg.Info.Defs[ident] != nil {
+		fn, ok = p.Pkg.Info.Defs[ident].(*types.Func)
+	}
+	if !ok || !parseSurfaceRe.MatchString(fn.Name()) {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	if nresults >= 0 && sig.Results().Len() != nresults {
+		return "", false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !types.Identical(last, types.Universe.Lookup("error").Type()) {
+		return "", false
+	}
+	return fn.Name(), true
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags ==/!= between two computed floating-point expressions.
+// Exact equality on computed scores (similarities, losses, thresholds
+// after arithmetic) is evaluation-order dependent: two mathematically
+// equal values can differ in the last ulp, and a `==` tie-break then
+// diverges between otherwise-equivalent implementations — breaking the
+// ParaMatch/VPair/APair differential-equivalence contract. Comparisons
+// where either side is a compile-time constant (sentinels such as 0)
+// stay exact on purpose and are not flagged.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between computed float expressions; use feq.Eq/feq.EqTol (her/internal/feq)",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, okx := p.Pkg.Info.Types[be.X]
+			ty, oky := p.Pkg.Info.Types[be.Y]
+			if !okx || !oky || !isFloat(tx.Type) || !isFloat(ty.Type) {
+				return true
+			}
+			if tx.Value != nil || ty.Value != nil {
+				return true // constant sentinel compare: exact by design
+			}
+			p.Reportf(be.OpPos, "%s between computed float values is evaluation-order dependent; use feq.Eq or feq.EqTol (her/internal/feq)", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand forbids the package-level math/rand functions that draw
+// from the process-global, unseedable-per-run source (Intn, Float64,
+// Perm, Shuffle, Seed, ...). Every random stream in this repository is
+// derived from an explicit int64 seed (her.Options.Seed, testkit
+// workload seeds, embed corpus generation); a single global-source draw
+// makes runs irreproducible. Constructors that build an explicitly
+// seeded generator (rand.New, rand.NewSource, rand.NewZipf, and the
+// v2 equivalents) are allowed.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid top-level math/rand functions; thread a rand.New(rand.NewSource(seed)) explicitly",
+	Run:  runGlobalRand,
+}
+
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func runGlobalRand(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // a method on an explicit *rand.Rand is fine
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "top-level %s.%s draws from the global source and breaks int64-seed reproducibility; thread rand.New(rand.NewSource(seed)) instead", path, fn.Name())
+			return true
+		})
+	}
+}

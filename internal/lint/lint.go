@@ -1,0 +1,166 @@
+// Package lint is herlint's engine: a stdlib-only static-analysis
+// framework (go/ast + go/parser + go/types, no go/packages) with
+// project-specific analyzers enforcing the repository's determinism,
+// nil-metrics, and seed-reproducibility contracts:
+//
+//	mapiter    — map iteration order must not leak into serialized
+//	             output or unsorted collected slices (differential
+//	             equivalence of the §V match algorithms)
+//	floateq    — no ==/!= between computed floats; use internal/feq
+//	globalrand — no top-level math/rand (breaks int64-seed
+//	             reproducibility of testkit/embed/learn)
+//	nilrecv    — exported pointer-receiver methods in internal/obs
+//	             must open with the nil-receiver guard backing the
+//	             "zero cost when nil" metrics contract
+//	errdrop    — no discarded errors from Read*/Parse*/Decode*/...
+//	             on the fuzzed parse surfaces
+//
+// A finding can be suppressed with a trailing or preceding comment
+//
+//	//herlint:ignore <analyzer>[,<analyzer>...] — reason
+//
+// which applies to its own line and the line below it. See DESIGN.md
+// ("Determinism and concurrency contracts") for the invariant each
+// analyzer protects.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All is the herlint analyzer suite.
+var All = []*Analyzer{MapIter, FloatEq, NilRecv, GlobalRand, ErrDrop}
+
+// ByName returns the analyzers matching the comma-separated names list,
+// or All when names is empty.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All, nil
+	}
+	byName := make(map[string]*Analyzer, len(All))
+	for _, a := range All {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a := byName[strings.TrimSpace(n)]
+		if a == nil {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", strings.TrimSpace(n))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Diagnostic is one finding, in both human and machine-readable form.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	ignores map[string]map[int]map[string]bool // file → line → suppressed analyzers
+	out     *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless an ignore directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if lines, ok := p.ignores[position.Filename]; ok {
+		if names := lines[position.Line]; names[p.Analyzer.Name] || names["*"] {
+			return
+		}
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+var ignoreRe = regexp.MustCompile(`^//\s*herlint:ignore\s+([\w*,]+)`)
+
+// buildIgnores collects herlint:ignore directives: each covers the
+// comment's own line (trailing form) and the next line (preceding form).
+func buildIgnores(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	ignores := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := ignores[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					ignores[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := lines[line]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[line] = set
+					}
+					for _, name := range strings.Split(m[1], ",") {
+						set[name] = true
+					}
+				}
+			}
+		}
+	}
+	return ignores
+}
+
+// Run executes the analyzers over the packages and returns findings
+// sorted by file, line, column, analyzer.
+func Run(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := buildIgnores(fset, pkg.Files)
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Fset: fset, Pkg: pkg, ignores: ignores, out: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit analyzers run
+// over. Files holds only non-test sources — the lint contracts govern
+// the shipped code; test files are free to use test-local idioms.
+type Package struct {
+	Path  string // import path ("her/internal/obs") or directory for out-of-module loads
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader discovers and type-checks packages without go/packages: module
+// discovery walks the directory tree go list-style, module-internal
+// imports are resolved back through the loader itself, and everything
+// else (the standard library) goes through the compiler's export data
+// with a from-source fallback.
+type Loader struct {
+	Fset *token.FileSet
+
+	modRoot string // absolute module root ("" outside a module)
+	modPath string // module path from go.mod ("" outside a module)
+
+	pkgs map[string]*loadEntry // memo, keyed by import path
+	gc   types.Importer
+	src  types.Importer
+}
+
+type loadEntry struct {
+	pkg *Package
+	err error
+}
+
+// NewLoader creates a loader rooted at dir: if dir (or a parent) holds
+// a go.mod, imports under its module path resolve to source directories
+// beneath it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{Fset: token.NewFileSet(), pkgs: make(map[string]*loadEntry)}
+	if root, path, ok := findModule(abs); ok {
+		l.modRoot, l.modPath = root, path
+	}
+	l.gc = importer.Default()
+	l.src = importer.ForCompiler(l.Fset, "source", nil)
+	return l, nil
+}
+
+// ModuleRoot returns the absolute module root directory, or "".
+func (l *Loader) ModuleRoot() string { return l.modRoot }
+
+// ModulePath returns the module path from go.mod, or "".
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// findModule ascends from dir looking for a go.mod and returns the
+// containing directory and the declared module path.
+func findModule(dir string) (root, path string, ok bool) {
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, found := strings.CutPrefix(line, "module "); found {
+					return dir, strings.TrimSpace(rest), true
+				}
+			}
+			return dir, "", false
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", false
+		}
+		dir = parent
+	}
+}
+
+// DiscoverDirs walks root go list-style and returns every directory
+// containing at least one non-test .go file, skipping testdata, vendor,
+// and hidden or underscore-prefixed directories.
+func DiscoverDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// ExpandPatterns resolves CLI package patterns relative to base: "x/..."
+// expands to every package directory beneath x, anything else is taken
+// as a single directory. An empty argument list means "./...".
+func ExpandPatterns(base string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rest == "." || rest == "" {
+				rest = base
+			} else if !filepath.IsAbs(rest) {
+				rest = filepath.Join(base, rest)
+			}
+			sub, err := DiscoverDirs(rest)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range sub {
+				add(d)
+			}
+			continue
+		}
+		d := pat
+		if !filepath.IsAbs(d) {
+			d = filepath.Join(base, d)
+		}
+		add(d)
+	}
+	return dirs, nil
+}
+
+// LoadDir parses and type-checks the package in dir.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(l.pathForDir(abs), abs)
+}
+
+// pathForDir maps a directory to its import path when it lies inside
+// the module; otherwise the directory itself serves as the key.
+func (l *Loader) pathForDir(abs string) string {
+	if l.modRoot != "" {
+		if rel, err := filepath.Rel(l.modRoot, abs); err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			if rel == "." {
+				return l.modPath
+			}
+			return l.modPath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	return abs
+}
+
+// dirForPath is the inverse mapping for module-internal import paths.
+func (l *Loader) dirForPath(path string) (string, bool) {
+	if l.modPath == "" {
+		return "", false
+	}
+	if path == l.modPath {
+		return l.modRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return filepath.Join(l.modRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Import implements types.Importer: module-internal paths load from
+// source through the loader, everything else through export data with a
+// from-source fallback (export data for the standard library is not
+// always installed).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir, ok := l.dirForPath(path); ok {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if pkg, err := l.gc.Import(path); err == nil {
+		return pkg, nil
+	}
+	return l.src.Import(path)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if e, ok := l.pkgs[path]; ok {
+		return e.pkg, e.err
+	}
+	// Reserve the slot first so import cycles fail fast instead of
+	// recursing forever.
+	l.pkgs[path] = &loadEntry{err: fmt.Errorf("lint: import cycle through %s", path)}
+	pkg, err := l.loadUncached(path, dir)
+	l.pkgs[path] = &loadEntry{pkg: pkg, err: err}
+	return pkg, err
+}
+
+func (l *Loader) loadUncached(path, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIter flags `for range` over a map whose body lets the iteration
+// order escape: either directly into an output sink (a Write*/Encode
+// method or an fmt print call — map order then leaks into serialized
+// artifacts like the model file, Prometheus exposition, or HTTP
+// responses), or by appending to a slice declared outside the loop that
+// is never passed to a sort call afterwards (the order then leaks into
+// whatever consumes the slice). The sanctioned pattern is collect →
+// sort → iterate, as in obs.WritePrometheus's sortedKeys.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "map iteration order must not reach serialized output or unsorted collected slices",
+	Run:  runMapIter,
+}
+
+// sinkMethods are method names that emit output in call order.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "WriteAll": true, "WriteRecord": true,
+}
+
+func runMapIter(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkMapIterBody(fd.Body)
+		}
+	}
+}
+
+func (p *Pass) checkMapIterBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !p.isMapRange(rs) {
+			return true
+		}
+		p.checkSinks(rs)
+		for _, tgt := range p.appendTargets(rs) {
+			if !p.sortedAfter(body, tgt.obj, rs.End()) {
+				p.Reportf(tgt.pos, "slice %q collects map keys/values in iteration order and is never sorted; sort it (sort.Slice/slices.Sort) before the order can leak", tgt.obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+func (p *Pass) isMapRange(rs *ast.RangeStmt) bool {
+	tv, ok := p.Pkg.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkSinks reports writer/encoder/print calls inside the loop body.
+func (p *Pass) checkSinks(rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		switch {
+		case sig != nil && sig.Recv() != nil && sinkMethods[fn.Name()]:
+			p.Reportf(call.Pos(), "%s inside map iteration serializes in map order; collect and sort keys first", fn.Name())
+		case fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && isFmtPrint(fn.Name()):
+			p.Reportf(call.Pos(), "fmt.%s inside map iteration emits in map order; collect and sort keys first", fn.Name())
+		}
+		return true
+	})
+}
+
+func isFmtPrint(name string) bool {
+	switch name {
+	case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+		return true
+	}
+	return false
+}
+
+// appendTarget is one `x = append(x, ...)` site inside a map range whose
+// target x outlives the loop.
+type appendTarget struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// appendTargets finds append statements in the loop body whose target
+// is declared outside the loop.
+func (p *Pass) appendTargets(rs *ast.RangeStmt) []appendTarget {
+	var out []appendTarget
+	seen := make(map[types.Object]bool)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			return true
+		}
+		if obj := p.Pkg.Info.Uses[fun]; obj != nil && obj.Parent() != types.Universe {
+			return true // a local function shadowing the builtin
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Pkg.Info.ObjectOf(id)
+		if obj == nil || seen[obj] {
+			return true
+		}
+		// Declared inside the loop: each iteration gets a fresh slice,
+		// no cross-iteration order to leak.
+		if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+			return true
+		}
+		seen[obj] = true
+		out = append(out, appendTarget{obj: obj, pos: as.Pos()})
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether obj is handed to a sort.*/slices.* call
+// (or any method named Sort) after pos within the function body.
+func (p *Pass) sortedAfter(body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos {
+			return true
+		}
+		if !p.isSortCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if p.mentions(arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (p *Pass) isSortCall(call *ast.CallExpr) bool {
+	var ident *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		ident = fun
+	case *ast.SelectorExpr:
+		ident = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := p.Pkg.Info.Uses[ident].(*types.Func)
+	if !ok {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "sort" || pkg.Path() == "slices") {
+		return true
+	}
+	// Project-local sorting helpers (core.SortPairs, sortedKeys-style
+	// wrappers) count too: the contract is "a sort happens", not "the
+	// stdlib does it".
+	return strings.HasPrefix(fn.Name(), "Sort") || strings.HasPrefix(fn.Name(), "sort")
+}
+
+// mentions reports whether the expression subtree references obj.
+func (p *Pass) mentions(e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Pkg.Info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NilRecv enforces the "zero cost when nil" metrics contract from the
+// observability layer: every exported pointer-receiver method in
+// package obs must open with
+//
+//	if recv == nil { return ... }
+//
+// so instrumentation sites can hold possibly-nil handles and call them
+// unconditionally. A missing guard turns a System built without a
+// registry from a one-pointer-compare no-op into a panic.
+var NilRecv = &Analyzer{
+	Name: "nilrecv",
+	Doc:  "exported pointer-receiver methods in package obs must start with a nil-receiver guard",
+	Run:  runNilRecv,
+}
+
+func runNilRecv(p *Pass) {
+	if p.Pkg.Types.Name() != "obs" {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recvField := fd.Recv.List[0]
+			if _, isPtr := recvField.Type.(*ast.StarExpr); !isPtr {
+				continue // value receivers cannot be nil
+			}
+			if len(recvField.Names) == 0 || recvField.Names[0].Name == "_" {
+				p.Reportf(fd.Pos(), "exported method %s has an unnamed pointer receiver and cannot carry the nil-receiver guard", fd.Name.Name)
+				continue
+			}
+			recv := recvField.Names[0].Name
+			if !startsWithNilGuard(fd.Body, recv) {
+				p.Reportf(fd.Pos(), "exported method (%s) %s must start with `if %s == nil { return ... }` — the nil-metrics zero-cost contract", recv, fd.Name.Name, recv)
+			}
+		}
+	}
+}
+
+// startsWithNilGuard reports whether the first statement is
+// `if recv == nil { ... return ... }` (either operand order).
+func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	isIdent := func(e ast.Expr, name string) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == name
+	}
+	if !(isIdent(cond.X, recv) && isIdent(cond.Y, "nil") ||
+		isIdent(cond.X, "nil") && isIdent(cond.Y, recv)) {
+		return false
+	}
+	for _, s := range ifs.Body.List {
+		if _, ok := s.(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}

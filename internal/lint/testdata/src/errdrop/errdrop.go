@@ -1,0 +1,56 @@
+// Package errdrop is a herlint fixture for the discarded-parse-error
+// analyzer.
+package errdrop
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+)
+
+type payload struct{ X int }
+
+func flagExprStmt(data []byte) {
+	var p payload
+	json.Unmarshal(data, &p) // want "error from Unmarshal is discarded"
+}
+
+func flagBlankAssign(data []byte) payload {
+	var p payload
+	_ = json.Unmarshal(data, &p) // want "error from Unmarshal is assigned to _"
+	return p
+}
+
+func flagDecoderBlank(r *strings.Reader) payload {
+	var p payload
+	dec := json.NewDecoder(r)
+	_ = dec.Decode(&p) // want "error from Decode is assigned to _"
+	return p
+}
+
+func flagParseBlank(s string) int64 {
+	v, _ := strconv.ParseInt(s, 10, 64) // want "error from ParseInt is assigned to _"
+	return v
+}
+
+func okPropagated(data []byte) error {
+	var p payload
+	return json.Unmarshal(data, &p)
+}
+
+func okChecked(s string) int64 {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func okNonParseName(b *strings.Builder) {
+	b.WriteString("x") // WriteString's error may be dropped: not a parse surface
+}
+
+func okNamePrefixMiss(s string) int {
+	n, _ := strconv.Atoi(s) // Atoi is outside the Read/Parse/Decode name set
+	return n
+}

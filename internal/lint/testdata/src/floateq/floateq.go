@@ -1,0 +1,38 @@
+// Package floateq is a herlint fixture for the float-equality analyzer.
+package floateq
+
+func flagEq(a, b float64) bool {
+	return a == b // want "== between computed float values"
+}
+
+func flagNeq(a, b float64) bool {
+	return a != b // want "!= between computed float values"
+}
+
+func flagFloat32(a, b float32) bool {
+	return a == b // want "== between computed float values"
+}
+
+func flagComputed(xs []float64) bool {
+	return xs[0]*2 == xs[1]+1 // want "== between computed float values"
+}
+
+func okZeroSentinel(a float64) bool {
+	return a == 0
+}
+
+func okConstSentinel(a float64) bool {
+	return 1.5 != a
+}
+
+func okInts(a, b int) bool {
+	return a == b
+}
+
+func okOrdered(a, b float64) bool {
+	return a < b || a > b
+}
+
+func okIgnored(a, b float64) bool {
+	return a == b //herlint:ignore floateq — fixture demonstrates the suppression directive
+}

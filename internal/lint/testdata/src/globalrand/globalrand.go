@@ -1,0 +1,30 @@
+// Package globalrand is a herlint fixture for the global-source
+// math/rand analyzer.
+package globalrand
+
+import "math/rand"
+
+func flagIntn() int {
+	return rand.Intn(10) // want `top-level math/rand.Intn`
+}
+
+func flagFloat64() float64 {
+	return rand.Float64() // want `top-level math/rand.Float64`
+}
+
+func flagShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `top-level math/rand.Shuffle`
+}
+
+func okSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func okThreaded(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+func okSourceParam(src rand.Source) *rand.Rand {
+	return rand.New(src)
+}

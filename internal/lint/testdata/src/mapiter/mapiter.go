@@ -1,0 +1,78 @@
+// Package mapiter is a herlint fixture: each `// want` comment pins an
+// expected mapiter diagnostic; lines without one must stay clean.
+package mapiter
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func flagSinkWrite(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want "WriteString inside map iteration"
+	}
+}
+
+func flagSinkFprintf(m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v) // want "fmt.Fprintf inside map iteration"
+	}
+}
+
+func flagUnsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `slice "keys" collects map keys`
+	}
+	return keys
+}
+
+func okSortedAppend(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okSortSliceAppend(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func okAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func okMapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func okSliceRange(xs []string, b *strings.Builder) {
+	for _, x := range xs {
+		b.WriteString(x)
+	}
+}
+
+func okLoopLocalAppend(m map[string][]string, b *strings.Builder) {
+	for _, vs := range m {
+		var local []string
+		local = append(local, vs...)
+		_ = local
+	}
+}

@@ -1,0 +1,11 @@
+// Package notobs is a herlint fixture: nilrecv only governs package
+// obs, so the same unguarded shape here must produce no findings.
+package notobs
+
+// Counter has the same shape as the obs fixture.
+type Counter struct{ n int64 }
+
+// Inc is unguarded, but this is not package obs.
+func (c *Counter) Inc() {
+	c.n++
+}

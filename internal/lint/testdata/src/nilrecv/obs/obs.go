@@ -1,0 +1,43 @@
+// Package obs is a herlint fixture: nilrecv applies to packages named
+// obs, so the guarded methods pass and the unguarded ones are flagged.
+package obs
+
+// Counter mimics a nil-safe metric handle.
+type Counter struct{ n int64 }
+
+// Add is correctly guarded.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// Value is correctly guarded with reversed operands.
+func (c *Counter) Value() int64 {
+	if nil == c {
+		return 0
+	}
+	return c.n
+}
+
+// Inc is missing the guard.
+func (c *Counter) Inc() { // want "Inc must start with"
+	c.n++
+}
+
+// Gauge mimics a second metric type.
+type Gauge struct{ v float64 }
+
+// Set is missing the guard.
+func (g *Gauge) Set(v float64) { // want "Set must start with"
+	g.v = v
+}
+
+// set is unexported: outside the contract.
+func (g *Gauge) set(v float64) {
+	g.v = v
+}
+
+// Snapshot has a value receiver: it cannot be nil.
+func (g Gauge) Snapshot() float64 { return g.v }

@@ -68,11 +68,20 @@ func TestTrainLearnsBigram(t *testing.T) {
 	}
 	v := NewVocab([]string{"a", "b", "c", "d", "e"})
 	m := New(v, 8, 16, 5)
+	epochs := 40
+	if testing.Short() {
+		// Short tier: enough epochs to verify training moves the loss,
+		// not enough to pin the learned grammar below.
+		epochs = 6
+	}
 	before := m.Perplexity(seqs)
-	loss := m.Train(seqs, TrainConfig{Epochs: 40, LearnRate: 0.05, Clip: 5, Seed: 2})
+	loss := m.Train(seqs, TrainConfig{Epochs: epochs, LearnRate: 0.05, Clip: 5, Seed: 2})
 	after := m.Perplexity(seqs)
 	if after >= before {
 		t.Errorf("training did not reduce perplexity: %f → %f (loss %f)", before, after, loss)
+	}
+	if testing.Short() {
+		return
 	}
 	// After "a", "b" should be the most likely continuation.
 	p := m.NextProbs([]string{"a"})

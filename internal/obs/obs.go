@@ -48,10 +48,20 @@ func NewRegistry() *Registry {
 // is runtime state, not model state: structs that embed one (e.g.
 // her.Options inside a persisted model file) must still be encodable,
 // so it serializes to nothing and decodes to an empty registry.
-func (r *Registry) GobEncode() ([]byte, error) { return nil, nil }
+func (r *Registry) GobEncode() ([]byte, error) {
+	if r == nil {
+		return nil, nil
+	}
+	return nil, nil
+}
 
 // GobDecode restores nothing; see GobEncode.
-func (r *Registry) GobDecode([]byte) error { return nil }
+func (r *Registry) GobDecode([]byte) error {
+	if r == nil {
+		return nil
+	}
+	return nil
+}
 
 // Counter returns the counter registered under name, creating it on
 // first use. Returns nil on a nil registry.
@@ -132,7 +142,12 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc increments the counter by one. No-op on a nil counter.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.Add(1)
+}
 
 // Value returns the current count (0 on nil).
 func (c *Counter) Value() int64 {

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"her/internal/feq"
 	"her/internal/graph"
 	"her/internal/lstm"
 )
@@ -129,7 +130,7 @@ func (r *Ranker) selectAll(v graph.VID) []Selected {
 		sel = append(sel, s)
 	}
 	sort.Slice(sel, func(a, b int) bool {
-		if sel[a].PRA != sel[b].PRA {
+		if !feq.Eq(sel[a].PRA, sel[b].PRA) {
 			return sel[a].PRA > sel[b].PRA
 		}
 		return sel[a].Desc < sel[b].Desc
@@ -168,7 +169,7 @@ func (r *Ranker) growPath(v graph.VID, e0 graph.Edge) graph.Path {
 				continue // keep the path simple (cycles are abandoned)
 			}
 			pe := probs[r.LM.Vocab.ID(e.Label)]
-			if pe > bestP || (pe == bestP && found && e.To < bestE.To) {
+			if pe > bestP || (feq.Eq(pe, bestP) && found && e.To < bestE.To) {
 				bestP, bestE, found = pe, e, true
 			}
 		}

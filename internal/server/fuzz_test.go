@@ -26,48 +26,8 @@ var (
 
 func fuzzServer() (*Server, error) {
 	fuzzOnce.Do(func() {
-		schema, err := her.NewSchema("product", []string{"name", "color"}, "name")
+		sys, _, _, err := buildCatalog(her.Options{Seed: 2})
 		if err != nil {
-			fuzzErr = err
-			return
-		}
-		db := her.NewDatabase(schema)
-		db.Relation("product").MustInsert("Aurora Trail Runner 7", "red")
-		db.Relation("product").MustInsert("Comet Road Cruiser 2", "blue")
-
-		g := her.NewGraph()
-		mk := func(name, color string) {
-			p := g.AddVertex("product")
-			g.MustAddEdge(p, g.AddVertex(name), "productName")
-			g.MustAddEdge(p, g.AddVertex(color), "hasColor")
-		}
-		mk("Aurora Trail Runner", "red")
-		mk("Comet Road Cruiser", "blue")
-
-		sys, err := her.New(db, g, her.Options{Seed: 2})
-		if err != nil {
-			fuzzErr = err
-			return
-		}
-		pairs := []her.PathPair{
-			{A: []string{"name"}, B: []string{"productName"}, Match: true},
-			{A: []string{"color"}, B: []string{"hasColor"}, Match: true},
-			{A: []string{"name"}, B: []string{"hasColor"}, Match: false},
-			{A: []string{"color"}, B: []string{"productName"}, Match: false},
-		}
-		var training []her.PathPair
-		for i := 0; i < 30; i++ {
-			training = append(training, pairs...)
-		}
-		if err := sys.TrainPathModel(training, 0); err != nil {
-			fuzzErr = err
-			return
-		}
-		if err := sys.TrainRanker(50, 120); err != nil {
-			fuzzErr = err
-			return
-		}
-		if err := sys.SetThresholds(her.Thresholds{Sigma: 0.75, Delta: 0.9, K: 5}); err != nil {
 			fuzzErr = err
 			return
 		}

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"her"
@@ -18,49 +20,107 @@ func trainedSystem(t *testing.T) (*her.System, her.VertexID, her.VertexID) {
 	return trainedSystemWithOpts(t, her.Options{Seed: 2})
 }
 
+// catalogModels caches the trained model snapshot: training the metric
+// network and ranker dominates test time (especially under -race), and
+// LoadModels restores identical decisions (pinned by TestSaveLoadModels
+// in the root package), so each test restores the snapshot into a fresh
+// system instead of retraining.
+var catalogModels struct {
+	once sync.Once
+	blob []byte
+	err  error
+}
+
+// buildCatalog builds the catalog system with the given Options and
+// restores (training on first use) the cached model snapshot into it.
+// Shared by the handler tests and the fuzz harness.
+func buildCatalog(opts her.Options) (*her.System, her.VertexID, her.VertexID, error) {
+	build := func() (*her.Database, *her.Graph, her.VertexID, her.VertexID, error) {
+		schema, err := her.NewSchema("product", []string{"name", "color"}, "name")
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		db := her.NewDatabase(schema)
+		db.Relation("product").MustInsert("Aurora Trail Runner 7", "red")
+		db.Relation("product").MustInsert("Comet Road Cruiser 2", "blue")
+
+		g := her.NewGraph()
+		mk := func(name, color string) her.VertexID {
+			p := g.AddVertex("product")
+			g.MustAddEdge(p, g.AddVertex(name), "productName")
+			g.MustAddEdge(p, g.AddVertex(color), "hasColor")
+			return p
+		}
+		p1 := mk("Aurora Trail Runner", "red")
+		p2 := mk("Comet Road Cruiser", "blue")
+		return db, g, p1, p2, nil
+	}
+
+	catalogModels.once.Do(func() {
+		fail := func(err error) { catalogModels.err = err }
+		db, g, _, _, err := build()
+		if err != nil {
+			fail(err)
+			return
+		}
+		ref, err := her.New(db, g, her.Options{Seed: 2})
+		if err != nil {
+			fail(err)
+			return
+		}
+		pairs := []her.PathPair{
+			{A: []string{"name"}, B: []string{"productName"}, Match: true},
+			{A: []string{"color"}, B: []string{"hasColor"}, Match: true},
+			{A: []string{"name"}, B: []string{"hasColor"}, Match: false},
+			{A: []string{"color"}, B: []string{"productName"}, Match: false},
+		}
+		var training []her.PathPair
+		for i := 0; i < 30; i++ {
+			training = append(training, pairs...)
+		}
+		if err := ref.TrainPathModel(training, 0); err != nil {
+			fail(err)
+			return
+		}
+		if err := ref.TrainRanker(50, 120); err != nil {
+			fail(err)
+			return
+		}
+		if err := ref.SetThresholds(her.Thresholds{Sigma: 0.75, Delta: 0.9, K: 5}); err != nil {
+			fail(err)
+			return
+		}
+		var buf bytes.Buffer
+		if err := ref.SaveModels(&buf); err != nil {
+			fail(err)
+			return
+		}
+		catalogModels.blob = buf.Bytes()
+	})
+	if catalogModels.err != nil {
+		return nil, 0, 0, catalogModels.err
+	}
+
+	db, g, p1, p2, err := build()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	sys, err := her.New(db, g, opts)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if err := sys.LoadModels(bytes.NewReader(catalogModels.blob)); err != nil {
+		return nil, 0, 0, err
+	}
+	return sys, p1, p2, nil
+}
+
 // trainedSystemWithOpts is trainedSystem with caller-chosen Options
 // (e.g. a metrics registry).
 func trainedSystemWithOpts(t *testing.T, opts her.Options) (*her.System, her.VertexID, her.VertexID) {
 	t.Helper()
-	schema, err := her.NewSchema("product", []string{"name", "color"}, "name")
+	sys, p1, p2, err := buildCatalog(opts)
 	if err != nil {
-		t.Fatal(err)
-	}
-	db := her.NewDatabase(schema)
-	db.Relation("product").MustInsert("Aurora Trail Runner 7", "red")
-	db.Relation("product").MustInsert("Comet Road Cruiser 2", "blue")
-
-	g := her.NewGraph()
-	mk := func(name, color string) her.VertexID {
-		p := g.AddVertex("product")
-		g.MustAddEdge(p, g.AddVertex(name), "productName")
-		g.MustAddEdge(p, g.AddVertex(color), "hasColor")
-		return p
-	}
-	p1 := mk("Aurora Trail Runner", "red")
-	p2 := mk("Comet Road Cruiser", "blue")
-
-	sys, err := her.New(db, g, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pairs := []her.PathPair{
-		{A: []string{"name"}, B: []string{"productName"}, Match: true},
-		{A: []string{"color"}, B: []string{"hasColor"}, Match: true},
-		{A: []string{"name"}, B: []string{"hasColor"}, Match: false},
-		{A: []string{"color"}, B: []string{"productName"}, Match: false},
-	}
-	var training []her.PathPair
-	for i := 0; i < 30; i++ {
-		training = append(training, pairs...)
-	}
-	if err := sys.TrainPathModel(training, 0); err != nil {
-		t.Fatal(err)
-	}
-	if err := sys.TrainRanker(50, 120); err != nil {
-		t.Fatal(err)
-	}
-	if err := sys.SetThresholds(her.Thresholds{Sigma: 0.75, Delta: 0.9, K: 5}); err != nil {
 		t.Fatal(err)
 	}
 	return sys, p1, p2

@@ -12,6 +12,9 @@ import (
 // BSP metrics from a parallel run, and the results are unchanged
 // relative to an uninstrumented system.
 func TestSystemMetricsIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two full systems; skipped in -short")
+	}
 	cfg, ok := dataset.ByName("Synthetic", 40)
 	if !ok {
 		t.Fatal("unknown dataset")

@@ -53,6 +53,52 @@ func TestOverridesReconciliation(t *testing.T) {
 	}
 }
 
+// TestOverrideOrderDeterministic: confirmed overrides are collected
+// from a map; the reconciliation must sort them so repeated identical
+// queries return matches in an identical order (the order reaches
+// serialized /vpair and /apair responses).
+func TestOverrideOrderDeterministic(t *testing.T) {
+	sys, _ := incrementalFixture(t)
+	u, _ := sys.Mapping.VertexOf("product", 0)
+	// Confirm many pairs so map iteration order would visibly scramble
+	// the result if it leaked.
+	var fb []Feedback
+	for i := 0; i < 8; i++ {
+		v := sys.AddGraphVertex("product")
+		fb = append(fb, Feedback{Pair: Pair{U: u, V: v}, IsMatch: true})
+	}
+	sys.Refine(fb)
+
+	first := sys.VPairVertex(u)
+	if len(first) < 8 {
+		t.Fatalf("setup: expected ≥8 matches, got %v", first)
+	}
+	for i := 0; i < 10; i++ {
+		again := sys.VPairVertex(u)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d matches vs %d", i+2, len(again), len(first))
+		}
+		for j := range again {
+			if again[j] != first[j] {
+				t.Fatalf("run %d: match order changed at %d: %v vs %v", i+2, j, again[j], first[j])
+			}
+		}
+	}
+
+	apFirst := sys.APair()
+	for i := 0; i < 5; i++ {
+		apAgain := sys.APair()
+		if len(apAgain) != len(apFirst) {
+			t.Fatalf("APair run %d: %d vs %d", i+2, len(apAgain), len(apFirst))
+		}
+		for j := range apAgain {
+			if apAgain[j] != apFirst[j] {
+				t.Fatalf("APair run %d: order changed at %d", i+2, j)
+			}
+		}
+	}
+}
+
 // TestOverrideScope: a confirmed pair for tuple A must not leak into
 // VPair results of tuple B.
 func TestOverrideScope(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"her/internal/core"
 	"her/internal/embed"
@@ -18,6 +19,12 @@ import (
 // state (verified pairs and fine-tuned label-pair verdicts). The graphs
 // and database are NOT persisted — they are the inputs; SaveModels
 // answers "train once, serve many" for the learned parameters.
+//
+// The refinement maps are persisted as sorted slices, not maps: gob
+// writes map entries in Go's randomized iteration order, so a map field
+// would make two saves of identical state byte-different — breaking
+// artifact diffing, content-addressed storage, and the reproducibility
+// contract herlint enforces elsewhere. Version 2 switched to slices.
 type modelFile struct {
 	Version   int
 	Options   Options
@@ -25,32 +32,57 @@ type modelFile struct {
 	Metric    nn.Snapshot
 	HasLM     bool
 	LM        lstm.Snapshot
-	Overrides map[core.Pair]bool
-	MvTable   map[[2]string]float64
+	Overrides []overrideEntry
+	MvTable   []mvEntry
 }
 
-const modelFileVersion = 1
+// overrideEntry is one user-verified pair verdict, ordered by (U, V).
+type overrideEntry struct {
+	Pair    core.Pair
+	Verdict bool
+}
 
-// SaveModels serializes the learned parameters to w.
+// mvEntry is one fine-tuned label-pair similarity, ordered by (A, B).
+type mvEntry struct {
+	A, B  string
+	Score float64
+}
+
+const modelFileVersion = 2
+
+// SaveModels serializes the learned parameters to w. Output is
+// byte-deterministic: saving the same state twice yields identical
+// bytes.
 func (s *System) SaveModels(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f := modelFile{
-		Version:   modelFileVersion,
-		Options:   s.opts,
-		Overrides: make(map[core.Pair]bool, len(s.overrides)),
-		MvTable:   make(map[[2]string]float64),
+		Version: modelFileVersion,
+		Options: s.opts,
 	}
 	// The metrics registry is runtime state, not a learned parameter.
 	f.Options.Metrics = nil
 	for k, v := range s.overrides {
-		f.Overrides[k] = v
+		f.Overrides = append(f.Overrides, overrideEntry{Pair: k, Verdict: v})
 	}
+	sort.Slice(f.Overrides, func(i, j int) bool {
+		a, b := f.Overrides[i].Pair, f.Overrides[j].Pair
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
 	s.sc.mu.RLock()
 	for k, v := range s.sc.mvTable {
-		f.MvTable[k] = v
+		f.MvTable = append(f.MvTable, mvEntry{A: k[0], B: k[1], Score: v})
 	}
 	s.sc.mu.RUnlock()
+	sort.Slice(f.MvTable, func(i, j int) bool {
+		if f.MvTable[i].A != f.MvTable[j].A {
+			return f.MvTable[i].A < f.MvTable[j].A
+		}
+		return f.MvTable[i].B < f.MvTable[j].B
+	})
 	if s.sc.metric != nil {
 		f.HasMetric = true
 		f.Metric = s.sc.metric.Snapshot()
@@ -108,13 +140,13 @@ func (s *System) LoadModels(r io.Reader) error {
 		s.rankerG = ranking.NewRanker(s.G, lm, s.opts.MaxPathLen)
 	}
 	s.overrides = make(map[core.Pair]bool, len(f.Overrides))
-	for k, v := range f.Overrides {
-		s.overrides[k] = v
+	for _, e := range f.Overrides {
+		s.overrides[e.Pair] = e.Verdict
 	}
 	s.sc.mu.Lock()
 	s.sc.mvTable = make(map[[2]string]float64, len(f.MvTable))
-	for k, v := range f.MvTable {
-		s.sc.mvTable[k] = v
+	for _, e := range f.MvTable {
+		s.sc.mvTable[[2]string{e.A, e.B}] = e.Score
 	}
 	s.sc.mu.Unlock()
 	s.sc.invalidateRho()

@@ -54,6 +54,55 @@ func TestSaveLoadModels(t *testing.T) {
 	}
 }
 
+// TestSaveModelsByteDeterministic pins the reproducibility contract on
+// the model file: saving identical learned state repeatedly must
+// produce byte-identical output (gob-encoded maps would not — their
+// entries serialize in randomized iteration order, which is why
+// modelFile stores sorted slices).
+func TestSaveModelsByteDeterministic(t *testing.T) {
+	sys, _ := incrementalFixture(t)
+	u, _ := sys.Mapping.VertexOf("product", 0)
+	want := sys.VPairVertex(u)
+	if len(want) == 0 {
+		t.Fatal("setup: no matches")
+	}
+	// Populate both refinement maps with several entries so an
+	// order-dependent encoding would actually vary. Feedback targets
+	// must be real graph vertices, so grow the target graph first.
+	fb := []Feedback{{Pair: Pair{U: u, V: want[0].V}, IsMatch: true}}
+	for i := 0; i < 6; i++ {
+		v := sys.AddGraphVertex("product")
+		fb = append(fb, Feedback{Pair: Pair{U: u, V: v}, IsMatch: i%2 == 0})
+	}
+	sys.Refine(fb)
+
+	var first bytes.Buffer
+	if err := sys.SaveModels(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var again bytes.Buffer
+		if err := sys.SaveModels(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("save %d differs from first save: model files must be byte-deterministic", i+2)
+		}
+	}
+
+	// And the deterministic encoding still round-trips.
+	fresh, err := New(sys.DB, sys.G, Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadModels(bytes.NewReader(first.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Overrides() != sys.Overrides() {
+		t.Errorf("overrides %d vs %d after round trip", fresh.Overrides(), sys.Overrides())
+	}
+}
+
 func TestLoadModelsErrors(t *testing.T) {
 	sys, _ := incrementalFixture(t)
 	if err := sys.LoadModels(strings.NewReader("garbage")); err == nil {

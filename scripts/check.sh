@@ -1,27 +1,35 @@
 #!/usr/bin/env bash
 # check.sh is the tier-1 gate (see ROADMAP.md): formatting, vet, build,
-# the full test suite, and the race detector over the concurrency-heavy
-# packages. Run it before every commit; CI runs exactly this.
+# herlint (the project-specific static-analysis suite in internal/lint),
+# the full test suite, and the race detector in -short mode over the
+# whole module. Run it before every commit; CI runs exactly this.
 #
-# The race run is scoped rather than ./... because race instrumentation
-# slows the training-heavy root-package tests 10-20x — enough to trip
-# Go's 10-minute per-package timeout on small machines. The packages
-# below are the ones with real concurrency (the metrics registry, the
-# HTTP server, the BSP/async engines and the matcher they share).
+# The race run uses -short rather than the full suite because race
+# instrumentation slows the training-heavy tests 10-20x — enough to trip
+# Go's 10-minute per-package timeout on small machines. Every package is
+# still covered: the heavy tests carry testing.Short() tiers, so -short
+# keeps their fast paths while skipping the multi-minute training loops
+# (which the non-race `go test ./...` above still runs in full).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+fail() {
+    echo "check.sh: FAILED at stage: $1" >&2
+    exit 1
+}
 
 unformatted=$(gofmt -l . 2>/dev/null || true)
 if [ -n "$unformatted" ]; then
     echo "gofmt needed on:" >&2
     echo "$unformatted" >&2
-    exit 1
+    fail gofmt
 fi
 
-go vet ./...
-go build ./...
-go test ./...
-go test -race ./internal/obs ./internal/server ./internal/bsp ./internal/core
+go vet ./... || fail "go vet"
+go build ./... || fail "go build"
+go run ./cmd/herlint ./... || fail "herlint"
+go test ./... || fail "go test"
+go test -race -short ./... || fail "go test -race -short"
 
 # Tier-2: differential correctness and fuzz smokes. The differential
 # suite re-runs internal/testkit with a widened seed sweep (the default
@@ -29,14 +37,14 @@ go test -race ./internal/obs ./internal/server ./internal/bsp ./internal/core
 # smokes give each Go-native fuzz target a bounded budget on top of the
 # committed corpora. Tune with TESTKIT_SEEDS / CHECK_FUZZTIME; set
 # CHECK_FUZZTIME=0 to skip fuzzing (e.g. on very slow machines).
-TESTKIT_SEEDS="${TESTKIT_SEEDS:-150}" go test -count=1 ./internal/testkit
+TESTKIT_SEEDS="${TESTKIT_SEEDS:-150}" go test -count=1 ./internal/testkit || fail "testkit differential"
 
 fuzztime="${CHECK_FUZZTIME:-10s}"
 if [ "$fuzztime" != "0" ]; then
-    go test -run='^$' -fuzz='^FuzzReadTSV$' -fuzztime="$fuzztime" ./internal/graph
-    go test -run='^$' -fuzz='^FuzzReadCSV$' -fuzztime="$fuzztime" ./internal/relational
-    go test -run='^$' -fuzz='^FuzzConvert$' -fuzztime="$fuzztime" ./internal/json2graph
-    go test -run='^$' -fuzz='^FuzzServeHTTP$' -fuzztime="$fuzztime" ./internal/server
+    go test -run='^$' -fuzz='^FuzzReadTSV$' -fuzztime="$fuzztime" ./internal/graph || fail "fuzz FuzzReadTSV"
+    go test -run='^$' -fuzz='^FuzzReadCSV$' -fuzztime="$fuzztime" ./internal/relational || fail "fuzz FuzzReadCSV"
+    go test -run='^$' -fuzz='^FuzzConvert$' -fuzztime="$fuzztime" ./internal/json2graph || fail "fuzz FuzzConvert"
+    go test -run='^$' -fuzz='^FuzzServeHTTP$' -fuzztime="$fuzztime" ./internal/server || fail "fuzz FuzzServeHTTP"
 fi
 
 echo "check.sh: all gates passed"
