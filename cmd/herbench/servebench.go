@@ -1,0 +1,219 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"her"
+	"her/internal/dataset"
+	"her/internal/server"
+)
+
+// serveRecord is the machine-readable serving benchmark written by
+// -serve-json (tracked as BENCH_serve.json): concurrent /vpair
+// throughput of the single sequential matcher versus the sharded
+// serving engine (internal/shard) across shard counts. The requests
+// round-robin over every tuple in the catalog, so each variant pays the
+// full cold-matching cost once before the generation-stamped result
+// cache can help it — the single-System variant has no cache and
+// serializes all matching on the system mutex, which is exactly the
+// bottleneck sharded serving removes.
+type serveRecord struct {
+	Dataset       string         `json:"dataset"`
+	Entities      int            `json:"entities"`
+	Tuples        int            `json:"tuples"`
+	GraphVerts    int            `json:"graphVertices"`
+	GoVersion     string         `json:"goVersion"`
+	NumCPU        int            `json:"numCPU"`
+	GeneratedAt   string         `json:"generatedAt"`
+	TrainMillis   float64        `json:"trainMillis"`
+	Clients       int            `json:"clients"`
+	SecondsPerRun float64        `json:"secondsPerRun"`
+	SpeedupAt4    float64        `json:"speedupAt4Shards"` // sharded(4) rps / single rps
+	Variants      []serveVariant `json:"variants"`
+}
+
+type serveVariant struct {
+	Mode       string  `json:"mode"` // "single" or "sharded"
+	Shards     int     `json:"shards"`
+	HaloRadius int     `json:"haloRadius,omitempty"`
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	WallMillis float64 `json:"wallMillis"`
+	RPS        float64 `json:"requestsPerSecond"`
+	P50Millis  float64 `json:"p50Millis"`
+	P95Millis  float64 `json:"p95Millis"`
+	P99Millis  float64 `json:"p99Millis"`
+}
+
+// runServeBench trains one system, then measures concurrent /vpair
+// throughput against a single-System server and sharded servers at
+// shard counts 1, 2, 4 and 8, writing the record as JSON.
+func runServeBench(path, dsName string, entities, clients int, seed int64) error {
+	if entities <= 0 {
+		entities = 100
+	}
+	if seed == 0 {
+		seed = 7
+	}
+	if clients <= 0 {
+		clients = runtime.NumCPU()
+		if clients < 4 {
+			clients = 4
+		}
+	}
+	cfg, ok := dataset.ByName(dsName, entities)
+	if !ok {
+		return fmt.Errorf("unknown dataset %q", dsName)
+	}
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	sys, err := her.New(d.DB, d.G, her.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	trainStart := time.Now()
+	var training []her.PathPair
+	for i := 0; i < 20; i++ {
+		training = append(training, d.PathPairs...)
+	}
+	if err := sys.TrainPathModel(training, 0); err != nil {
+		return err
+	}
+	if err := sys.TrainRanker(120, 10); err != nil {
+		return err
+	}
+	if err := sys.SetThresholds(her.Thresholds{Sigma: 0.8, Delta: 1.6, K: 15}); err != nil {
+		return err
+	}
+
+	// The query mix: every tuple of every relation, round-robin.
+	var urls []string
+	for _, relName := range d.DB.RelationNames() {
+		for _, tp := range d.DB.Relation(relName).Tuples {
+			urls = append(urls, fmt.Sprintf("/vpair?rel=%s&tuple=%d", relName, tp.ID))
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("dataset %q has no tuples to query", dsName)
+	}
+
+	const runFor = 2 * time.Second
+	rec := serveRecord{
+		Dataset:       cfg.Name,
+		Entities:      entities,
+		Tuples:        d.DB.NumTuples(),
+		GraphVerts:    d.G.NumVertices(),
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		TrainMillis:   millis(time.Since(trainStart)),
+		Clients:       clients,
+		SecondsPerRun: runFor.Seconds(),
+	}
+
+	single := driveServer(server.New(sys), urls, clients, runFor)
+	single.Mode, single.Shards = "single", 0
+	rec.Variants = append(rec.Variants, single)
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		srv, err := server.NewSharded(sys, shards)
+		if err != nil {
+			return err
+		}
+		v := driveServer(srv, urls, clients, runFor)
+		v.Mode, v.Shards = "sharded", shards
+		v.HaloRadius = srv.Engine().Snapshot().HaloRadius
+		srv.Close()
+		rec.Variants = append(rec.Variants, v)
+		if shards == 4 && single.RPS > 0 {
+			rec.SpeedupAt4 = v.RPS / single.RPS
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: single %.0f req/s, sharded(4) speedup %.1fx\n",
+		path, single.RPS, rec.SpeedupAt4)
+	return nil
+}
+
+// driveServer hammers srv with clients concurrent goroutines issuing
+// the url mix round-robin (shared atomic cursor) for the given
+// duration, and reports throughput and latency percentiles.
+func driveServer(srv *server.Server, urls []string, clients int, runFor time.Duration) serveVariant {
+	var (
+		cursor  atomic.Int64
+		errs    atomic.Int64
+		wg      sync.WaitGroup
+		perGoro = make([][]time.Duration, clients)
+	)
+	start := time.Now()
+	deadline := start.Add(runFor)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var lats []time.Duration
+			for time.Now().Before(deadline) {
+				url := urls[int(cursor.Add(1)-1)%len(urls)]
+				req := httptest.NewRequest("GET", url, nil)
+				w := httptest.NewRecorder()
+				t0 := time.Now()
+				srv.ServeHTTP(w, req)
+				lats = append(lats, time.Since(t0))
+				if w.Code != 200 {
+					errs.Add(1)
+				}
+			}
+			perGoro[c] = lats
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, lats := range perGoro {
+		all = append(all, lats...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(all)))
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		return millis(all[i])
+	}
+	return serveVariant{
+		Requests:   len(all),
+		Errors:     int(errs.Load()),
+		WallMillis: millis(wall),
+		RPS:        float64(len(all)) / wall.Seconds(),
+		P50Millis:  pct(0.50),
+		P95Millis:  pct(0.95),
+		P99Millis:  pct(0.99),
+	}
+}

@@ -8,6 +8,13 @@
 // With -models the learned parameters are loaded from (or, with
 // -save-models, written to) a model file, so training happens once.
 //
+// With -shards N the server runs in sharded serving mode: G is
+// partitioned into N halo-replicated fragments matched by per-shard
+// workers behind a generation-stamped result cache, and overloaded
+// queues shed requests with 429 (see internal/shard). -deadline-ms
+// bounds per-request matching work (503 on expiry; requests can tighten
+// it further with timeout_ms).
+//
 // The serving path is instrumented: GET /metrics exposes Prometheus
 // counters and histograms for HTTP requests, ParaMatch phases and BSP
 // supersteps. With -debug-addr a second listener serves net/http/pprof
@@ -23,6 +30,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"time"
 
 	"her"
 	"her/internal/dataset"
@@ -38,6 +46,8 @@ func main() {
 	noMetrics := flag.Bool("no-metrics", false, "disable the metrics registry (drops /metrics content)")
 	models := flag.String("models", "", "load learned parameters from this file instead of training")
 	saveModels := flag.String("save-models", "", "write learned parameters to this file after training")
+	shards := flag.Int("shards", 0, "serve /vpair and /apair from this many halo-replicated shards (0 = single sequential matcher)")
+	deadlineMS := flag.Int("deadline-ms", 0, "per-request matching deadline in milliseconds (0 = unbounded; expired requests answer 503)")
 	flag.Parse()
 
 	cfg, ok := dataset.ByName(*name, *entities)
@@ -117,7 +127,22 @@ func main() {
 		}()
 	}
 
+	var srv *server.Server
+	if *shards > 0 {
+		srv, err = server.NewSharded(sys, *shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info := srv.Engine().Snapshot()
+		log.Printf("sharded serving: %d shards, halo radius %d", info.Shards, info.HaloRadius)
+	} else {
+		srv = server.New(sys)
+	}
+	if *deadlineMS > 0 {
+		srv.Deadline = time.Duration(*deadlineMS) * time.Millisecond
+	}
+
 	fmt.Printf("serving %s (%d tuples, |V|=%d) on %s\n",
 		cfg.Name, d.DB.NumTuples(), d.G.NumVertices(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(sys)))
+	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"her/internal/bsp"
 	"her/internal/core"
@@ -93,6 +94,12 @@ type System struct {
 	gen       core.CandidateGen
 	overrides map[core.Pair]bool // user-verified pairs (Section IV refinement)
 	lastPar   *bsp.Stats         // stats of the most recent parallel APair run
+
+	// generation counts semantic mutations: incremental updates to D or
+	// G, feedback, retraining, threshold changes — anything that can
+	// change a match verdict. External result caches (internal/shard)
+	// stamp entries with it and treat a bump as full invalidation.
+	generation atomic.Uint64
 }
 
 // New builds a System from a relational database and a graph, converting
@@ -174,8 +181,18 @@ func (s *System) resetMatcherLocked() error {
 	}
 	m.SetMetrics(s.opts.Metrics)
 	s.matcher = m
+	// Every matcher reset is a semantic change (new scorers, thresholds
+	// or feedback): stamp a new generation so external caches drop their
+	// entries.
+	s.generation.Add(1)
 	return nil
 }
+
+// Generation reports the system's mutation generation. It changes
+// whenever a match verdict could: incremental updates (AddTuple,
+// AddGraphVertex, AddGraphEdge), feedback (Refine), retraining and
+// threshold changes all bump it. Safe for concurrent use.
+func (s *System) Generation() uint64 { return s.generation.Load() }
 
 // Metrics returns the registry the system was built with (nil when
 // instrumentation is disabled).
@@ -215,6 +232,12 @@ func (s *System) tupleVertex(rel string, tupleID int) (graph.VID, error) {
 		return graph.NoVertex, fmt.Errorf("her: unknown tuple %s/%d", rel, tupleID)
 	}
 	return u, nil
+}
+
+// TupleVertex resolves a tuple to its canonical-graph vertex via f_D —
+// the public form of the resolution every tuple-addressed query runs.
+func (s *System) TupleVertex(rel string, tupleID int) (VertexID, error) {
+	return s.tupleVertex(rel, tupleID)
 }
 
 // SPair checks whether tuple (rel, tupleID) and vertex v refer to the
@@ -345,6 +368,27 @@ func (s *System) applyOverrides(matches []Pair, scope graph.VID) []Pair {
 		}
 	}
 	return append(out, core.SortPairs(added)...)
+}
+
+// ApplyOverrides reconciles an externally computed match set with the
+// user-verified overrides — the hook engines outside the System's own
+// matcher (internal/shard's scatter-gather) run their merged results
+// through. scope restricts confirmed additions to one G_D vertex
+// (VPair); pass NoVertex for APair-style results. The input slice is
+// reused, matching the internal call sites.
+func (s *System) ApplyOverrides(matches []Pair, scope VertexID) []Pair {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyOverrides(matches, scope)
+}
+
+// SourceVertices returns the G_D source vertices APair ranges over: the
+// tuple vertices when a relational mapping exists, nil (= every vertex)
+// otherwise.
+func (s *System) SourceVertices() []VertexID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sources()
 }
 
 // Candidates exposes the blocking candidate generator: the G vertices

@@ -25,6 +25,8 @@ func (s *System) AddTuple(rel string, values ...string) (int, error) {
 	if s.Mapping == nil {
 		return 0, fmt.Errorf("her: no tuple mapping (built with NewFromGraphs)")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	r := s.DB.Relation(rel)
 	if r == nil {
 		return 0, fmt.Errorf("her: unknown relation %s", rel)
@@ -36,6 +38,9 @@ func (s *System) AddTuple(rel string, values ...string) (int, error) {
 	if err := rdb2rdf.AddTuple(s.GD, s.Mapping, s.DB, rel, id); err != nil {
 		return 0, err
 	}
+	// The new tuple extends G_D and the source set: external caches of
+	// APair-style results are stale now.
+	s.generation.Add(1)
 	return id, nil
 }
 
@@ -46,6 +51,7 @@ func (s *System) AddGraphVertex(label string) VertexID {
 	defer s.mu.Unlock()
 	v := s.G.AddVertex(label)
 	s.buildCandidateGen()
+	s.generation.Add(1)
 	return v
 }
 
@@ -65,6 +71,7 @@ func (s *System) AddGraphEdge(from, to VertexID, label string) error {
 	}
 	s.matcher.ForgetVertices(func(v graph.VID) bool { return affected[v] })
 	s.buildCandidateGen()
+	s.generation.Add(1)
 	return nil
 }
 

@@ -1,0 +1,99 @@
+package core
+
+import "her/internal/graph"
+
+// HaloRadius bounds, in forward hops of G, how far from a candidate
+// vertex v a ParaMatch/VParaMatch evaluation of any pair (u, v) can
+// inspect — the replication radius an edge-cut fragment of G must be
+// closed under for per-fragment matching to be provably identical to
+// whole-graph matching (internal/shard's halo replication).
+//
+// The bound composes the two bounds the matcher already operates under:
+//
+//   - per recursion level, the rankers select property paths of at most
+//     maxPathLen edges (ranking.Ranker.MaxLen), so the G-side vertex of
+//     a recursive sub-pair lies at most maxPathLen hops beyond its
+//     parent's, and every label/out-edge/out-degree read while growing
+//     and scoring those paths stays within the same distance;
+//   - recursion only descends while the G_D-side vertex is a non-leaf,
+//     and every descent advances at least one edge along G_D, so when
+//     G_D is acyclic the recursion depth is bounded by the longest
+//     directed path of G_D.
+//
+// Hence every vertex of G inspected when deciding (u, v) lies within
+// longestPath(G_D) × maxPathLen forward hops of v. When G_D contains a
+// directed cycle the per-level count is unbounded and HaloRadius
+// returns -1: callers must close fragments under full forward
+// reachability instead (which any hop-bounded expansion converges to
+// once the frontier saturates).
+//
+// maxPathLen ≤ 0 means the ranker default of 4 (ranking.NewRanker).
+func HaloRadius(gd *graph.Graph, maxPathLen int) int {
+	if maxPathLen <= 0 {
+		maxPathLen = 4
+	}
+	d := longestPathLen(gd)
+	if d < 0 {
+		return -1
+	}
+	return d * maxPathLen
+}
+
+// longestPathLen returns the number of edges on the longest directed
+// path of g, or -1 when g contains a directed cycle. Iterative
+// three-color DFS with memoized depths, so deep chains cannot overflow
+// the goroutine stack.
+func longestPathLen(g *graph.Graph) int {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the DFS stack
+		black = 2 // finished, depth memoized
+	)
+	n := g.NumVertices()
+	color := make([]byte, n)
+	depth := make([]int, n) // longest path length starting at v, for black v
+	longest := 0
+	for s := 0; s < n; s++ {
+		if color[s] != white {
+			continue
+		}
+		// Each stack frame is a vertex plus the index of the next
+		// out-edge to explore; a frame finishes when its edges are done.
+		type frame struct {
+			v    graph.VID
+			next int
+		}
+		stack := []frame{{v: graph.VID(s)}}
+		color[s] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			out := g.Out(f.v)
+			if f.next < len(out) {
+				to := out[f.next].To
+				f.next++
+				switch color[to] {
+				case gray:
+					return -1 // back edge: directed cycle
+				case white:
+					color[to] = gray
+					stack = append(stack, frame{v: to})
+				}
+				continue
+			}
+			// All children black: finalize this vertex.
+			best := 0
+			for _, e := range out {
+				if d := 1 + depth[e.To]; d > best {
+					best = d
+				}
+			}
+			depth[f.v] = best
+			color[f.v] = black
+			if best > longest {
+				longest = best
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return longest
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"her/internal/graph"
+)
+
+// chainGD builds a G_D that is a single directed chain of n edges.
+func chainGD(n int) *graph.Graph {
+	g := graph.New()
+	prev := g.AddVertex("v0")
+	for i := 1; i <= n; i++ {
+		v := g.AddVertex("v")
+		g.MustAddEdge(prev, v, "e")
+		prev = v
+	}
+	return g
+}
+
+func TestHaloRadiusChain(t *testing.T) {
+	for _, tc := range []struct {
+		depth, maxLen, want int
+	}{
+		{depth: 0, maxLen: 4, want: 0},  // leaf-only G_D: no recursion
+		{depth: 1, maxLen: 4, want: 4},  // one level of properties
+		{depth: 3, maxLen: 2, want: 6},  // depth × path cap
+		{depth: 5, maxLen: 0, want: 20}, // maxLen 0 means the ranker default 4
+	} {
+		got := HaloRadius(chainGD(tc.depth), tc.maxLen)
+		if got != tc.want {
+			t.Errorf("HaloRadius(chain depth %d, maxLen %d) = %d, want %d",
+				tc.depth, tc.maxLen, got, tc.want)
+		}
+	}
+}
+
+func TestHaloRadiusBranchingDAG(t *testing.T) {
+	// Diamond with a tail: longest path is 3 edges even though the
+	// shortest root→leaf path is 2.
+	g := graph.New()
+	a, b, c, d, e := g.AddVertex("a"), g.AddVertex("b"), g.AddVertex("c"), g.AddVertex("d"), g.AddVertex("e")
+	g.MustAddEdge(a, b, "x")
+	g.MustAddEdge(a, c, "x")
+	g.MustAddEdge(b, d, "x")
+	g.MustAddEdge(c, d, "x")
+	g.MustAddEdge(d, e, "x")
+	if got := HaloRadius(g, 4); got != 12 {
+		t.Fatalf("HaloRadius(diamond+tail, 4) = %d, want 12", got)
+	}
+}
+
+func TestHaloRadiusCyclic(t *testing.T) {
+	g := chainGD(3)
+	g.MustAddEdge(3, 1, "back")
+	if got := HaloRadius(g, 4); got != -1 {
+		t.Fatalf("HaloRadius(cyclic) = %d, want -1 (unbounded)", got)
+	}
+	// Self-loop counts as a cycle too.
+	g2 := graph.New()
+	v := g2.AddVertex("v")
+	g2.MustAddEdge(v, v, "self")
+	if got := HaloRadius(g2, 4); got != -1 {
+		t.Fatalf("HaloRadius(self-loop) = %d, want -1", got)
+	}
+}
+
+func TestHaloRadiusDisconnected(t *testing.T) {
+	// Longest path is taken over all components.
+	g := chainGD(2)
+	x := g.AddVertex("x")
+	y := g.AddVertex("y")
+	z := g.AddVertex("z")
+	w := g.AddVertex("w")
+	g.MustAddEdge(x, y, "e")
+	g.MustAddEdge(y, z, "e")
+	g.MustAddEdge(z, w, "e")
+	if got := HaloRadius(g, 1); got != 3 {
+		t.Fatalf("HaloRadius(two components) = %d, want 3", got)
+	}
+}
+
+func TestHaloRadiusEmpty(t *testing.T) {
+	if got := HaloRadius(graph.New(), 4); got != 0 {
+		t.Fatalf("HaloRadius(empty) = %d, want 0", got)
+	}
+}
+
+// TestHaloRadiusDeepChain guards the iterative DFS: a recursive
+// implementation would overflow the stack at this depth.
+func TestHaloRadiusDeepChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep-chain construction is slow under -race")
+	}
+	const depth = 200000
+	if got := HaloRadius(chainGD(depth), 1); got != depth {
+		t.Fatalf("HaloRadius(deep chain) = %d, want %d", got, depth)
+	}
+}

@@ -23,6 +23,16 @@ type Partition struct {
 // over a BFS order from each unvisited vertex, which keeps neighborhoods
 // mostly co-located (a cheap stand-in for balanced edge partitioners such
 // as Bourse et al., which the paper cites). Deterministic for a given graph.
+//
+// The partition is total and disjoint: every vertex is owned by exactly
+// one fragment, and exactly n fragments are returned in id order even
+// when n exceeds |V| — the surplus fragments are simply empty (Owned,
+// Border and Owner all empty), which is a valid fragment consumers must
+// tolerate. Callers that spread work one fragment per worker
+// (internal/shard, the BSP engine) rely on both properties: a vertex is
+// matched by exactly one worker, and repeated runs over the same graph
+// produce the same fragment list — no map iteration or randomness is
+// involved anywhere in the assignment.
 func PartitionEdgeCut(g *Graph, n int) (*Partition, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("graph: partition count must be positive, got %d", n)

@@ -12,6 +12,18 @@
 //	GET  /stats
 //	GET  /metrics      (Prometheus text exposition)
 //
+// The matching endpoints (/spair, /vpair, /apair) honor a server-level
+// Deadline plus an optional timeout_ms query parameter (the smaller
+// wins) and answer 503 when the budget expires before matching
+// finishes.
+//
+// NewSharded builds the server in sharded mode: /vpair and /apair are
+// scatter-gathered across an internal/shard engine — partitioned G,
+// halo-replicated fragments, per-shard workers with bounded queues and
+// a generation-stamped result cache — instead of the single sequential
+// matcher. When shard queues are full the request is shed with 429 and
+// a Retry-After hint rather than queueing unbounded work.
+//
 // Every request passes through an instrumentation middleware that
 // records per-endpoint request counts, status codes and latency
 // histograms into the system's metrics registry (or a private one when
@@ -20,7 +32,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -28,11 +42,13 @@ import (
 
 	"her"
 	"her/internal/obs"
+	"her/internal/shard"
 )
 
 // Server wraps a System with HTTP handlers.
 type Server struct {
 	sys *her.System
+	eng *shard.Engine // non-nil in sharded mode (NewSharded)
 	mux *http.ServeMux
 	reg *obs.Registry
 	// MaxAPairMatches caps the matches returned inline by /apair
@@ -41,6 +57,17 @@ type Server struct {
 	// MaxWorkers bounds the workers query parameter of /apair (default
 	// 32): a request may not spawn an arbitrary goroutine fleet.
 	MaxWorkers int
+	// Deadline bounds the matching work of one request (0 = unbounded).
+	// The timeout_ms query parameter can only tighten it. Expired
+	// requests answer 503.
+	Deadline time.Duration
+
+	// Test seams: when non-nil they replace the matching backends so
+	// tests can inject slow or failing matchers without training a
+	// system. Production wiring leaves them nil.
+	spairFn func(rel string, tuple int, v her.VertexID) (bool, error)
+	vpairFn func(rel string, tuple int) ([]her.Pair, error)
+	apairFn func(workers int) ([]her.Pair, her.ParallelStats, error)
 }
 
 // New builds the handler around a trained system. HTTP metrics land in
@@ -64,8 +91,85 @@ func New(sys *her.System) *Server {
 	return s
 }
 
+// NewSharded builds the server in sharded serving mode: /vpair and
+// /apair route through a shard.Engine over the system's graphs. The
+// engine's cache invalidates on the system's generation counter, so
+// incremental updates and feedback applied through this server (or
+// directly on the system) are never masked by stale cached results.
+// Call Close to stop the shard workers.
+func NewSharded(sys *her.System, shards int) (*Server, error) {
+	eng, err := shard.NewEngine(sys.ShardConfig(shards))
+	if err != nil {
+		return nil, err
+	}
+	s := New(sys)
+	s.eng = eng
+	return s, nil
+}
+
+// Engine exposes the sharded engine (nil in single-system mode).
+func (s *Server) Engine() *shard.Engine { return s.eng }
+
+// Close stops the shard workers; a no-op in single-system mode.
+func (s *Server) Close() {
+	if s.eng != nil {
+		s.eng.Close()
+	}
+}
+
 // Metrics returns the registry the server records HTTP metrics into.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// reqContext derives the request's matching budget from the server
+// Deadline and the optional timeout_ms parameter; the smaller wins.
+func (s *Server) reqContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.Deadline
+	if q := r.URL.Query().Get("timeout_ms"); q != "" {
+		ms, err := strconv.Atoi(q)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("bad timeout_ms parameter %q", q)
+		}
+		if qd := time.Duration(ms) * time.Millisecond; d == 0 || qd < d {
+			d = qd
+		}
+	}
+	if d <= 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// runSeq executes fn — a System call without context support — on its
+// own goroutine and waits for the result or the context: the sequential
+// matcher cannot be interrupted, so an expired request abandons the
+// goroutine (it finishes in the background and its result is dropped).
+func runSeq[T any](ctx context.Context, fn func() T) (T, error) {
+	done := make(chan T, 1)
+	go func() { done <- fn() }()
+	select {
+	case v := <-done:
+		return v, nil
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+// writeMatchErr maps matching-path failures onto transport semantics:
+// shed load is 429 with a Retry-After hint, an expired budget is 503,
+// anything else uses the endpoint's fallback status.
+func writeMatchErr(w http.ResponseWriter, err error, fallback int) {
+	switch {
+	case errors.Is(err, shard.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		writeErr(w, fallback, err)
+	}
+}
 
 // knownEndpoints bounds the cardinality of the endpoint label: paths
 // outside this set are recorded as "other".
@@ -153,13 +257,33 @@ func (s *Server) handleSPair(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown vertex %d", vertex))
 		return
 	}
-	match, err := s.sys.SPair(rel, tuple, vertex)
+	ctx, cancel, err := s.reqContext(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	spair := s.spairFn
+	if spair == nil {
+		spair = s.sys.SPair
+	}
+	type res struct {
+		match bool
+		err   error
+	}
+	out, err := runSeq(ctx, func() res {
+		m, e := spair(rel, tuple, vertex)
+		return res{match: m, err: e}
+	})
+	if err == nil {
+		err = out.err
+	}
+	if err != nil {
+		writeMatchErr(w, err, http.StatusNotFound)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"rel": rel, "tuple": tuple, "vertex": vertex, "match": match,
+		"rel": rel, "tuple": tuple, "vertex": vertex, "match": out.match,
 	})
 }
 
@@ -168,15 +292,60 @@ type matchJSON struct {
 	Label  string `json:"label"`
 }
 
+// vpairMatches routes a VPair request to the configured backend: the
+// test seam, the sharded engine, or the sequential system call wrapped
+// in the deadline runner.
+func (s *Server) vpairMatches(ctx context.Context, rel string, tuple int) ([]her.Pair, error) {
+	if s.vpairFn != nil {
+		type res struct {
+			pairs []her.Pair
+			err   error
+		}
+		out, err := runSeq(ctx, func() res {
+			p, e := s.vpairFn(rel, tuple)
+			return res{pairs: p, err: e}
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out.pairs, out.err
+	}
+	if s.eng != nil {
+		u, err := s.sys.TupleVertex(rel, tuple)
+		if err != nil {
+			return nil, err
+		}
+		return s.eng.VPair(ctx, u)
+	}
+	type res struct {
+		pairs []her.Pair
+		err   error
+	}
+	out, err := runSeq(ctx, func() res {
+		p, e := s.sys.VPair(rel, tuple)
+		return res{pairs: p, err: e}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.pairs, out.err
+}
+
 func (s *Server) handleVPair(w http.ResponseWriter, r *http.Request) {
 	rel, tuple, _, err := pairParams(r, false)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	matches, err := s.sys.VPair(rel, tuple)
+	ctx, cancel, err := s.reqContext(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	matches, err := s.vpairMatches(ctx, rel, tuple)
+	if err != nil {
+		writeMatchErr(w, err, http.StatusNotFound)
 		return
 	}
 	out := make([]matchJSON, 0, len(matches))
@@ -203,10 +372,58 @@ func (s *Server) handleAPair(w http.ResponseWriter, r *http.Request) {
 		}
 		workers = n
 	}
-	matches, stats, err := s.sys.APairParallel(workers)
+	ctx, cancel, err := s.reqContext(r)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, http.StatusBadRequest, err)
 		return
+	}
+	defer cancel()
+	var matches []her.Pair
+	var statsOut interface{}
+	switch {
+	case s.apairFn != nil || s.eng == nil:
+		apair := s.apairFn
+		if apair == nil {
+			apair = func(n int) ([]her.Pair, her.ParallelStats, error) {
+				return s.sys.APairParallel(n)
+			}
+		}
+		type res struct {
+			pairs []her.Pair
+			stats her.ParallelStats
+			err   error
+		}
+		out, rErr := runSeq(ctx, func() res {
+			p, st, e := apair(workers)
+			return res{pairs: p, stats: st, err: e}
+		})
+		if rErr == nil {
+			rErr = out.err
+		}
+		if rErr != nil {
+			writeMatchErr(w, rErr, http.StatusInternalServerError)
+			return
+		}
+		matches = out.pairs
+		statsOut = map[string]int{
+			"workers":        out.stats.Workers,
+			"supersteps":     out.stats.Supersteps,
+			"candidatePairs": out.stats.CandidatePairs,
+		}
+	default:
+		// Sharded mode: the engine scatter-gathers over its fixed shard
+		// workers; the workers parameter does not apply.
+		matches, err = s.eng.APair(ctx, s.sys.SourceVertices())
+		if err != nil {
+			writeMatchErr(w, err, http.StatusInternalServerError)
+			return
+		}
+		info := s.eng.Snapshot()
+		statsOut = map[string]interface{}{
+			"shards":     info.Shards,
+			"haloRadius": info.HaloRadius,
+			"generation": info.Generation,
+		}
 	}
 	shown := matches
 	if len(shown) > s.MaxAPairMatches {
@@ -227,11 +444,7 @@ func (s *Server) handleAPair(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"count":   len(matches),
 		"matches": out,
-		"stats": map[string]int{
-			"workers":        stats.Workers,
-			"supersteps":     stats.Supersteps,
-			"candidatePairs": stats.CandidatePairs,
-		},
+		"stats":   statsOut,
 	})
 }
 
@@ -321,6 +534,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"calls": st.Calls, "cacheHits": st.CacheHits,
 			"cleanups": st.Cleanups, "rechecks": st.Rechecks,
 		},
+	}
+	if s.eng != nil {
+		out["shard"] = s.eng.Snapshot()
 	}
 	if ps, ok := s.sys.LastParallelStats(); ok {
 		stepMillis := make([]float64, len(ps.SuperstepDurations))

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"her"
+	"her/internal/shard"
+)
+
+// slowServer builds a server whose matching backends hang far past any
+// test deadline, for the 503 regression tests.
+func slowServer(t *testing.T, d time.Duration) *Server {
+	t.Helper()
+	sys, _, _ := trainedSystem(t)
+	srv := New(sys)
+	srv.Deadline = d
+	block := func() { time.Sleep(2 * time.Second) }
+	srv.spairFn = func(string, int, her.VertexID) (bool, error) { block(); return false, nil }
+	srv.vpairFn = func(string, int) ([]her.Pair, error) { block(); return nil, nil }
+	srv.apairFn = func(int) ([]her.Pair, her.ParallelStats, error) {
+		block()
+		return nil, her.ParallelStats{}, nil
+	}
+	return srv
+}
+
+// TestDeadline503 is the slow-matcher regression: /spair, /vpair and
+// /apair must answer 503 when the server deadline expires before the
+// matcher returns, instead of hanging the connection.
+func TestDeadline503(t *testing.T) {
+	srv := slowServer(t, 15*time.Millisecond)
+	for _, url := range []string{
+		"/spair?rel=product&tuple=0&vertex=0",
+		"/vpair?rel=product&tuple=0",
+		"/apair",
+	} {
+		if code, body := get(t, srv, url); code != http.StatusServiceUnavailable {
+			t.Errorf("%s under expired deadline = %d %v, want 503", url, code, body)
+		}
+	}
+}
+
+// TestTimeoutParam: timeout_ms can only tighten the server deadline,
+// and malformed values are rejected up front.
+func TestTimeoutParam(t *testing.T) {
+	srv := slowServer(t, 0) // no server deadline: the parameter is the only bound
+	url := "/vpair?rel=product&tuple=0&timeout_ms=15"
+	if code, body := get(t, srv, url); code != http.StatusServiceUnavailable {
+		t.Errorf("%s = %d %v, want 503", url, code, body)
+	}
+	for _, bad := range []string{"nope", "0", "-5"} {
+		url := "/vpair?rel=product&tuple=0&timeout_ms=" + bad
+		if code, _ := get(t, srv, url); code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", url, code)
+		}
+	}
+	// A generous budget passes through to the backend unharmed.
+	fast := New(slowSys(t))
+	fast.Deadline = 5 * time.Second
+	if code, _ := get(t, fast, "/vpair?rel=product&tuple=0&timeout_ms=5000"); code != http.StatusOK {
+		t.Errorf("generous timeout = %d, want 200", code)
+	}
+}
+
+func slowSys(t *testing.T) *her.System {
+	t.Helper()
+	sys, _, _ := trainedSystem(t)
+	return sys
+}
+
+// TestWriteMatchErr pins the transport mapping of the matching-path
+// failure modes: shed load → 429 + Retry-After, expired budget → 503.
+func TestWriteMatchErr(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeMatchErr(rec, fmt.Errorf("gather: %w", shard.ErrOverloaded), http.StatusInternalServerError)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Errorf("ErrOverloaded = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After hint")
+	}
+	rec = httptest.NewRecorder()
+	writeMatchErr(rec, context.DeadlineExceeded, http.StatusInternalServerError)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("DeadlineExceeded = %d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	writeMatchErr(rec, errors.New("boom"), http.StatusNotFound)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("fallback = %d, want 404", rec.Code)
+	}
+}
+
+// shardedPair builds a single-system server and a sharded server over
+// identically trained systems.
+func shardedPair(t *testing.T, shards int) (single, sharded *Server) {
+	t.Helper()
+	sys1, _, _ := trainedSystem(t)
+	sys2, _, _ := trainedSystem(t)
+	single = New(sys1)
+	sharded, err := NewSharded(sys2, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sharded.Close)
+	return single, sharded
+}
+
+// TestShardedEquivalence: the sharded serving path answers /vpair and
+// /apair byte-identically to the single-system path, across shard
+// counts including ones exceeding |V| of the catalog graph.
+func TestShardedEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 50} {
+		single, sharded := shardedPair(t, shards)
+		for _, url := range []string{
+			"/vpair?rel=product&tuple=0",
+			"/vpair?rel=product&tuple=1",
+			"/apair",
+		} {
+			codeS, bodyS := get(t, single, url)
+			codeE, bodyE := get(t, sharded, url)
+			if codeS != http.StatusOK || codeE != http.StatusOK {
+				t.Fatalf("shards=%d %s: single %d, sharded %d", shards, url, codeS, codeE)
+			}
+			if fmt.Sprint(bodyS["matches"]) != fmt.Sprint(bodyE["matches"]) {
+				t.Errorf("shards=%d %s diverges:\nsingle:  %v\nsharded: %v",
+					shards, url, bodyS["matches"], bodyE["matches"])
+			}
+		}
+		// /stats exposes the shard layout in sharded mode.
+		_, stats := get(t, sharded, "/stats")
+		if _, ok := stats["shard"]; !ok {
+			t.Errorf("shards=%d: /stats missing shard section", shards)
+		}
+	}
+}
+
+// TestShardedStaleRead is the cache-invalidation regression: a /vpair
+// result is cached, feedback flips the verdicts (bumping the system
+// generation), and the next /vpair must reflect the new verdicts
+// instead of serving the stale cached entry.
+func TestShardedStaleRead(t *testing.T) {
+	sys, p1, p2 := trainedSystem(t)
+	srv, err := NewSharded(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	vpairVertices := func() map[int32]bool {
+		t.Helper()
+		code, body := get(t, srv, "/vpair?rel=product&tuple=0")
+		if code != http.StatusOK {
+			t.Fatalf("vpair = %d %v", code, body)
+		}
+		out := map[int32]bool{}
+		for _, m := range body["matches"].([]interface{}) {
+			out[int32(m.(map[string]interface{})["vertex"].(float64))] = true
+		}
+		return out
+	}
+
+	before := vpairVertices()
+	if !before[int32(p1)] || before[int32(p2)] {
+		t.Fatalf("baseline vpair = %v, want {%d}", before, p1)
+	}
+	// Ask again: this round is served from the generation-stamped cache.
+	if again := vpairVertices(); !again[int32(p1)] {
+		t.Fatalf("cached vpair lost the match: %v", again)
+	}
+	// Flip both verdicts through the feedback loop.
+	payload := `[{"rel":"product","tuple":0,"vertex":` + itoa(p1) + `,"match":false},
+	             {"rel":"product","tuple":0,"vertex":` + itoa(p2) + `,"match":true}]`
+	req := httptest.NewRequest(http.MethodPost, "/feedback", strings.NewReader(payload))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("feedback = %d %s", rec.Code, rec.Body.String())
+	}
+	after := vpairVertices()
+	if after[int32(p1)] {
+		t.Error("stale read: refuted pair still served from cache")
+	}
+	if !after[int32(p2)] {
+		t.Error("stale read: confirmed pair missing after feedback")
+	}
+}
+
+// TestShardedIncrementalUpdate: AddGraphVertex/AddGraphEdge bump the
+// generation, so a newly wired replica becomes visible through the
+// sharded /vpair without restarting the engine.
+func TestShardedIncrementalUpdate(t *testing.T) {
+	sys, p1, _ := trainedSystem(t)
+	srv, err := NewSharded(sys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, srv, "/vpair?rel=product&tuple=0")
+	if code != http.StatusOK || len(body["matches"].([]interface{})) != 1 {
+		t.Fatalf("baseline vpair = %d %v", code, body)
+	}
+	gen0 := sys.Generation()
+
+	// Wire an exact replica of tuple 0's entity into G.
+	p := sys.AddGraphVertex("product")
+	n := sys.AddGraphVertex("Aurora Trail Runner")
+	c := sys.AddGraphVertex("red")
+	if err := sys.AddGraphEdge(p, n, "productName"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddGraphEdge(p, c, "hasColor"); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Generation() == gen0 {
+		t.Fatal("incremental updates did not bump the generation")
+	}
+
+	_, body = get(t, srv, "/vpair?rel=product&tuple=0")
+	got := map[int32]bool{}
+	for _, m := range body["matches"].([]interface{}) {
+		got[int32(m.(map[string]interface{})["vertex"].(float64))] = true
+	}
+	if !got[int32(p1)] || !got[int32(p)] {
+		t.Fatalf("post-update vpair = %v, want both %d and %d", got, p1, p)
+	}
+	if info := srv.Engine().Snapshot(); info.Generation != sys.Generation() {
+		t.Errorf("engine generation %d, system %d: rebuild did not happen",
+			info.Generation, sys.Generation())
+	}
+}

@@ -1,0 +1,155 @@
+package shard
+
+import (
+	"container/list"
+	"sync"
+
+	"her/internal/core"
+)
+
+// resultCache is the generation-stamped LRU fronting the router. Merged
+// match sets are stored under their request key together with the
+// mutation generation they were computed at; a lookup whose stored
+// generation differs from the caller's current generation misses and
+// drops the stale entry. Incremental updates (AddTuple, AddGraphVertex,
+// AddGraphEdge, feedback) therefore invalidate the entire cache by
+// bumping a single counter — no per-key dependency tracking.
+//
+// A nil *resultCache is a valid "disabled" cache: get always misses and
+// put is a no-op (the obs nil-safety idiom).
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key   string
+	gen   uint64
+	pairs []core.Pair
+}
+
+// newResultCache creates a cache holding at most capacity entries;
+// capacity <= 0 returns the disabled nil cache.
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+// get returns a copy of the match set stored under key at generation
+// gen. Entries from another generation are stale: they miss and are
+// evicted eagerly.
+func (c *resultCache) get(key string, gen uint64) ([]core.Pair, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != gen {
+		c.order.Remove(el)
+		delete(c.byKey, key)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	out := make([]core.Pair, len(e.pairs))
+	copy(out, e.pairs)
+	return out, true
+}
+
+// put stores a copy of pairs under key at generation gen, evicting the
+// least recently used entry when the cache is full.
+func (c *resultCache) put(key string, gen uint64, pairs []core.Pair) {
+	if c == nil {
+		return
+	}
+	stored := make([]core.Pair, len(pairs))
+	copy(stored, pairs)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.gen = gen
+		e.pairs = stored
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, gen: gen, pairs: stored})
+}
+
+// len reports the number of live entries (stale ones included until
+// their next lookup).
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// inflight deduplicates concurrent identical requests singleflight
+// style: the first caller of a (key, generation) becomes the leader and
+// computes; followers block on the call's done channel and share the
+// leader's result. Keys are generation-scoped so a request racing a
+// mutation never latches onto a stale computation.
+type inflight struct {
+	mu    sync.Mutex
+	calls map[sfKey]*call
+}
+
+type sfKey struct {
+	key string
+	gen uint64
+}
+
+type call struct {
+	done  chan struct{}
+	pairs []core.Pair
+	err   error
+}
+
+func newInflight() *inflight {
+	return &inflight{calls: make(map[sfKey]*call)}
+}
+
+// join registers interest in (key, gen). The first caller gets
+// leader=true and must eventually call finish; followers receive the
+// leader's call handle and wait on its done channel.
+func (f *inflight) join(key string, gen uint64) (leader bool, c *call) {
+	k := sfKey{key: key, gen: gen}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.calls[k]; ok {
+		return false, c
+	}
+	c = &call{done: make(chan struct{})}
+	f.calls[k] = c
+	return true, c
+}
+
+// finish publishes the leader's result to every follower and retires
+// the call.
+func (f *inflight) finish(key string, gen uint64, c *call, pairs []core.Pair, err error) {
+	c.pairs, c.err = pairs, err
+	f.mu.Lock()
+	delete(f.calls, sfKey{key: key, gen: gen})
+	f.mu.Unlock()
+	close(c.done)
+}

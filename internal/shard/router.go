@@ -1,0 +1,320 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"her/internal/core"
+	"her/internal/graph"
+	"her/internal/obs"
+)
+
+// ErrOverloaded is returned when a shard queue is full: the request is
+// shed at admission instead of queueing unbounded work. HTTP layers map
+// it to 429 with a Retry-After hint.
+var ErrOverloaded = errors.New("shard: queues full, request shed")
+
+// ErrClosed is returned for requests after Close.
+var ErrClosed = errors.New("shard: engine closed")
+
+// Engine is the sharded match-serving engine. It is safe for concurrent
+// use: requests share the current shard state under a read lock, while
+// generation changes (incremental updates, feedback, retraining) retire
+// it and build a fresh one under the write lock.
+type Engine struct {
+	cfg   Config
+	cache *resultCache
+	sf    *inflight
+	met   engineMetrics
+
+	mu     sync.RWMutex
+	cur    *shardState
+	closed bool
+}
+
+// engineMetrics resolves the engine's obs handles once; all of them are
+// nil (no-op) without a registry.
+type engineMetrics struct {
+	vpairRequests *obs.Counter
+	apairRequests *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	sfWaits       *obs.Counter
+	shed          *obs.Counter
+	rebuilds      *obs.Counter
+	gatherSeconds *obs.Histogram
+}
+
+// NewEngine validates the configuration and builds the initial shard
+// state (partition, halo materialization, workers).
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg = cfg.normalized()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:   cfg,
+		cache: newResultCache(cfg.CacheSize),
+		sf:    newInflight(),
+		met: engineMetrics{
+			vpairRequests: cfg.Metrics.Counter(`her_shard_requests_total{op="vpair"}`),
+			apairRequests: cfg.Metrics.Counter(`her_shard_requests_total{op="apair"}`),
+			cacheHits:     cfg.Metrics.Counter(`her_shard_cache_hits_total`),
+			cacheMisses:   cfg.Metrics.Counter(`her_shard_cache_misses_total`),
+			sfWaits:       cfg.Metrics.Counter(`her_shard_singleflight_waits_total`),
+			shed:          cfg.Metrics.Counter(`her_shard_shed_total`),
+			rebuilds:      cfg.Metrics.Counter(`her_shard_rebuilds_total`),
+			gatherSeconds: cfg.Metrics.Histogram(`her_shard_gather_seconds`, nil),
+		},
+	}
+	st, err := buildState(cfg, e.generation())
+	if err != nil {
+		return nil, err
+	}
+	e.cur = st
+	return e, nil
+}
+
+func (e *Engine) generation() uint64 {
+	if e.cfg.Generation == nil {
+		return 0
+	}
+	return e.cfg.Generation()
+}
+
+// task is one unit of per-shard work. reply is buffered (capacity 1)
+// so a worker never blocks on an abandoned request.
+type task struct {
+	ctx     context.Context
+	op      taskOp
+	u       graph.VID   // VPair source
+	sources []graph.VID // APair sources
+	reply   chan taskResult
+}
+
+type taskOp int
+
+const (
+	opVPair taskOp = iota
+	opAPair
+)
+
+type taskResult struct {
+	pairs []core.Pair // global ids
+	err   error
+}
+
+// run is the worker's drain loop: one goroutine per shard owns the
+// matcher, so the (deliberately non-thread-safe) core.Matcher needs no
+// locking and its cache warms across requests.
+func (w *shardWorker) run() {
+	for t := range w.queue {
+		w.depth.Add(-1)
+		if t.ctx.Err() != nil {
+			t.reply <- taskResult{err: t.ctx.Err()}
+			continue
+		}
+		var local []core.Pair
+		switch t.op {
+		case opVPair:
+			local = w.matcher.VPair(t.u, w.gen)
+		case opAPair:
+			local = w.matcher.APair(t.sources, w.gen)
+		}
+		out := make([]core.Pair, len(local))
+		for i, p := range local {
+			out[i] = core.Pair{U: p.U, V: w.toGlobal[p.V]}
+		}
+		t.reply <- taskResult{pairs: out}
+	}
+}
+
+// VPair computes all matches of G_D vertex u across the shards —
+// identical (post-merge) to a whole-graph VParaMatch.
+func (e *Engine) VPair(ctx context.Context, u graph.VID) ([]core.Pair, error) {
+	if !e.cfg.GD.Valid(u) {
+		return nil, fmt.Errorf("shard: unknown G_D vertex %d", u)
+	}
+	e.met.vpairRequests.Inc()
+	key := "vpair:" + fmt.Sprint(u)
+	return e.serve(ctx, key, u, &task{op: opVPair, u: u})
+}
+
+// APair computes all matches for the given G_D source vertices (nil
+// means every vertex of G_D) across the shards.
+func (e *Engine) APair(ctx context.Context, sources []graph.VID) ([]core.Pair, error) {
+	e.met.apairRequests.Inc()
+	return e.serve(ctx, apairKey(sources), graph.NoVertex,
+		&task{op: opAPair, sources: sources})
+}
+
+// apairKey folds the source set into the cache key so distinct source
+// selections never collide.
+func apairKey(sources []graph.VID) string {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, v := range sources {
+		buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		_, _ = h.Write(buf[:])
+	}
+	return fmt.Sprintf("apair:%d:%x", len(sources), h.Sum64())
+}
+
+// serve runs the cache → singleflight → scatter/gather pipeline for one
+// request. proto carries the operation; serve fills in the per-request
+// context and reply channels.
+func (e *Engine) serve(ctx context.Context, key string, scope graph.VID, proto *task) ([]core.Pair, error) {
+	gen := e.generation()
+	if pairs, ok := e.cache.get(key, gen); ok {
+		e.met.cacheHits.Inc()
+		return pairs, nil
+	}
+	e.met.cacheMisses.Inc()
+
+	leader, c := e.sf.join(key, gen)
+	if !leader {
+		e.met.sfWaits.Inc()
+		select {
+		case <-c.done:
+			return c.pairs, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	pairs, err := e.compute(ctx, gen, scope, proto)
+	if err == nil && e.generation() == gen {
+		// Only cache results whose generation is still current: a
+		// mutation that landed mid-request must not be masked by a
+		// stale entry stamped with the new generation.
+		e.cache.put(key, gen, pairs)
+	}
+	e.sf.finish(key, gen, c, pairs, err)
+	return pairs, err
+}
+
+// compute scatters proto to every shard worker and gathers the merged,
+// sorted, override-reconciled match set. Admission control happens at
+// enqueue: any full queue sheds the whole request with ErrOverloaded.
+func (e *Engine) compute(ctx context.Context, gen uint64, scope graph.VID, proto *task) ([]core.Pair, error) {
+	st, release, err := e.state(gen)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	t0 := time.Now()
+	reqCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	tasks := make([]*task, 0, len(st.shards))
+	for _, w := range st.shards {
+		t := &task{ctx: reqCtx, op: proto.op, u: proto.u, sources: proto.sources,
+			reply: make(chan taskResult, 1)}
+		select {
+		case w.queue <- t:
+			w.depth.Add(1)
+			tasks = append(tasks, t)
+		default:
+			// Abandon the siblings already queued: cancel flips their
+			// context so workers skip them cheaply.
+			e.met.shed.Inc()
+			return nil, ErrOverloaded
+		}
+	}
+	var merged []core.Pair
+	for _, t := range tasks {
+		select {
+		case r := <-t.reply:
+			if r.err != nil {
+				return nil, r.err
+			}
+			merged = append(merged, r.pairs...)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	core.SortPairs(merged)
+	if e.cfg.Overrides != nil {
+		merged = e.cfg.Overrides(merged, scope)
+	}
+	e.met.gatherSeconds.ObserveSince(t0)
+	return merged, nil
+}
+
+// state returns the shard state for generation gen with a read lease
+// (the returned release func). A stale state is rebuilt first.
+func (e *Engine) state(gen uint64) (*shardState, func(), error) {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, nil, ErrClosed
+	}
+	if e.cur.gen == gen {
+		return e.cur, e.mu.RUnlock, nil
+	}
+	e.mu.RUnlock()
+	if err := e.rebuild(); err != nil {
+		return nil, nil, err
+	}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, nil, ErrClosed
+	}
+	return e.cur, e.mu.RUnlock, nil
+}
+
+// rebuild retires the current shard state and builds one at the current
+// generation. The write lock excludes every in-flight request, so the
+// retired workers' queues are quiescent when closed.
+func (e *Engine) rebuild() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	gen := e.generation()
+	if e.cur.gen == gen {
+		return nil // raced with another rebuilder
+	}
+	st, err := buildState(e.cfg, gen)
+	if err != nil {
+		return err
+	}
+	stopWorkers(e.cur.shards)
+	e.cur = st
+	e.met.rebuilds.Inc()
+	return nil
+}
+
+// Close stops every shard worker. Subsequent requests return ErrClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	stopWorkers(e.cur.shards)
+}
+
+// Snapshot reports the current shard layout, for /stats and tests.
+func (e *Engine) Snapshot() Info {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	info := Info{
+		Shards:     len(e.cur.shards),
+		Generation: e.cur.gen,
+		HaloRadius: e.cur.radius,
+		CacheLen:   e.cache.len(),
+	}
+	for _, w := range e.cur.shards {
+		info.Fragments = append(info.Fragments, FragmentInfo{
+			Shard: w.id, Owned: len(w.owned), Halo: w.haloLen,
+		})
+	}
+	return info
+}

@@ -1,0 +1,302 @@
+// Package shard is the sharded match-serving engine: it partitions the
+// target graph G with an edge cut (Section VI-B's fragmentation, the
+// same substrate the BSP engine parallelizes over), materializes one
+// self-contained subgraph per shard with hop-bounded halo replication,
+// and scatter-gathers VPair/APair requests across per-shard workers
+// behind a generation-stamped result cache with admission control.
+//
+// Halo replication is what makes per-shard matching exact rather than
+// approximate: each fragment's subgraph is closed under the
+// neighborhoods parametric simulation inspects, out to the radius
+// core.HaloRadius derives from the ranker path cap and the depth of
+// G_D (full forward reachability when G_D is cyclic). A shard worker
+// therefore runs a plain sequential core.Matcher — no cross-shard
+// messages, no optimistic border assumptions — and its verdict for any
+// owned candidate is provably identical to the whole-graph verdict.
+// Only candidate generation is restricted: each shard considers
+// exclusively the vertices it owns, so the union of per-shard match
+// sets equals the whole-graph match set with no duplicates.
+//
+// The serving layer on top (router.go) bounds per-shard work queues,
+// deduplicates concurrent identical requests singleflight-style,
+// merges shard results through core.SortPairs, and sheds load with
+// ErrOverloaded when queues are full instead of piling up goroutines.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"her/internal/core"
+	"her/internal/graph"
+	"her/internal/index"
+	"her/internal/lstm"
+	"her/internal/obs"
+	"her/internal/ranking"
+)
+
+// Config assembles a sharded engine from the components a trained
+// system exposes. GD, RankerD, LM and the score functions inside Params
+// are shared across all shard workers and must be safe for concurrent
+// reads (they are: rankers are lock-protected, scorers are memoized
+// behind RWMutexes, and G_D is not mutated while serving).
+type Config struct {
+	// GD is the canonical graph G_D (left side); it is shared, not
+	// sharded — requests address its vertices.
+	GD *graph.Graph
+	// G is the target graph to partition.
+	G *graph.Graph
+	// RankerD is the G_D-side ranking function h_r, shared by all
+	// workers (its ecache is concurrency-safe).
+	RankerD *ranking.Ranker
+	// LM is the path language model guiding G-side path growth (may be
+	// nil: the deterministic PRA-greedy rule).
+	LM *lstm.Model
+	// Params are the parametric-simulation parameters (M_v, M_ρ, σ, δ, k).
+	Params core.Params
+	// MaxPathLen caps ranker paths (0 means the ranker default of 4).
+	// It must match RankerD's cap, since the halo radius derives from it.
+	MaxPathLen int
+	// Shards is the number of fragments (>= 1).
+	Shards int
+	// MinSharedTokens > 0 enables the blocking inverted index per shard
+	// (the System's candidate generation); 0 scans every owned vertex
+	// (the testkit differential mode, mirroring a nil CandidateGen).
+	MinSharedTokens int
+	// QueueDepth bounds each shard's request queue (default 64); a full
+	// queue sheds the request with ErrOverloaded.
+	QueueDepth int
+	// CacheSize is the result-cache capacity in entries (default 1024;
+	// negative disables the cache).
+	CacheSize int
+	// Generation reports the current mutation generation; results are
+	// cached stamped with it and a bump invalidates all of them (and
+	// triggers a shard rebuild). Nil means the constant generation 0.
+	Generation func() uint64
+	// Snapshot, when set, refreshes the component fields (graphs,
+	// RankerD, LM, Params, MaxPathLen, MinSharedTokens) from their owner
+	// before each build: a System retrains rankers and language models
+	// across generations, so a rebuild must not reuse stale captures.
+	Snapshot func(Config) Config
+	// Overrides reconciles a merged match set with user-verified
+	// verdicts (her.System.ApplyOverrides); nil means identity. scope
+	// is the G_D vertex for VPair requests, graph.NoVertex for APair.
+	Overrides func(matches []core.Pair, scope graph.VID) []core.Pair
+	// Metrics receives the engine's instrumentation (nil disables it).
+	Metrics *obs.Registry
+}
+
+func (c Config) normalized() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.GD == nil || c.G == nil {
+		return fmt.Errorf("shard: GD and G must be non-nil")
+	}
+	if c.RankerD == nil {
+		return fmt.Errorf("shard: RankerD must be non-nil")
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("shard: shard count must be >= 1, got %d", c.Shards)
+	}
+	return c.Params.Validate()
+}
+
+// shardState is one immutable generation of the engine: the partition,
+// the materialized per-shard subgraphs and their workers. A mutation
+// (generation bump) retires the whole state and builds a fresh one.
+type shardState struct {
+	gen    uint64
+	radius int // halo radius used (-1 = full forward closure)
+	shards []*shardWorker
+}
+
+// shardWorker owns one fragment: its halo-closed subgraph (local vertex
+// ids, ascending in global id so every id-based tie-break agrees with
+// the whole-graph matcher), a sequential matcher over (G_D, subgraph),
+// and a bounded request queue drained by a single goroutine.
+type shardWorker struct {
+	id       int
+	g        *graph.Graph // fragment + halo, local ids
+	toGlobal []graph.VID  // local id → global id (strictly increasing)
+	owned    []graph.VID  // local ids of owned vertices (candidates)
+	haloLen  int          // replicated (non-owned) vertex count
+	matcher  *core.Matcher
+	gen      core.CandidateGen // candidate generator over owned vertices
+	queue    chan *task
+	depth    *obs.Gauge
+}
+
+// buildState partitions G, materializes every fragment's halo-closed
+// subgraph and starts one worker per shard.
+func buildState(cfg Config, gen uint64) (*shardState, error) {
+	if cfg.Snapshot != nil {
+		cfg = cfg.Snapshot(cfg).normalized()
+		if err := cfg.validate(); err != nil {
+			return nil, err
+		}
+	}
+	part, err := graph.PartitionEdgeCut(cfg.G, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	radius := core.HaloRadius(cfg.GD, cfg.MaxPathLen)
+	st := &shardState{gen: gen, radius: radius}
+	docD := index.NeighborhoodDoc(cfg.GD)
+	for i := range part.Fragments {
+		w, err := buildWorker(cfg, &part.Fragments[i], radius, docD)
+		if err != nil {
+			stopWorkers(st.shards)
+			return nil, err
+		}
+		st.shards = append(st.shards, w)
+	}
+	for _, w := range st.shards {
+		w.depth = cfg.Metrics.Gauge(`her_shard_queue_depth{shard="` + strconv.Itoa(w.id) + `"}`)
+		cfg.Metrics.Gauge(`her_shard_owned_vertices{shard="` + strconv.Itoa(w.id) + `"}`).
+			Set(float64(len(w.owned)))
+		cfg.Metrics.Gauge(`her_shard_halo_vertices{shard="` + strconv.Itoa(w.id) + `"}`).
+			Set(float64(w.haloLen))
+		go w.run()
+	}
+	return st, nil
+}
+
+// expandEdges reports whether the out-edges of a vertex discovered at
+// BFS depth d must be materialized: everything strictly inside the halo
+// radius (or everything, when the radius is unbounded), plus the owned
+// vertices themselves when blocking is on — the neighborhood-doc index
+// reads their 1-hop out-neighbor labels even when matching itself never
+// would (a depth-0 G_D needs no recursion but still needs blocking docs).
+func expandEdges(d, radius int, blocking bool) bool {
+	return radius < 0 || d < radius || (blocking && d == 0)
+}
+
+// buildWorker materializes one fragment: BFS forward from the owned set
+// out to the halo radius, assign local ids in ascending global order
+// (so ranker and matcher tie-breaks agree with the whole-graph run),
+// copy the eligible out-edges in their original order, and assemble the
+// worker's matcher and candidate generator.
+func buildWorker(cfg Config, frag *graph.Fragment, radius int, docD func(graph.VID) string) (*shardWorker, error) {
+	blocking := cfg.MinSharedTokens > 0
+	n := cfg.G.NumVertices()
+	depthOf := make([]int32, n)
+	for i := range depthOf {
+		depthOf[i] = -1
+	}
+	members := make([]graph.VID, 0, len(frag.Owned))
+	for _, gv := range frag.Owned {
+		depthOf[gv] = 0
+		members = append(members, gv)
+	}
+	frontier := frag.Owned
+	for d := 0; len(frontier) > 0 && expandEdges(d, radius, blocking); d++ {
+		var next []graph.VID
+		for _, gv := range frontier {
+			for _, e := range cfg.G.Out(gv) {
+				if depthOf[e.To] < 0 {
+					depthOf[e.To] = int32(d + 1)
+					members = append(members, e.To)
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+
+	sg := graph.New(len(members))
+	toLocal := make([]graph.VID, n)
+	for i := range toLocal {
+		toLocal[i] = graph.NoVertex
+	}
+	toGlobal := make([]graph.VID, 0, len(members))
+	for _, gv := range members {
+		toLocal[gv] = sg.AddVertex(cfg.G.Label(gv))
+		toGlobal = append(toGlobal, gv)
+	}
+	for _, gv := range members {
+		if !expandEdges(int(depthOf[gv]), radius, blocking) {
+			continue
+		}
+		for _, e := range cfg.G.Out(gv) {
+			sg.MustAddEdge(toLocal[gv], toLocal[e.To], e.Label)
+		}
+	}
+
+	owned := make([]graph.VID, 0, len(frag.Owned))
+	isOwned := make([]bool, len(members))
+	for _, gv := range frag.Owned {
+		owned = append(owned, toLocal[gv])
+		isOwned[toLocal[gv]] = true
+	}
+	sort.Slice(owned, func(a, b int) bool { return owned[a] < owned[b] })
+
+	var gen core.CandidateGen
+	if blocking {
+		// The per-shard blocking index mirrors System.buildCandidateGen
+		// restricted to owned vertices: halo closure guarantees each
+		// owned vertex's neighborhood doc (own label + out-neighbor
+		// labels) is byte-identical to the whole-graph doc, so the
+		// per-shard lookup returns exactly the global candidates that
+		// live here.
+		ix := index.BuildDocs(sg,
+			func(v graph.VID) bool { return isOwned[v] && !sg.IsLeaf(v) },
+			index.NeighborhoodDoc(sg))
+		min := cfg.MinSharedTokens
+		gen = func(u graph.VID) []graph.VID { return ix.Lookup(docD(u), min) }
+	} else {
+		gen = func(graph.VID) []graph.VID { return owned }
+	}
+
+	m, err := core.NewMatcher(cfg.GD, sg, cfg.RankerD,
+		ranking.NewRanker(sg, cfg.LM, cfg.MaxPathLen), cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	return &shardWorker{
+		id:       frag.ID,
+		g:        sg,
+		toGlobal: toGlobal,
+		owned:    owned,
+		haloLen:  len(members) - len(frag.Owned),
+		matcher:  m,
+		gen:      gen,
+		queue:    make(chan *task, cfg.QueueDepth),
+	}, nil
+}
+
+// stopWorkers closes every worker's queue; the drain loop exits after
+// finishing (or skipping) whatever is still enqueued. Callers must
+// guarantee no further enqueues (the engine does, by swapping states
+// under the write lock).
+func stopWorkers(workers []*shardWorker) {
+	for _, w := range workers {
+		close(w.queue)
+	}
+}
+
+// FragmentInfo describes one shard of a built state for observability
+// and tests.
+type FragmentInfo struct {
+	Shard int `json:"shard"`
+	Owned int `json:"owned"`
+	Halo  int `json:"halo"`
+}
+
+// Info is an engine snapshot: the shard layout of the current state.
+type Info struct {
+	Shards     int            `json:"shards"`
+	Generation uint64         `json:"generation"`
+	HaloRadius int            `json:"haloRadius"` // -1 = full forward closure
+	CacheLen   int            `json:"cacheEntries"`
+	Fragments  []FragmentInfo `json:"fragments"`
+}

@@ -1,0 +1,475 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"her/internal/core"
+	"her/internal/graph"
+	"her/internal/obs"
+	"her/internal/ranking"
+)
+
+func exactMv(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+func exactMrho(a, b []string) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return 0
+		}
+	}
+	return 1
+}
+
+func testParams() core.Params {
+	return core.Params{Mv: exactMv, Mrho: exactMrho, Sigma: 0.9, Delta: 1.5, K: 2}
+}
+
+// fixtureGD builds an acyclic G_D: tuple → name, tuple → addr → city.
+func fixtureGD() *graph.Graph {
+	gd := graph.New()
+	tup := gd.AddVertex("person:alice")
+	name := gd.AddVertex("alice")
+	addr := gd.AddVertex("addr:1")
+	city := gd.AddVertex("springfield")
+	gd.MustAddEdge(tup, name, "name")
+	gd.MustAddEdge(tup, addr, "addr")
+	gd.MustAddEdge(addr, city, "city")
+	return gd
+}
+
+// fixtureG builds a deterministic target graph: copies of the G_D
+// pattern chained into a long spine so halo closure actually has depth
+// to exercise, plus unlabeled-noise branches.
+func fixtureG(copies int) *graph.Graph {
+	g := graph.New()
+	var prev graph.VID = graph.NoVertex
+	for i := 0; i < copies; i++ {
+		tup := g.AddVertex("person:alice")
+		name := g.AddVertex("alice")
+		addr := g.AddVertex("addr:1")
+		city := g.AddVertex("springfield")
+		noise := g.AddVertex("noise")
+		g.MustAddEdge(tup, name, "name")
+		g.MustAddEdge(tup, addr, "addr")
+		g.MustAddEdge(addr, city, "city")
+		g.MustAddEdge(city, noise, "seen_in")
+		if prev != graph.NoVertex {
+			g.MustAddEdge(prev, tup, "next")
+		}
+		prev = noise
+	}
+	return g
+}
+
+func fixtureConfig(shards int) Config {
+	gd := fixtureGD()
+	return Config{
+		GD:         gd,
+		G:          fixtureG(8),
+		RankerD:    ranking.NewRanker(gd, nil, 0),
+		Params:     testParams(),
+		MaxPathLen: 0,
+		Shards:     shards,
+	}
+}
+
+func TestExpandEdges(t *testing.T) {
+	for _, tc := range []struct {
+		d, radius int
+		blocking  bool
+		want      bool
+	}{
+		{d: 0, radius: 0, blocking: false, want: false},
+		{d: 0, radius: 0, blocking: true, want: true}, // blocking docs read 1-hop labels
+		{d: 0, radius: 3, blocking: false, want: true},
+		{d: 2, radius: 3, blocking: false, want: true},
+		{d: 3, radius: 3, blocking: false, want: false}, // frontier: labels only
+		{d: 3, radius: 3, blocking: true, want: false},
+		{d: 7, radius: -1, blocking: false, want: true}, // unbounded: everything expands
+	} {
+		if got := expandEdges(tc.d, tc.radius, tc.blocking); got != tc.want {
+			t.Errorf("expandEdges(%d, %d, %v) = %v, want %v",
+				tc.d, tc.radius, tc.blocking, got, tc.want)
+		}
+	}
+}
+
+// globalDepths BFSes g forward from the seed set, returning min hop
+// distances (-1 = unreachable).
+func globalDepths(g *graph.Graph, seeds []graph.VID) []int {
+	depth := make([]int, g.NumVertices())
+	for i := range depth {
+		depth[i] = -1
+	}
+	var frontier []graph.VID
+	for _, v := range seeds {
+		depth[v] = 0
+		frontier = append(frontier, v)
+	}
+	for d := 0; len(frontier) > 0; d++ {
+		var next []graph.VID
+		for _, v := range frontier {
+			for _, e := range g.Out(v) {
+				if depth[e.To] < 0 {
+					depth[e.To] = d + 1
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return depth
+}
+
+// checkWorkerClosure asserts the halo-closure invariant for one worker:
+// every global vertex within the radius of the owned set is replicated
+// with an identical label, vertices strictly inside the radius carry
+// their complete out-edge list in global order, and local ids ascend in
+// global id so id tie-breaks agree with the whole-graph matcher.
+func checkWorkerClosure(t *testing.T, cfg Config, w *shardWorker, radius int) {
+	t.Helper()
+	g := cfg.G
+	ownedGlobal := make([]graph.VID, 0, len(w.owned))
+	for _, lv := range w.owned {
+		ownedGlobal = append(ownedGlobal, w.toGlobal[lv])
+	}
+	depth := globalDepths(g, ownedGlobal)
+
+	toLocal := make(map[graph.VID]graph.VID, len(w.toGlobal))
+	for lv, gv := range w.toGlobal {
+		if lv > 0 && w.toGlobal[lv-1] >= gv {
+			t.Fatalf("shard %d: toGlobal not strictly increasing at %d", w.id, lv)
+		}
+		toLocal[gv] = graph.VID(lv)
+	}
+
+	blocking := cfg.MinSharedTokens > 0
+	for gv := 0; gv < g.NumVertices(); gv++ {
+		d := depth[gv]
+		// Presence: everything within the radius, plus — when the
+		// blocking index is on — the owned vertices' 1-hop out-neighbors,
+		// whose labels the neighborhood docs read.
+		inHalo := d >= 0 && (radius < 0 || d <= radius || (blocking && d <= 1))
+		lv, present := toLocal[graph.VID(gv)]
+		if inHalo != present {
+			t.Fatalf("shard %d: vertex %d depth %d (radius %d): present=%v, want %v",
+				w.id, gv, d, radius, present, inHalo)
+		}
+		if !present {
+			continue
+		}
+		if w.g.Label(lv) != g.Label(graph.VID(gv)) {
+			t.Fatalf("shard %d: vertex %d label %q, want %q",
+				w.id, gv, w.g.Label(lv), g.Label(graph.VID(gv)))
+		}
+		if expandEdges(d, radius, blocking) {
+			gout := g.Out(graph.VID(gv))
+			lout := w.g.Out(lv)
+			if len(lout) != len(gout) {
+				t.Fatalf("shard %d: vertex %d has %d out-edges, want %d",
+					w.id, gv, len(lout), len(gout))
+			}
+			for i := range gout {
+				if w.toGlobal[lout[i].To] != gout[i].To || lout[i].Label != gout[i].Label {
+					t.Fatalf("shard %d: vertex %d out-edge %d diverges", w.id, gv, i)
+				}
+			}
+		} else if w.g.OutDegree(lv) != 0 {
+			t.Fatalf("shard %d: frontier vertex %d (depth %d) has out-edges", w.id, gv, d)
+		}
+	}
+}
+
+// TestHaloClosure asserts — with the radius derived from core.HaloRadius,
+// not hardcoded — that every fragment's subgraph is closed under the
+// dv-hop neighborhoods the matcher inspects.
+func TestHaloClosure(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 5} {
+		cfg := fixtureConfig(shards).normalized()
+		radius := core.HaloRadius(cfg.GD, cfg.MaxPathLen)
+		if radius < 0 {
+			t.Fatalf("fixture G_D must be acyclic, got radius %d", radius)
+		}
+		st, err := buildState(cfg, 0)
+		if err != nil {
+			t.Fatalf("buildState(%d shards): %v", shards, err)
+		}
+		if st.radius != radius {
+			t.Fatalf("state radius %d, want derived %d", st.radius, radius)
+		}
+		totalOwned := 0
+		for _, w := range st.shards {
+			checkWorkerClosure(t, cfg, w, radius)
+			totalOwned += len(w.owned)
+		}
+		if totalOwned != cfg.G.NumVertices() {
+			t.Fatalf("%d shards own %d vertices, want %d (disjoint cover)",
+				shards, totalOwned, cfg.G.NumVertices())
+		}
+		stopWorkers(st.shards)
+	}
+}
+
+// TestHaloClosureCyclicGD: a cyclic G_D has no hop bound, so every
+// fragment must be closed under full forward reachability.
+func TestHaloClosureCyclicGD(t *testing.T) {
+	cfg := fixtureConfig(3)
+	cfg.GD.MustAddEdge(3, 0, "back") // springfield → person: directed cycle
+	cfg = cfg.normalized()
+	radius := core.HaloRadius(cfg.GD, cfg.MaxPathLen)
+	if radius != -1 {
+		t.Fatalf("cyclic G_D radius = %d, want -1", radius)
+	}
+	st, err := buildState(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range st.shards {
+		checkWorkerClosure(t, cfg, w, radius)
+	}
+	stopWorkers(st.shards)
+}
+
+// TestHaloClosureBlocking: with the blocking index on, owned vertices
+// keep their out-edges even at radius 0 (a leaf-only G_D) because the
+// neighborhood docs read 1-hop out-neighbor labels.
+func TestHaloClosureBlocking(t *testing.T) {
+	gd := graph.New()
+	gd.AddVertex("alice") // single leaf: HaloRadius 0
+	cfg := fixtureConfig(2)
+	cfg.GD = gd
+	cfg.RankerD = ranking.NewRanker(gd, nil, 0)
+	cfg.MinSharedTokens = 1
+	cfg = cfg.normalized()
+	radius := core.HaloRadius(cfg.GD, cfg.MaxPathLen)
+	if radius != 0 {
+		t.Fatalf("leaf-only G_D radius = %d, want 0", radius)
+	}
+	st, err := buildState(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range st.shards {
+		checkWorkerClosure(t, cfg, w, radius)
+	}
+	stopWorkers(st.shards)
+}
+
+func TestResultCacheGeneration(t *testing.T) {
+	c := newResultCache(2)
+	pairs := []core.Pair{{U: 1, V: 2}}
+	c.put("k", 7, pairs)
+	got, ok := c.get("k", 7)
+	if !ok || len(got) != 1 || got[0] != pairs[0] {
+		t.Fatalf("get(k, 7) = %v, %v; want cached pair", got, ok)
+	}
+	// Mutating the returned slice must not corrupt the cache.
+	got[0] = core.Pair{U: 9, V: 9}
+	if again, _ := c.get("k", 7); again[0] != pairs[0] {
+		t.Fatal("cache entry aliased caller's slice")
+	}
+	// A different generation misses and evicts.
+	if _, ok := c.get("k", 8); ok {
+		t.Fatal("stale-generation entry served")
+	}
+	if c.len() != 0 {
+		t.Fatalf("stale entry not evicted, len %d", c.len())
+	}
+	// LRU eviction at capacity.
+	c.put("a", 1, nil)
+	c.put("b", 1, nil)
+	c.get("a", 1) // a is now most recent
+	c.put("c", 1, nil)
+	if _, ok := c.get("b", 1); ok {
+		t.Fatal("LRU victim b still cached")
+	}
+	if _, ok := c.get("a", 1); !ok {
+		t.Fatal("recently used a evicted")
+	}
+	// Disabled cache.
+	var nilCache *resultCache = newResultCache(0)
+	nilCache.put("x", 1, pairs)
+	if _, ok := nilCache.get("x", 1); ok {
+		t.Fatal("disabled cache served an entry")
+	}
+}
+
+func TestInflightDedup(t *testing.T) {
+	f := newInflight()
+	leader, c := f.join("k", 1)
+	if !leader {
+		t.Fatal("first join must lead")
+	}
+	follower, c2 := f.join("k", 1)
+	if follower || c2 != c {
+		t.Fatal("second join must follow the leader's call")
+	}
+	if lead2, _ := f.join("k", 2); !lead2 {
+		t.Fatal("different generation must start its own call")
+	}
+	done := make(chan []core.Pair)
+	go func() {
+		<-c2.done
+		done <- c2.pairs
+	}()
+	want := []core.Pair{{U: 3, V: 4}}
+	f.finish("k", 1, c, want, nil)
+	if got := <-done; len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("follower saw %v, want %v", got, want)
+	}
+	// The key is retired: a new join leads again.
+	if lead3, _ := f.join("k", 1); !lead3 {
+		t.Fatal("finished key must accept a new leader")
+	}
+}
+
+// TestAdmissionShed wedges every worker (a task whose reply buffer is
+// pre-filled, so the worker blocks publishing its result) and fills the
+// queues; the next request must be shed with ErrOverloaded, not block.
+func TestAdmissionShed(t *testing.T) {
+	cfg := fixtureConfig(2)
+	cfg.QueueDepth = 1
+	cfg.Metrics = obs.NewRegistry()
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var wedged, filler []*task
+	for _, w := range e.cur.shards {
+		blocker := &task{ctx: context.Background(), op: opVPair, u: 0,
+			reply: make(chan taskResult, 1)}
+		blocker.reply <- taskResult{} // worker will block re-sending
+		w.queue <- blocker            // worker picks this up and wedges
+		wedged = append(wedged, blocker)
+		fill := &task{ctx: context.Background(), op: opVPair, u: 0,
+			reply: make(chan taskResult, 1)}
+		w.queue <- fill // sits in the queue: full from now on
+		filler = append(filler, fill)
+	}
+	if _, err := e.VPair(context.Background(), 0); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("VPair on full queues = %v, want ErrOverloaded", err)
+	}
+	if got := cfg.Metrics.Counter(`her_shard_shed_total`).Value(); got == 0 {
+		t.Fatal("shed counter not incremented")
+	}
+	// Unwedge so Close's workers can drain.
+	for i, b := range wedged {
+		<-b.reply
+		<-b.reply
+		<-filler[i].reply
+	}
+}
+
+// TestGenerationInvalidation drives the full loop: a result cached at
+// generation g, mutation bumps g, the next request recomputes against
+// fresh state instead of serving the stale entry.
+func TestGenerationInvalidation(t *testing.T) {
+	var gen atomic.Uint64
+	var suppress atomic.Bool
+	cfg := fixtureConfig(2)
+	cfg.Generation = gen.Load
+	cfg.Overrides = func(matches []core.Pair, scope graph.VID) []core.Pair {
+		if suppress.Load() {
+			return nil
+		}
+		return matches
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	first, err := e.APair(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("fixture produced no matches; test needs a non-empty set")
+	}
+	// Flip the override without bumping the generation: the cached
+	// result must still be served (overrides are part of the computed,
+	// cached value).
+	suppress.Store(true)
+	cached, err := e.APair(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cached) != len(first) {
+		t.Fatalf("cache bypassed: got %d pairs, want cached %d", len(cached), len(first))
+	}
+	// Bump the generation: the stale entry must not be served, the
+	// state rebuilds, and the new override outcome becomes visible.
+	gen.Add(1)
+	fresh, err := e.APair(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 0 {
+		t.Fatalf("stale read after generation bump: got %d pairs, want 0", len(fresh))
+	}
+	if info := e.Snapshot(); info.Generation != 1 {
+		t.Fatalf("state generation %d after bump, want 1", info.Generation)
+	}
+}
+
+// TestManyShards: shard counts beyond |V| produce empty fragments and
+// still-correct (merged) results.
+func TestManyShards(t *testing.T) {
+	cfg := fixtureConfig(1)
+	nv := cfg.G.NumVertices()
+	whole, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer whole.Close()
+	want, err := whole.APair(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := fixtureConfig(nv + 3)
+	e, err := NewEngine(over)
+	if err != nil {
+		t.Fatalf("NewEngine(%d shards over %d vertices): %v", nv+3, nv, err)
+	}
+	defer e.Close()
+	got, err := e.APair(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("over-sharded APair: %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("over-sharded APair diverges at %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDeadline: an expired context surfaces as the context error, both
+// for leaders (gather) and followers (waiting on the leader).
+func TestDeadline(t *testing.T) {
+	e, err := NewEngine(fixtureConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.VPair(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("VPair(cancelled ctx) = %v, want context.Canceled", err)
+	}
+}

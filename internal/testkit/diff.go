@@ -134,7 +134,8 @@ func (w *Workload) Parallel(workers int, async bool) ([]core.Pair, error) {
 
 // RunAll computes the workload's match set through every implementation:
 // fresh-per-pair ParaMatch, shared-cache ParaMatch, VPair union, APair,
-// and the parallel engine in sync and async mode at each worker count.
+// the parallel engine in sync and async mode at each worker count, and
+// the sharded serving engine at each shard count.
 func (w *Workload) RunAll(workerCounts []int) ([]EngineResult, error) {
 	var out []EngineResult
 	add := func(name string, matches []core.Pair, err error) error {
@@ -167,6 +168,10 @@ func (w *Workload) RunAll(workerCounts []int) ([]EngineResult, error) {
 		}
 		m, err = w.Parallel(n, true)
 		if e := add(fmt.Sprintf("bsp-async-%d", n), m, err); e != nil {
+			return nil, e
+		}
+		m, err = w.Sharded(n)
+		if e := add(fmt.Sprintf("shard-%d", n), m, err); e != nil {
 			return nil, e
 		}
 	}

@@ -1,0 +1,30 @@
+package testkit
+
+import (
+	"context"
+
+	"her/internal/core"
+	"her/internal/ranking"
+	"her/internal/shard"
+)
+
+// Sharded computes Π through the sharded serving engine at n shards:
+// partition G, close each fragment under the halo radius, match per
+// shard with a sequential matcher over owned candidates, merge. The
+// result must be byte-identical (post SortPairs) to APair on the whole
+// graph — that is the halo-replication correctness claim.
+func (w *Workload) Sharded(n int) ([]core.Pair, error) {
+	eng, err := shard.NewEngine(shard.Config{
+		GD:         w.GD,
+		G:          w.G,
+		RankerD:    ranking.NewRanker(w.GD, nil, w.MaxLen),
+		Params:     w.Params,
+		MaxPathLen: w.MaxLen,
+		Shards:     n,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	return eng.APair(context.Background(), w.Sources)
+}

@@ -59,8 +59,9 @@ func graphWorkloads(t *testing.T) []*Workload {
 }
 
 // TestDifferentialEquivalence is the paper's Theorems restated as a
-// property: sequential ParaMatch (fresh and shared-cache), VPair, APair
-// and the BSP engine (sync and async, workers ∈ {1,2,4,8}) compute the
+// property: sequential ParaMatch (fresh and shared-cache), VPair, APair,
+// the BSP engine (sync and async, workers ∈ {1,2,4,8}) and the sharded
+// serving engine (halo replication, shards ∈ {1,2,4,8}) compute the
 // same match set Π on every seeded workload.
 func TestDifferentialEquivalence(t *testing.T) {
 	workloads := append(plantedWorkloads(t), graphWorkloads(t)...)
@@ -237,4 +238,27 @@ func TestCandidatePoolNontrivial(t *testing.T) {
 			totalCands, totalMatches)
 	}
 	t.Logf("planted family: %d candidate pairs, %d matches, %d planted", totalCands, totalMatches, totalPlanted)
+}
+
+// TestShardedManyShards pushes the sharded engine past the vertex count
+// of G — and so past any possible SCC count — where most fragments are
+// empty: the merged match set must still equal sequential APair.
+func TestShardedManyShards(t *testing.T) {
+	workloads := append(plantedWorkloads(t)[:3], graphWorkloads(t)[:3]...)
+	for _, w := range workloads {
+		want, err := w.APair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := w.G.NumVertices() + 7
+		got, err := w.Sharded(n)
+		if err != nil {
+			t.Fatalf("Sharded(%d) on %s: %v", n, w.Name, err)
+		}
+		if !EqualPairs(SortPairs(want), got) {
+			t.Errorf("workload %s at %d shards (|V|=%d):\n%s",
+				w.Name, n, w.G.NumVertices(),
+				DiffPairs("apair", want, "sharded", got))
+		}
+	}
 }

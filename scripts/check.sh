@@ -30,6 +30,10 @@ go build ./... || fail "go build"
 go run ./cmd/herlint ./... || fail "herlint"
 go test ./... || fail "go test"
 go test -race -short ./... || fail "go test -race -short"
+# The sharded serving engine is the most concurrency-dense code in the
+# repo (per-shard workers, singleflight, LRU cache, generation rebuilds),
+# so it gets a full (non-short) race pass on top of the module-wide one.
+go test -race ./internal/shard ./internal/server || fail "go test -race shard/server"
 
 # Tier-2: differential correctness and fuzz smokes. The differential
 # suite re-runs internal/testkit with a widened seed sweep (the default

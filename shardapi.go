@@ -1,0 +1,48 @@
+package her
+
+import (
+	"her/internal/core"
+	"her/internal/graph"
+	"her/internal/shard"
+)
+
+// NoVertex is the invalid vertex id; pass it as the ApplyOverrides scope
+// for APair-style (unscoped) match sets.
+const NoVertex = graph.NoVertex
+
+// ShardConfig assembles the configuration of a sharded serving engine
+// (internal/shard) over this system:
+//
+//   - the Snapshot hook re-reads the graphs, rankers, language model and
+//     thresholds under the system lock at every (re)build, so a rebuild
+//     after retraining never reuses stale captures;
+//   - Generation ties the engine's result cache and rebuild trigger to
+//     the system's mutation counter — AddTuple, AddGraphVertex,
+//     AddGraphEdge, Refine, retraining and threshold changes all bump it;
+//   - Overrides routes every merged match set through the system's
+//     user-verified verdicts, exactly like the sequential query paths.
+//
+// The shared components (rankers, scorers, G_D) are safe for the
+// engine's concurrent reads; the system's own query paths serialize
+// writes behind its lock and publish them via the generation bump.
+func (s *System) ShardConfig(shards int) shard.Config {
+	cfg := shard.Config{
+		Shards:     shards,
+		Generation: s.Generation,
+		Overrides: func(matches []core.Pair, scope graph.VID) []core.Pair {
+			return s.ApplyOverrides(matches, scope)
+		},
+		Metrics: s.opts.Metrics,
+	}
+	cfg.Snapshot = func(c shard.Config) shard.Config {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		c.GD, c.G = s.GD, s.G
+		c.RankerD, c.LM = s.rankerD, s.lm
+		c.Params = s.params()
+		c.MaxPathLen = s.opts.MaxPathLen
+		c.MinSharedTokens = s.opts.MinSharedTokens
+		return c
+	}
+	return cfg.Snapshot(cfg)
+}
