@@ -121,7 +121,12 @@ func runServeBench(path, dsName string, entities, clients int, seed int64) error
 		SecondsPerRun: runFor.Seconds(),
 	}
 
-	single := driveServer(server.New(sys), urls, clients, runFor)
+	singleSrv := server.New(sys)
+	// The bench measures matcher throughput, not load shedding: admit
+	// every client even on machines with more CPUs than the default
+	// sequential-path admission bound.
+	singleSrv.MaxInflight = clients
+	single := driveServer(singleSrv, urls, clients, runFor)
 	single.Mode, single.Shards = "single", 0
 	rec.Variants = append(rec.Variants, single)
 

@@ -48,6 +48,7 @@ func main() {
 	saveModels := flag.String("save-models", "", "write learned parameters to this file after training")
 	shards := flag.Int("shards", 0, "serve /vpair and /apair from this many halo-replicated shards (0 = single sequential matcher)")
 	deadlineMS := flag.Int("deadline-ms", 0, "per-request matching deadline in milliseconds (0 = unbounded; expired requests answer 503)")
+	maxInflight := flag.Int("max-inflight", 0, "bound on concurrent sequential matches, abandoned ones included (0 = default 64; saturation answers 429)")
 	flag.Parse()
 
 	cfg, ok := dataset.ByName(*name, *entities)
@@ -140,6 +141,9 @@ func main() {
 	}
 	if *deadlineMS > 0 {
 		srv.Deadline = time.Duration(*deadlineMS) * time.Millisecond
+	}
+	if *maxInflight > 0 {
+		srv.MaxInflight = *maxInflight
 	}
 
 	fmt.Printf("serving %s (%d tuples, |V|=%d) on %s\n",

@@ -223,15 +223,61 @@ func (s *System) SetThresholds(th Thresholds) error {
 }
 
 // tupleVertex resolves a tuple to its canonical-graph vertex via f_D.
+// The lookup takes the system lock: AddTuple extends the mapping's
+// tables while serving paths resolve concurrently.
 func (s *System) tupleVertex(rel string, tupleID int) (graph.VID, error) {
 	if s.Mapping == nil {
 		return graph.NoVertex, fmt.Errorf("her: no tuple mapping (built with NewFromGraphs)")
 	}
+	s.mu.Lock()
 	u, ok := s.Mapping.VertexOf(rel, tupleID)
+	s.mu.Unlock()
 	if !ok {
 		return graph.NoVertex, fmt.Errorf("her: unknown tuple %s/%d", rel, tupleID)
 	}
 	return u, nil
+}
+
+// TupleOf reports which tuple a G_D vertex canonicalizes (the inverse of
+// TupleVertex), under the system lock — safe against concurrent AddTuple.
+func (s *System) TupleOf(u VertexID) (TupleRef, bool) {
+	if s.Mapping == nil {
+		return TupleRef{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Mapping.TupleOf(u)
+}
+
+// GraphValid reports whether v is a vertex of G, under the system lock —
+// safe against a concurrent AddGraphVertex growing the vertex table.
+func (s *System) GraphValid(v VertexID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.G.Valid(v)
+}
+
+// GraphLabel returns the label of G vertex v ("" when v is not a vertex
+// of G), under the system lock — the serving path's render-time reads
+// run concurrently with incremental updates appending to G.
+func (s *System) GraphLabel(v VertexID) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.G.Valid(v) {
+		return ""
+	}
+	return s.G.Label(v)
+}
+
+// GDLabel returns the label of G_D vertex u ("" when u is not a vertex
+// of G_D), under the system lock — AddTuple extends G_D while serving.
+func (s *System) GDLabel(u VertexID) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.GD.Valid(u) {
+		return ""
+	}
+	return s.GD.Label(u)
 }
 
 // TupleVertex resolves a tuple to its canonical-graph vertex via f_D —

@@ -70,6 +70,31 @@ func (g *Graph) MustAddEdge(from, to VID, label string) {
 	}
 }
 
+// Clone returns a deep copy of g: labels, adjacency and edge count share
+// no memory with the original, so mutating either graph (AddVertex,
+// AddEdge, SetLabel) never affects the other. Serving engines use it to
+// snapshot a live graph under its owner's lock and then read the copy
+// without any locking.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		labels: append([]string(nil), g.labels...),
+		out:    make([][]Edge, len(g.out)),
+		in:     make([][]VID, len(g.in)),
+		nEdges: g.nEdges,
+	}
+	for i, es := range g.out {
+		if len(es) > 0 {
+			c.out[i] = append([]Edge(nil), es...)
+		}
+	}
+	for i, vs := range g.in {
+		if len(vs) > 0 {
+			c.in[i] = append([]VID(nil), vs...)
+		}
+	}
+	return c
+}
+
 // Valid reports whether v is a vertex of g.
 func (g *Graph) Valid(v VID) bool { return v >= 0 && int(v) < len(g.labels) }
 

@@ -274,3 +274,44 @@ func TestPartitionProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestClone: the copy shares no memory with the original — mutations on
+// either side (vertices, edges, labels) never reach the other. Serving
+// engines rely on this to snapshot a live graph and read the snapshot
+// without locks.
+func TestClone(t *testing.T) {
+	g := New()
+	a := g.AddVertex("a")
+	b := g.AddVertex("b")
+	g.MustAddEdge(a, b, "e")
+	c := g.Clone()
+
+	// Mutate the original heavily.
+	g.SetLabel(a, "mutated")
+	x := g.AddVertex("x")
+	g.MustAddEdge(a, x, "e2")
+	g.MustAddEdge(b, a, "back")
+
+	if c.NumVertices() != 2 || c.NumEdges() != 1 {
+		t.Fatalf("clone grew with the original: |V|=%d |E|=%d, want 2, 1", c.NumVertices(), c.NumEdges())
+	}
+	if c.Label(a) != "a" {
+		t.Fatalf("clone label = %q, want %q", c.Label(a), "a")
+	}
+	if len(c.Out(a)) != 1 || c.Out(a)[0] != (Edge{To: b, Label: "e"}) {
+		t.Fatalf("clone out-edges of a = %v", c.Out(a))
+	}
+	if len(c.In(a)) != 0 {
+		t.Fatalf("clone in-edges of a = %v, want none", c.In(a))
+	}
+
+	// Mutate the clone; the original must not see it.
+	c.MustAddEdge(b, a, "clone-only")
+	c.SetLabel(b, "b2")
+	if g.Label(b) != "b" {
+		t.Fatalf("original label mutated via clone: %q", g.Label(b))
+	}
+	if len(g.Out(b)) != 1 { // only the "back" edge added above
+		t.Fatalf("original out-edges of b = %v", g.Out(b))
+	}
+}

@@ -15,7 +15,11 @@
 // The matching endpoints (/spair, /vpair, /apair) honor a server-level
 // Deadline plus an optional timeout_ms query parameter (the smaller
 // wins) and answer 503 when the budget expires before matching
-// finishes.
+// finishes. Because the sequential matcher cannot be interrupted, an
+// expired request abandons its matcher goroutine; MaxInflight bounds
+// how many sequential matches (live or abandoned) may exist at once and
+// sheds the excess with 429 + Retry-After, mirroring the shard engine's
+// admission control.
 //
 // NewSharded builds the server in sharded mode: /vpair and /apair are
 // scatter-gathered across an internal/shard engine — partitioned G,
@@ -38,6 +42,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"her"
@@ -61,6 +66,16 @@ type Server struct {
 	// The timeout_ms query parameter can only tighten it. Expired
 	// requests answer 503.
 	Deadline time.Duration
+	// MaxInflight bounds concurrent sequential matches, including the
+	// abandoned goroutines expired requests leave running (default 64):
+	// under sustained load with Deadline shorter than match time they
+	// would otherwise pile up without bound behind the System mutex.
+	// Saturation sheds with 429 + Retry-After. Set before the first
+	// request; the bound latches on first use.
+	MaxInflight int
+
+	seqOnce sync.Once
+	seqSem  chan struct{} // semaphore of MaxInflight sequential-match slots
 
 	// Test seams: when non-nil they replace the matching backends so
 	// tests can inject slow or failing matchers without training a
@@ -140,18 +155,43 @@ func (s *Server) reqContext(r *http.Request) (context.Context, context.CancelFun
 	return ctx, cancel, nil
 }
 
+// seqSlots returns the sequential-match semaphore, sizing it from
+// MaxInflight on first use.
+func (s *Server) seqSlots() chan struct{} {
+	s.seqOnce.Do(func() {
+		n := s.MaxInflight
+		if n <= 0 {
+			n = 64
+		}
+		s.seqSem = make(chan struct{}, n)
+	})
+	return s.seqSem
+}
+
 // runSeq executes fn — a System call without context support — on its
 // own goroutine and waits for the result or the context: the sequential
 // matcher cannot be interrupted, so an expired request abandons the
 // goroutine (it finishes in the background and its result is dropped).
-func runSeq[T any](ctx context.Context, fn func() T) (T, error) {
+// sem bounds how many such goroutines, live or abandoned, exist at once;
+// when no slot is free the request is shed immediately with
+// shard.ErrOverloaded (HTTP 429) instead of queueing behind the System
+// mutex.
+func runSeq[T any](ctx context.Context, sem chan struct{}, fn func() T) (T, error) {
+	var zero T
+	select {
+	case sem <- struct{}{}:
+	default:
+		return zero, shard.ErrOverloaded
+	}
 	done := make(chan T, 1)
-	go func() { done <- fn() }()
+	go func() {
+		defer func() { <-sem }()
+		done <- fn()
+	}()
 	select {
 	case v := <-done:
 		return v, nil
 	case <-ctx.Done():
-		var zero T
 		return zero, ctx.Err()
 	}
 }
@@ -253,7 +293,7 @@ func (s *Server) handleSPair(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if !s.sys.G.Valid(vertex) {
+	if !s.sys.GraphValid(vertex) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown vertex %d", vertex))
 		return
 	}
@@ -271,7 +311,7 @@ func (s *Server) handleSPair(w http.ResponseWriter, r *http.Request) {
 		match bool
 		err   error
 	}
-	out, err := runSeq(ctx, func() res {
+	out, err := runSeq(ctx, s.seqSlots(), func() res {
 		m, e := spair(rel, tuple, vertex)
 		return res{match: m, err: e}
 	})
@@ -301,7 +341,7 @@ func (s *Server) vpairMatches(ctx context.Context, rel string, tuple int) ([]her
 			pairs []her.Pair
 			err   error
 		}
-		out, err := runSeq(ctx, func() res {
+		out, err := runSeq(ctx, s.seqSlots(), func() res {
 			p, e := s.vpairFn(rel, tuple)
 			return res{pairs: p, err: e}
 		})
@@ -321,7 +361,7 @@ func (s *Server) vpairMatches(ctx context.Context, rel string, tuple int) ([]her
 		pairs []her.Pair
 		err   error
 	}
-	out, err := runSeq(ctx, func() res {
+	out, err := runSeq(ctx, s.seqSlots(), func() res {
 		p, e := s.sys.VPair(rel, tuple)
 		return res{pairs: p, err: e}
 	})
@@ -350,7 +390,7 @@ func (s *Server) handleVPair(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]matchJSON, 0, len(matches))
 	for _, m := range matches {
-		out = append(out, matchJSON{Vertex: int32(m.V), Label: s.sys.G.Label(m.V)})
+		out = append(out, matchJSON{Vertex: int32(m.V), Label: s.sys.GraphLabel(m.V)})
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"rel": rel, "tuple": tuple, "matches": out,
@@ -393,7 +433,7 @@ func (s *Server) handleAPair(w http.ResponseWriter, r *http.Request) {
 			stats her.ParallelStats
 			err   error
 		}
-		out, rErr := runSeq(ctx, func() res {
+		out, rErr := runSeq(ctx, s.seqSlots(), func() res {
 			p, st, e := apair(workers)
 			return res{pairs: p, stats: st, err: e}
 		})
@@ -436,7 +476,7 @@ func (s *Server) handleAPair(w http.ResponseWriter, r *http.Request) {
 	out := make([]pairJSON, 0, len(shown))
 	for _, m := range shown {
 		label := ""
-		if ref, ok := s.sys.Mapping.TupleOf(m.U); ok {
+		if ref, ok := s.sys.TupleOf(m.U); ok {
 			label = fmt.Sprintf("%s/%d", ref.Relation, ref.TupleID)
 		}
 		out = append(out, pairJSON{Tuple: label, Vertex: int32(m.V)})
@@ -454,13 +494,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if !s.sys.G.Valid(vertex) {
+	if !s.sys.GraphValid(vertex) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown vertex %d", vertex))
 		return
 	}
-	u, ok := s.sys.Mapping.VertexOf(rel, tuple)
-	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown tuple %s/%d", rel, tuple))
+	u, err := s.sys.TupleVertex(rel, tuple)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	ex, err := s.sys.Explain(u, vertex)
@@ -474,7 +514,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	var lineage []lineageJSON
 	for _, p := range ex.Lineage {
-		lineage = append(lineage, lineageJSON{U: s.sys.GD.Label(p.U), V: s.sys.G.Label(p.V)})
+		lineage = append(lineage, lineageJSON{U: s.sys.GDLabel(p.U), V: s.sys.GraphLabel(p.V)})
 	}
 	schema := map[string]string{}
 	for _, sm := range ex.SchemaMatches {
@@ -507,12 +547,12 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	}
 	var fb []her.Feedback
 	for _, it := range items {
-		u, ok := s.sys.Mapping.VertexOf(it.Rel, it.Tuple)
-		if !ok {
-			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown tuple %s/%d", it.Rel, it.Tuple))
+		u, err := s.sys.TupleVertex(it.Rel, it.Tuple)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
 			return
 		}
-		if !s.sys.G.Valid(her.VertexID(it.Vertex)) {
+		if !s.sys.GraphValid(her.VertexID(it.Vertex)) {
 			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown vertex %d", it.Vertex))
 			return
 		}

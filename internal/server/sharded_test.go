@@ -237,3 +237,28 @@ func TestShardedIncrementalUpdate(t *testing.T) {
 			info.Generation, sys.Generation())
 	}
 }
+
+// TestSeqAdmissionControl: expired sequential requests abandon their
+// matcher goroutines, and MaxInflight bounds how many such goroutines
+// (live or abandoned) can exist — once the slots are full of abandoned
+// 2s matchers, the next request is shed with 429 + Retry-After instead
+// of queueing another goroutine behind the System mutex.
+func TestSeqAdmissionControl(t *testing.T) {
+	srv := slowServer(t, 15*time.Millisecond)
+	srv.MaxInflight = 2
+	for i := 0; i < 2; i++ {
+		if code, body := get(t, srv, "/vpair?rel=product&tuple=0"); code != http.StatusServiceUnavailable {
+			t.Fatalf("request %d = %d %v, want 503", i, code, body)
+		}
+	}
+	// Both slots are now held by abandoned matchers sleeping 2s.
+	req := httptest.NewRequest(http.MethodGet, "/vpair?rel=product&tuple=0", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated sequential path = %d %s, want 429", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After hint")
+	}
+}

@@ -123,6 +123,10 @@ type call struct {
 	done  chan struct{}
 	pairs []core.Pair
 	err   error
+	// retry, set by abandon, tells followers the leader quit on its own
+	// context without producing a shared result: loop back and re-join
+	// instead of inheriting an error that was never theirs.
+	retry bool
 }
 
 func newInflight() *inflight {
@@ -148,6 +152,18 @@ func (f *inflight) join(key string, gen uint64) (leader bool, c *call) {
 // the call.
 func (f *inflight) finish(key string, gen uint64, c *call, pairs []core.Pair, err error) {
 	c.pairs, c.err = pairs, err
+	f.mu.Lock()
+	delete(f.calls, sfKey{key: key, gen: gen})
+	f.mu.Unlock()
+	close(c.done)
+}
+
+// abandon retires the call without publishing a result: the leader's own
+// context died (cancel or deadline), which says nothing about the
+// followers' budgets. The key is removed so the next join — including a
+// follower waking from this call — elects a fresh leader.
+func (f *inflight) abandon(key string, gen uint64, c *call) {
+	c.retry = true
 	f.mu.Lock()
 	delete(f.calls, sfKey{key: key, gen: gen})
 	f.mu.Unlock()

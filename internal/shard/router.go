@@ -134,11 +134,12 @@ func (w *shardWorker) run() {
 }
 
 // VPair computes all matches of G_D vertex u across the shards —
-// identical (post-merge) to a whole-graph VParaMatch.
+// identical (post-merge) to a whole-graph VParaMatch. u is validated
+// against the current state's G_D snapshot (not a live graph, which a
+// concurrent mutation could be extending mid-read), so a vertex added
+// by AddTuple becomes addressable as soon as the generation bump has
+// triggered a rebuild.
 func (e *Engine) VPair(ctx context.Context, u graph.VID) ([]core.Pair, error) {
-	if !e.cfg.GD.Valid(u) {
-		return nil, fmt.Errorf("shard: unknown G_D vertex %d", u)
-	}
 	e.met.vpairRequests.Inc()
 	key := "vpair:" + fmt.Sprint(u)
 	return e.serve(ctx, key, u, &task{op: opVPair, u: u})
@@ -153,8 +154,13 @@ func (e *Engine) APair(ctx context.Context, sources []graph.VID) ([]core.Pair, e
 }
 
 // apairKey folds the source set into the cache key so distinct source
-// selections never collide.
+// selections never collide. A nil slice means "every vertex of G_D"
+// (Matcher.APair's convention) and gets its own key, distinct from an
+// explicit empty selection.
 func apairKey(sources []graph.VID) string {
+	if sources == nil {
+		return "apair:all"
+	}
 	h := fnv.New64a()
 	var buf [4]byte
 	for _, v := range sources {
@@ -166,34 +172,54 @@ func apairKey(sources []graph.VID) string {
 
 // serve runs the cache → singleflight → scatter/gather pipeline for one
 // request. proto carries the operation; serve fills in the per-request
-// context and reply channels.
+// context and reply channels. The loop re-enters at most once per
+// abandoned leader: when a leader fails on its own context (client
+// disconnect, private timeout), its call is abandoned rather than
+// finished, and each waiting follower loops back to re-check the cache
+// and elect a fresh leader under its own still-healthy budget.
 func (e *Engine) serve(ctx context.Context, key string, scope graph.VID, proto *task) ([]core.Pair, error) {
 	gen := e.generation()
-	if pairs, ok := e.cache.get(key, gen); ok {
-		e.met.cacheHits.Inc()
-		return pairs, nil
-	}
-	e.met.cacheMisses.Inc()
-
-	leader, c := e.sf.join(key, gen)
-	if !leader {
-		e.met.sfWaits.Inc()
-		select {
-		case <-c.done:
-			return c.pairs, c.err
-		case <-ctx.Done():
-			return nil, ctx.Err()
+	counted := false
+	for {
+		if pairs, ok := e.cache.get(key, gen); ok {
+			e.met.cacheHits.Inc()
+			return pairs, nil
 		}
+		if !counted {
+			e.met.cacheMisses.Inc()
+			counted = true
+		}
+
+		leader, c := e.sf.join(key, gen)
+		if !leader {
+			e.met.sfWaits.Inc()
+			select {
+			case <-c.done:
+				if c.retry {
+					continue // leader died on its own budget, not ours
+				}
+				return c.pairs, c.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		pairs, err := e.compute(ctx, gen, scope, proto)
+		if err != nil && ctx.Err() != nil {
+			// The failure is this leader's context expiring — it says
+			// nothing about the shared computation, so don't publish it
+			// to followers with healthy budgets.
+			e.sf.abandon(key, gen, c)
+			return nil, err
+		}
+		if err == nil && e.generation() == gen {
+			// Only cache results whose generation is still current: a
+			// mutation that landed mid-request must not be masked by a
+			// stale entry stamped with the new generation.
+			e.cache.put(key, gen, pairs)
+		}
+		e.sf.finish(key, gen, c, pairs, err)
+		return pairs, err
 	}
-	pairs, err := e.compute(ctx, gen, scope, proto)
-	if err == nil && e.generation() == gen {
-		// Only cache results whose generation is still current: a
-		// mutation that landed mid-request must not be masked by a
-		// stale entry stamped with the new generation.
-		e.cache.put(key, gen, pairs)
-	}
-	e.sf.finish(key, gen, c, pairs, err)
-	return pairs, err
 }
 
 // compute scatters proto to every shard worker and gathers the merged,
@@ -205,6 +231,9 @@ func (e *Engine) compute(ctx context.Context, gen uint64, scope graph.VID, proto
 		return nil, err
 	}
 	defer release()
+	if proto.op == opVPair && !st.gd.Valid(proto.u) {
+		return nil, fmt.Errorf("shard: unknown G_D vertex %d", proto.u)
+	}
 
 	t0 := time.Now()
 	reqCtx, cancel := context.WithCancel(ctx)

@@ -39,8 +39,19 @@ import (
 // Config assembles a sharded engine from the components a trained
 // system exposes. GD, RankerD, LM and the score functions inside Params
 // are shared across all shard workers and must be safe for concurrent
-// reads (they are: rankers are lock-protected, scorers are memoized
-// behind RWMutexes, and G_D is not mutated while serving).
+// reads (rankers are lock-protected, scorers are memoized behind
+// RWMutexes, a retrained language model is swapped in whole).
+//
+// The graphs deserve emphasis: the engine reads GD at request time
+// (matcher recursion, ranker paths, blocking docs) and G at build time,
+// all without any caller-visible lock. An owner that mutates its live
+// graphs while serving — her.System's AddTuple/AddGraphVertex/
+// AddGraphEdge do, under the system lock — must install a Snapshot hook
+// that hands the engine private clones taken under that lock
+// (graph.Clone); the mutation's generation bump then retires the
+// snapshot at the next request. Passing live graphs without a Snapshot
+// hook is only correct when they are never mutated while the engine
+// serves (the testkit differential harness).
 type Config struct {
 	// GD is the canonical graph G_D (left side); it is shared, not
 	// sharded — requests address its vertices.
@@ -78,6 +89,9 @@ type Config struct {
 	// RankerD, LM, Params, MaxPathLen, MinSharedTokens) from their owner
 	// before each build: a System retrains rankers and language models
 	// across generations, so a rebuild must not reuse stale captures.
+	// The returned graphs must be private to the engine (clones taken
+	// under the owner's lock) whenever the owner mutates its live graphs
+	// while serving; see the Config comment.
 	Snapshot func(Config) Config
 	// Overrides reconciles a merged match set with user-verified
 	// verdicts (her.System.ApplyOverrides); nil means identity. scope
@@ -115,7 +129,8 @@ func (c Config) validate() error {
 // (generation bump) retires the whole state and builds a fresh one.
 type shardState struct {
 	gen    uint64
-	radius int // halo radius used (-1 = full forward closure)
+	gd     *graph.Graph // the G_D snapshot this state serves from
+	radius int          // halo radius used (-1 = full forward closure)
 	shards []*shardWorker
 }
 
@@ -149,7 +164,7 @@ func buildState(cfg Config, gen uint64) (*shardState, error) {
 		return nil, err
 	}
 	radius := core.HaloRadius(cfg.GD, cfg.MaxPathLen)
-	st := &shardState{gen: gen, radius: radius}
+	st := &shardState{gen: gen, gd: cfg.GD, radius: radius}
 	docD := index.NeighborhoodDoc(cfg.GD)
 	for i := range part.Fragments {
 		w, err := buildWorker(cfg, &part.Fragments[i], radius, docD)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"her/internal/core"
 	"her/internal/graph"
@@ -471,5 +472,142 @@ func TestDeadline(t *testing.T) {
 	cancel()
 	if _, err := e.VPair(ctx, 0); !errors.Is(err, context.Canceled) {
 		t.Fatalf("VPair(cancelled ctx) = %v, want context.Canceled", err)
+	}
+}
+
+// TestAPairKeyNilDistinctFromEmpty: nil sources mean "all of G_D"
+// (Matcher.APair's convention) while an explicit empty slice means "no
+// sources" — their cache/singleflight keys must never collide, or an
+// empty-source request could be served the full-graph result.
+func TestAPairKeyNilDistinctFromEmpty(t *testing.T) {
+	if apairKey(nil) == apairKey([]graph.VID{}) {
+		t.Fatal("nil and empty APair source sets share a key")
+	}
+	if apairKey([]graph.VID{1}) == apairKey([]graph.VID{2}) {
+		t.Fatal("distinct source sets share a key")
+	}
+	if apairKey([]graph.VID{1, 2}) != apairKey([]graph.VID{1, 2}) {
+		t.Fatal("identical source sets must share a key")
+	}
+}
+
+// TestInflightAbandon: an abandoned call wakes followers with the retry
+// flag (no result, no inherited error) and frees the key for a new
+// leader.
+func TestInflightAbandon(t *testing.T) {
+	f := newInflight()
+	leader, c := f.join("k", 1)
+	if !leader {
+		t.Fatal("first join must lead")
+	}
+	woke := make(chan bool, 1)
+	go func() {
+		<-c.done
+		woke <- c.retry
+	}()
+	f.abandon("k", 1, c)
+	if !<-woke {
+		t.Fatal("abandoned call must tell followers to retry")
+	}
+	if c.err != nil || c.pairs != nil {
+		t.Fatalf("abandon published a result: %v, %v", c.pairs, c.err)
+	}
+	if lead2, _ := f.join("k", 1); !lead2 {
+		t.Fatal("abandoned key must accept a new leader")
+	}
+}
+
+// TestVPairUnknownVertex: request vertices are validated against the
+// engine's G_D snapshot (not a live graph a mutation could be extending
+// mid-read), and invalid ids error instead of matching nothing.
+func TestVPairUnknownVertex(t *testing.T) {
+	e, err := NewEngine(fixtureConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	if _, err := e.VPair(ctx, graph.NoVertex); err == nil {
+		t.Fatal("VPair(NoVertex) must error")
+	}
+	if _, err := e.VPair(ctx, graph.VID(10_000)); err == nil {
+		t.Fatal("VPair(out of range) must error")
+	}
+	if _, err := e.VPair(ctx, 0); err != nil {
+		t.Fatalf("VPair(valid vertex) = %v", err)
+	}
+}
+
+// TestLeaderCancelDoesNotPoisonFollowers: a leader whose own context is
+// canceled mid-gather must not publish its context error to followers
+// with healthy budgets; a follower re-elects itself and computes.
+func TestLeaderCancelDoesNotPoisonFollowers(t *testing.T) {
+	cfg := fixtureConfig(1)
+	cfg.QueueDepth = 8
+	cfg.Metrics = obs.NewRegistry()
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Wedge the single worker: it picks up blocker and blocks re-sending
+	// into the pre-filled reply buffer, so the leader's gather hangs.
+	w := e.cur.shards[0]
+	blocker := &task{ctx: context.Background(), op: opVPair, u: 1,
+		reply: make(chan taskResult, 1)}
+	blocker.reply <- taskResult{}
+	w.queue <- blocker
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := e.VPair(leaderCtx, 1)
+		leaderErr <- err
+	}()
+	// Wait for the leader's call to register, then start the follower
+	// and wait until it has joined (the singleflight-wait counter fires
+	// before it blocks on the leader's done channel).
+	waitFor := func(cond func() bool) {
+		t.Helper()
+		for i := 0; i < 5000; i++ {
+			if cond() {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatal("condition not reached in 5s")
+	}
+	waitFor(func() bool {
+		e.sf.mu.Lock()
+		defer e.sf.mu.Unlock()
+		return len(e.sf.calls) == 1
+	})
+	type res struct {
+		pairs []core.Pair
+		err   error
+	}
+	followerRes := make(chan res, 1)
+	go func() {
+		p, err := e.VPair(context.Background(), 1)
+		followerRes <- res{p, err}
+	}()
+	sfWaits := cfg.Metrics.Counter(`her_shard_singleflight_waits_total`)
+	waitFor(func() bool { return sfWaits.Value() >= 1 })
+
+	cancelLeader()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader = %v, want context.Canceled", err)
+	}
+	// Unwedge the worker: it finishes the blocker, skips the leader's
+	// canceled task, then serves the follower's re-led computation.
+	<-blocker.reply
+	<-blocker.reply
+	r := <-followerRes
+	if r.err != nil {
+		t.Fatalf("follower inherited the leader's fate: %v", r.err)
+	}
+	if len(r.pairs) == 0 {
+		t.Fatal("follower got an empty result")
 	}
 }

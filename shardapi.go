@@ -3,6 +3,7 @@ package her
 import (
 	"her/internal/core"
 	"her/internal/graph"
+	"her/internal/ranking"
 	"her/internal/shard"
 )
 
@@ -13,18 +14,24 @@ const NoVertex = graph.NoVertex
 // ShardConfig assembles the configuration of a sharded serving engine
 // (internal/shard) over this system:
 //
-//   - the Snapshot hook re-reads the graphs, rankers, language model and
-//     thresholds under the system lock at every (re)build, so a rebuild
-//     after retraining never reuses stale captures;
+//   - the Snapshot hook clones the graphs and re-reads the language
+//     model and thresholds under the system lock at every (re)build:
+//     the engine reads its graphs at request time without taking the
+//     system lock, so it must never share them with the live G_D/G that
+//     AddTuple/AddGraphVertex/AddGraphEdge mutate under that lock.
+//     Each build therefore serves from private copies, with the ranker
+//     rebound to the cloned G_D; a mutation publishes itself through
+//     the generation bump, which retires the snapshot on the next
+//     request;
 //   - Generation ties the engine's result cache and rebuild trigger to
 //     the system's mutation counter — AddTuple, AddGraphVertex,
 //     AddGraphEdge, Refine, retraining and threshold changes all bump it;
 //   - Overrides routes every merged match set through the system's
 //     user-verified verdicts, exactly like the sequential query paths.
 //
-// The shared components (rankers, scorers, G_D) are safe for the
-// engine's concurrent reads; the system's own query paths serialize
-// writes behind its lock and publish them via the generation bump.
+// The remaining shared components (scorers, language model) are safe for
+// the engine's concurrent reads: scorers memoize behind RWMutexes and a
+// retrained model is built aside and swapped in whole.
 func (s *System) ShardConfig(shards int) shard.Config {
 	cfg := shard.Config{
 		Shards:     shards,
@@ -37,8 +44,9 @@ func (s *System) ShardConfig(shards int) shard.Config {
 	cfg.Snapshot = func(c shard.Config) shard.Config {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		c.GD, c.G = s.GD, s.G
-		c.RankerD, c.LM = s.rankerD, s.lm
+		c.GD, c.G = s.GD.Clone(), s.G.Clone()
+		c.LM = s.lm
+		c.RankerD = ranking.NewRanker(c.GD, s.lm, s.opts.MaxPathLen)
 		c.Params = s.params()
 		c.MaxPathLen = s.opts.MaxPathLen
 		c.MinSharedTokens = s.opts.MinSharedTokens
