@@ -51,6 +51,74 @@ type serveVariant struct {
 	P50Millis  float64 `json:"p50Millis"`
 	P95Millis  float64 `json:"p95Millis"`
 	P99Millis  float64 `json:"p99Millis"`
+	// Stages attributes the variant's serving time across the pipeline
+	// stages the engine instruments (sharded: queueWait, compute,
+	// gather; single: candgen, paramatch), read as the delta of the
+	// shared metrics registry over the variant's window.
+	Stages      map[string]stageStat `json:"stages,omitempty"`
+	CacheHits   int64                `json:"cacheHits"`
+	CacheMisses int64                `json:"cacheMisses"`
+}
+
+// stageStat is one attributed stage: how many times it ran during the
+// window and its mean duration.
+type stageStat struct {
+	Count      int64   `json:"count"`
+	MeanMicros float64 `json:"meanMicros"`
+}
+
+// stageSnap is a point-in-time read of the stage histograms and cache
+// counters; two snapshots bracket one variant's drive window.
+type stageSnap struct {
+	count map[string]int64
+	sum   map[string]float64
+	hits  int64
+	miss  int64
+}
+
+// snapStages reads the stage histograms relevant to a variant: the
+// per-shard queue-wait/compute series summed across shards plus the
+// vpair gather for sharded mode, the core ParaMatch phases for the
+// single sequential matcher.
+func snapStages(reg *her.MetricsRegistry, shards int) stageSnap {
+	s := stageSnap{count: map[string]int64{}, sum: map[string]float64{}}
+	add := func(stage string, names ...string) {
+		for _, n := range names {
+			h := reg.Histogram(n, nil)
+			s.count[stage] += h.Count()
+			s.sum[stage] += h.Sum()
+		}
+	}
+	if shards > 0 {
+		var waits, computes []string
+		for i := 0; i < shards; i++ {
+			waits = append(waits, fmt.Sprintf(`her_shard_queue_wait_seconds{shard="%d"}`, i))
+			computes = append(computes, fmt.Sprintf(`her_shard_compute_seconds{shard="%d"}`, i))
+		}
+		add("queueWait", waits...)
+		add("compute", computes...)
+		add("gather", `her_shard_gather_seconds{op="vpair"}`)
+	} else {
+		add("candgen", `her_core_candgen_seconds`)
+		add("paramatch", `her_core_paramatch_seconds`)
+	}
+	s.hits = reg.Counter(`her_shard_cache_hits_total`).Value()
+	s.miss = reg.Counter(`her_shard_cache_misses_total`).Value()
+	return s
+}
+
+// stageDelta turns two bracketing snapshots into the per-stage means.
+func stageDelta(before, after stageSnap) (map[string]stageStat, int64, int64) {
+	out := make(map[string]stageStat, len(after.count))
+	for stage, c := range after.count {
+		n := c - before.count[stage]
+		st := stageStat{Count: n}
+		if n > 0 {
+			st.MeanMicros = (after.sum[stage] - before.sum[stage]) / float64(n) * 1e6
+		}
+		out[stage] = st
+	}
+	return out, after.hits - before.hits, after.miss - before.miss
 }
 
 // runServeBench trains one system, then measures concurrent /vpair
@@ -77,7 +145,10 @@ func runServeBench(path, dsName string, entities, clients int, seed int64) error
 	if err != nil {
 		return err
 	}
-	sys, err := her.New(d.DB, d.G, her.Options{Seed: seed})
+	// The registry feeds the per-stage attribution: each variant's
+	// Stages block is the delta of these histograms over its window.
+	reg := her.NewMetrics()
+	sys, err := her.New(d.DB, d.G, her.Options{Seed: seed, Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -126,8 +197,10 @@ func runServeBench(path, dsName string, entities, clients int, seed int64) error
 	// every client even on machines with more CPUs than the default
 	// sequential-path admission bound.
 	singleSrv.MaxInflight = clients
+	before := snapStages(reg, 0)
 	single := driveServer(singleSrv, urls, clients, runFor)
 	single.Mode, single.Shards = "single", 0
+	single.Stages, single.CacheHits, single.CacheMisses = stageDelta(before, snapStages(reg, 0))
 	rec.Variants = append(rec.Variants, single)
 
 	for _, shards := range []int{1, 2, 4, 8} {
@@ -135,9 +208,11 @@ func runServeBench(path, dsName string, entities, clients int, seed int64) error
 		if err != nil {
 			return err
 		}
+		before := snapStages(reg, shards)
 		v := driveServer(srv, urls, clients, runFor)
 		v.Mode, v.Shards = "sharded", shards
 		v.HaloRadius = srv.Engine().Snapshot().HaloRadius
+		v.Stages, v.CacheHits, v.CacheMisses = stageDelta(before, snapStages(reg, shards))
 		srv.Close()
 		rec.Variants = append(rec.Variants, v)
 		if shards == 4 && single.RPS > 0 {
@@ -165,8 +240,13 @@ func runServeBench(path, dsName string, entities, clients int, seed int64) error
 
 // driveServer hammers srv with clients concurrent goroutines issuing
 // the url mix round-robin (shared atomic cursor) for the given
-// duration, and reports throughput and latency percentiles.
+// duration, and reports throughput and latency percentiles. The flight
+// recorder is disabled for the drive: the record measures matcher and
+// engine throughput comparably across revisions, while the tracing
+// overhead has its own benchmark (BenchmarkMiddlewareTracing in
+// internal/server).
 func driveServer(srv *server.Server, urls []string, clients int, runFor time.Duration) serveVariant {
+	srv.Recorder = nil
 	var (
 		cursor  atomic.Int64
 		errs    atomic.Int64

@@ -16,10 +16,15 @@
 // it further with timeout_ms).
 //
 // The serving path is instrumented: GET /metrics exposes Prometheus
-// counters and histograms for HTTP requests, ParaMatch phases and BSP
-// supersteps. With -debug-addr a second listener serves net/http/pprof
-// profiles and expvar (including the live matcher counters) for
-// debugging without exposing them on the public address.
+// counters and histograms for HTTP requests, ParaMatch phases, shard
+// queue waits and BSP supersteps. Request tracing is always on: every
+// request gets an X-Request-ID and a span tree, the flight recorder
+// retains the slowest and all recent errored traces per endpoint, and
+// GET /debug/requests serves them (-trace-slow/-trace-errors size the
+// retention, -no-trace disables it, -log-requests adds one structured
+// log line per request). With -debug-addr a second listener serves
+// net/http/pprof profiles and expvar (including the live matcher
+// counters) for debugging without exposing them on the public address.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -49,6 +55,10 @@ func main() {
 	shards := flag.Int("shards", 0, "serve /vpair and /apair from this many halo-replicated shards (0 = single sequential matcher)")
 	deadlineMS := flag.Int("deadline-ms", 0, "per-request matching deadline in milliseconds (0 = unbounded; expired requests answer 503)")
 	maxInflight := flag.Int("max-inflight", 0, "bound on concurrent sequential matches, abandoned ones included (0 = default 64; saturation answers 429)")
+	noTrace := flag.Bool("no-trace", false, "disable request tracing and the flight recorder (/debug/requests answers 404)")
+	traceSlow := flag.Int("trace-slow", 0, "slowest traces retained per endpoint by the flight recorder (0 = default 16)")
+	traceErrors := flag.Int("trace-errors", 0, "recent errored traces retained per endpoint (0 = default 64)")
+	logRequests := flag.Bool("log-requests", false, "emit one structured log line per request (request_id, op, gen, status, duration)")
 	flag.Parse()
 
 	cfg, ok := dataset.ByName(*name, *entities)
@@ -144,6 +154,14 @@ func main() {
 	}
 	if *maxInflight > 0 {
 		srv.MaxInflight = *maxInflight
+	}
+	if *noTrace {
+		srv.Recorder = nil
+	} else if *traceSlow > 0 || *traceErrors > 0 {
+		srv.Recorder = her.NewFlightRecorder(*traceSlow, *traceErrors)
+	}
+	if *logRequests {
+		srv.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 
 	fmt.Printf("serving %s (%d tuples, |V|=%d) on %s\n",

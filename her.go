@@ -18,6 +18,7 @@
 package her
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -66,6 +67,13 @@ type (
 	MetricsRegistry = obs.Registry
 	// Span is a traced region of work (obs span tracing).
 	Span = obs.Span
+	// SpanNode is the immutable exported form of a finished span tree.
+	SpanNode = obs.SpanNode
+	// FlightRecorder retains the slowest and all errored request traces
+	// per operation in bounded memory; see internal/obs.
+	FlightRecorder = obs.FlightRecorder
+	// Trace is one retained request trace: id, op, error and span tree.
+	Trace = obs.Trace
 )
 
 // NewMetrics creates an empty metrics registry to pass in
@@ -74,6 +82,20 @@ func NewMetrics() *MetricsRegistry { return obs.NewRegistry() }
 
 // StartSpan opens a root tracing span; see internal/obs.
 func StartSpan(name string) *Span { return obs.StartSpan(name) }
+
+// NewFlightRecorder creates a flight recorder retaining, per operation,
+// the slowPerOp slowest successful traces and a ring of the errsPerOp
+// most recent errored ones (0 picks the defaults of 16 and 64).
+func NewFlightRecorder(slowPerOp, errsPerOp int) *FlightRecorder {
+	return obs.NewFlightRecorder(slowPerOp, errsPerOp)
+}
+
+// WithSpan installs a span on a context for propagation through the
+// serving stack; a nil span leaves the context unchanged.
+func WithSpan(ctx context.Context, sp *Span) context.Context { return obs.WithSpan(ctx, sp) }
+
+// SpanFrom returns the span installed on ctx, or nil.
+func SpanFrom(ctx context.Context) *Span { return obs.SpanFrom(ctx) }
 
 // System is one HER instance over a database D and a graph G.
 type System struct {
@@ -320,6 +342,27 @@ func (s *System) VPairVertex(u VertexID) []Pair {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.applyOverrides(s.matcher.VPair(u, s.gen), u)
+}
+
+// VPairTraced is VPair with request tracing: sp, when non-nil, receives
+// a "resolve" child for the tuple lookup and — through the matcher —
+// the per-phase children of the sequential ParaMatch run (candgen,
+// simulate). The span is installed on the matcher under the system
+// lock, the same lock that serializes matching, and detached before
+// the lock is released, so concurrent requests never share it. A nil
+// sp makes this identical to VPair.
+func (s *System) VPairTraced(rel string, tupleID int, sp *Span) ([]Pair, error) {
+	rsp := sp.Child("resolve")
+	u, err := s.tupleVertex(rel, tupleID)
+	rsp.End()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.matcher.SetSpan(sp)
+	defer s.matcher.SetSpan(nil)
+	return s.applyOverrides(s.matcher.VPair(u, s.gen), u), nil
 }
 
 // sources returns the G_D vertices APair ranges over: the tuple vertices

@@ -14,6 +14,9 @@
 //	             "zero cost when nil" metrics contract
 //	errdrop    — no discarded errors from Read*/Parse*/Decode*/...
 //	             on the fuzzed parse surfaces
+//	metricname — metric names handed to the obs registry must be
+//	             her_-prefixed Prometheus names with well-formed
+//	             {label="value"} blocks (a typo forks the time series)
 //
 // A finding can be suppressed with a trailing or preceding comment
 //
@@ -41,7 +44,7 @@ type Analyzer struct {
 }
 
 // All is the herlint analyzer suite.
-var All = []*Analyzer{MapIter, FloatEq, NilRecv, GlobalRand, ErrDrop}
+var All = []*Analyzer{MapIter, FloatEq, NilRecv, GlobalRand, ErrDrop, MetricName}
 
 // ByName returns the analyzers matching the comma-separated names list,
 // or All when names is empty.

@@ -116,6 +116,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{NilRecv, filepath.Join("nilrecv", "notobs")},
 		{GlobalRand, "globalrand"},
 		{ErrDrop, "errdrop"},
+		{MetricName, "metricname"},
 	}
 	for _, c := range cases {
 		t.Run(c.analyzer.Name+"/"+filepath.Base(c.dir), func(t *testing.T) {

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricName validates every metric-name literal passed to the obs
+// registry constructors (Registry.Counter, Gauge, Histogram): the
+// family must be a well-formed Prometheus name carrying the repo's
+// her_ prefix, and an inline label block must parse as
+// {key="value",...}. A malformed name silently forks a new time series
+// ("her_shard_gather_seconds{op=vpair}" and a correct sibling would
+// both expose) and breaks every dashboard that scrapes the family, so
+// the check runs at lint time where the literal is visible.
+//
+// Names assembled at runtime are resolved structurally: constant
+// folding first, then string concatenation and fmt.Sprintf with
+// non-constant pieces replaced by a placeholder value — exactly the
+// two dynamic shapes the repo uses (per-shard label concat, %q/%d
+// Sprintf labels). A name with no statically visible parts at all is
+// out of scope.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "metric names passed to obs.Registry must be her_-prefixed Prometheus names with well-formed label blocks",
+	Run:  runMetricName,
+}
+
+var registryMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+func runMetricName(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registryMethods[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			if named, ok := sig.Recv().Type().(*types.Pointer); !ok ||
+				!strings.HasSuffix(named.Elem().String(), ".Registry") {
+				return true
+			}
+			tmpl, ok := nameTemplate(p, call.Args[0])
+			if !ok {
+				return true // no statically visible part; out of scope
+			}
+			if msg := checkMetricName(tmpl); msg != "" {
+				p.Reportf(call.Args[0].Pos(), "metric name %q: %s", tmpl, msg)
+			}
+			return true
+		})
+	}
+}
+
+// nameTemplate resolves the statically visible shape of a metric-name
+// expression: constants verbatim, concatenations piecewise, Sprintf by
+// substituting its verbs. Non-constant pieces inside a resolvable shape
+// become the placeholder V (a valid name rune and a valid label value).
+func nameTemplate(p *Pass, e ast.Expr) (string, bool) {
+	if tv, ok := p.Pkg.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return nameTemplate(p, x.X)
+	case *ast.BinaryExpr:
+		if x.Op != token.ADD {
+			return "", false
+		}
+		l, lok := nameTemplate(p, x.X)
+		r, rok := nameTemplate(p, x.Y)
+		if !lok && !rok {
+			return "", false
+		}
+		if !lok {
+			l = "V"
+		}
+		if !rok {
+			r = "V"
+		}
+		return l + r, true
+	case *ast.CallExpr:
+		sel, ok := x.Fun.(*ast.SelectorExpr)
+		if !ok || len(x.Args) == 0 {
+			return "", false
+		}
+		fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Sprintf" {
+			return "", false
+		}
+		format, ok := nameTemplate(p, x.Args[0])
+		if !ok {
+			return "", false
+		}
+		return sprintfTemplate(format), true
+	}
+	return "", false
+}
+
+// sprintfTemplate substitutes format verbs with placeholders: %q (the
+// label-value convention) becomes a quoted value, every other verb a
+// bare V, and %% a literal percent.
+func sprintfTemplate(format string) string {
+	var b strings.Builder
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			b.WriteByte('%')
+			continue
+		}
+		// Skip flags, width and precision up to the verb letter.
+		for i < len(format) && !isVerbLetter(format[i]) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == 'q' {
+			b.WriteString(`"V"`)
+		} else {
+			b.WriteString("V")
+		}
+	}
+	return b.String()
+}
+
+func isVerbLetter(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+var metricFamilyRe = regexp.MustCompile(`^her_[a-zA-Z0-9_]+$`)
+var labelKeyRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// checkMetricName validates a resolved name template; it returns an
+// empty string when the name is well-formed, the failure otherwise.
+func checkMetricName(tmpl string) string {
+	family := tmpl
+	labels := ""
+	hasLabels := false
+	if i := strings.IndexByte(tmpl, '{'); i >= 0 {
+		family = tmpl[:i]
+		rest := tmpl[i+1:]
+		if !strings.HasSuffix(rest, "}") {
+			return "label block must close with '}' at the end of the name"
+		}
+		labels = rest[:len(rest)-1]
+		hasLabels = true
+	}
+	if !strings.HasPrefix(family, "her_") {
+		return "metric family must carry the her_ prefix"
+	}
+	if !metricFamilyRe.MatchString(family) {
+		return "metric family is not a valid Prometheus name ([a-zA-Z0-9_] after her_)"
+	}
+	if hasLabels {
+		if labels == "" {
+			return "empty label block; drop the braces instead"
+		}
+		return checkLabelPairs(labels)
+	}
+	return ""
+}
+
+// checkLabelPairs parses key="value"[,key="value"]... — quoted values
+// may contain any character behind backslash escapes, matching the %q
+// escaping convention the exposition writer round-trips.
+func checkLabelPairs(s string) string {
+	for {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Sprintf("label %q is missing '='", s)
+		}
+		key := s[:eq]
+		if !labelKeyRe.MatchString(key) {
+			return fmt.Sprintf("label key %q is not a valid Prometheus label name", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Sprintf("label %q value must be double-quoted", key)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Sprintf("label %q value has no closing quote", key)
+		}
+		s = s[end+1:]
+		if s == "" {
+			return ""
+		}
+		if s[0] != ',' {
+			return fmt.Sprintf("unexpected %q after label %q; separate labels with ','", s[:1], key)
+		}
+		s = s[1:]
+		if s == "" {
+			return "trailing ',' in label block"
+		}
+	}
+}

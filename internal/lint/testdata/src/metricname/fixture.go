@@ -1,0 +1,43 @@
+// Package metricname exercises the metricname analyzer: metric-name
+// literals handed to the obs registry constructors must be
+// her_-prefixed Prometheus names with well-formed label blocks, across
+// the three shapes the repo uses (plain literal, concatenation with a
+// runtime piece, fmt.Sprintf).
+package metricname
+
+import (
+	"fmt"
+	"strconv"
+
+	"her/internal/obs"
+)
+
+func good(r *obs.Registry, shard int, op string, code int) {
+	r.Counter(`her_requests_total`).Inc()
+	r.Counter(`her_requests_total{op="vpair"}`).Inc()
+	r.Gauge(`her_queue_depth{shard="` + strconv.Itoa(shard) + `"}`).Set(1)
+	r.Histogram(fmt.Sprintf(`her_request_seconds{op=%q,code="%d"}`, op, code), nil).Observe(0.5)
+	r.Counter(`her_multi_total{a="1",b="2",c="x,y"}`).Inc() // comma inside a quoted value
+	r.Counter(`her_esc_total{v="a\"b"}`).Inc()              // escaped quote inside a value
+}
+
+func dynamic(r *obs.Registry, name string) {
+	r.Counter(name).Inc() // fully dynamic: out of scope, no finding
+}
+
+func bad(r *obs.Registry, shard int, op string) {
+	r.Counter(`requests_total`).Inc()                            // want `her_ prefix`
+	r.Counter(`bsp_steps_total{mode="bsp"}`).Inc()               // want `her_ prefix`
+	r.Gauge(`her_queue-depth`).Set(1)                            // want `not a valid Prometheus name`
+	r.Counter(`her_x_total{op=vpair}`).Inc()                     // want `must be double-quoted`
+	r.Counter(`her_x_total{op="vpair"`).Inc()                    // want `must close with`
+	r.Counter(`her_x_total{}`).Inc()                             // want `empty label block`
+	r.Counter(`her_x_total{op="a" code="b"}`).Inc()              // want `separate labels with ','`
+	r.Counter(`her_x_total{op="a",}`).Inc()                      // want `trailing ','`
+	r.Counter(`her_x_total{1op="a"}`).Inc()                      // want `not a valid Prometheus label name`
+	r.Counter(`her_x_total{op="a}`).Inc()                        // want `no closing quote`
+	r.Gauge(`her_depth{shard=` + strconv.Itoa(shard)).Set(1)     // want `must close with`
+	r.Histogram(fmt.Sprintf(`her_s{op=%s}`, op), nil).Observe(1) // want `must be double-quoted`
+	//herlint:ignore metricname — suppression form works here too
+	r.Counter(`not_her_total`).Inc()
+}

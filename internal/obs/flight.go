@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Trace is one recorded request: the identifiers the serving stack
+// stamped on it plus the exported span tree. It is the JSON shape
+// GET /debug/requests serves.
+type Trace struct {
+	ID         string   `json:"id"`
+	Op         string   `json:"op"`
+	Error      string   `json:"error,omitempty"`
+	StartNanos int64    `json:"startNanos"`
+	Millis     float64  `json:"millis"`
+	Root       SpanNode `json:"root"`
+}
+
+// FlightRecorder is the always-on bounded trace store behind
+// GET /debug/requests: per op it retains the slowPerOp slowest
+// successful traces plus a ring of the errsPerOp most recent errored
+// traces. Memory is bounded by construction — (slowPerOp + errsPerOp) ×
+// ops traces — so it can stay enabled under production traffic; a full
+// error ring overwrites its oldest entry rather than dropping the new
+// trace (the most recent failures are the ones worth debugging).
+//
+// A nil *FlightRecorder is a valid disabled recorder: Record is a no-op
+// and the accessors return empty results, mirroring the package's
+// nil-metrics idiom, so the serving stack holds a possibly-nil handle
+// and calls it unconditionally.
+type FlightRecorder struct {
+	mu        sync.Mutex
+	slowPerOp int
+	errsPerOp int
+	ops       map[string]*opTraces
+}
+
+// opTraces is one op's retention state.
+type opTraces struct {
+	slow []Trace // sorted by Millis descending, len <= slowPerOp
+	errs []Trace // ring of the most recent errored traces
+	next int     // ring cursor into errs
+}
+
+// maxRecorderOps caps the per-op map so an endpoint-cardinality bug
+// cannot grow the recorder without bound; traces for ops beyond the cap
+// are dropped.
+const maxRecorderOps = 64
+
+// NewFlightRecorder creates a recorder retaining per op the slowPerOp
+// slowest successful traces (default 16 when <= 0) and the errsPerOp
+// most recent errored traces (default 64 when <= 0).
+func NewFlightRecorder(slowPerOp, errsPerOp int) *FlightRecorder {
+	if slowPerOp <= 0 {
+		slowPerOp = 16
+	}
+	if errsPerOp <= 0 {
+		errsPerOp = 64
+	}
+	return &FlightRecorder{
+		slowPerOp: slowPerOp,
+		errsPerOp: errsPerOp,
+		ops:       make(map[string]*opTraces),
+	}
+}
+
+// Record stores the finished request trace: id and op are the request's
+// identifiers, root is its span tree (exported under the recorder lock,
+// so children appended later by abandoned goroutines are simply not
+// part of the snapshot), and errMsg marks the trace as errored when
+// non-empty. No-op on a nil recorder or a nil root.
+func (fr *FlightRecorder) Record(id, op string, root *Span, errMsg string) {
+	if fr == nil {
+		return
+	}
+	if root == nil {
+		return
+	}
+	node := root.Export()
+	t := Trace{
+		ID:         id,
+		Op:         op,
+		Error:      errMsg,
+		StartNanos: node.StartNanos,
+		Millis:     node.Millis,
+		Root:       node,
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	ot := fr.ops[op]
+	if ot == nil {
+		if len(fr.ops) >= maxRecorderOps {
+			return
+		}
+		ot = &opTraces{}
+		fr.ops[op] = ot
+	}
+	if t.Error != "" {
+		if len(ot.errs) < fr.errsPerOp {
+			ot.errs = append(ot.errs, t)
+		} else {
+			ot.errs[ot.next] = t
+			ot.next = (ot.next + 1) % fr.errsPerOp
+		}
+		return
+	}
+	if len(ot.slow) < fr.slowPerOp {
+		ot.slow = append(ot.slow, t)
+	} else if t.Millis <= ot.slow[len(ot.slow)-1].Millis {
+		return // faster than everything retained
+	} else {
+		ot.slow[len(ot.slow)-1] = t
+	}
+	// Keep the slice sorted slowest-first so the eviction candidate is
+	// always the tail; the slice is small (slowPerOp), so the insertion
+	// re-sort is cheap.
+	sort.SliceStable(ot.slow, func(a, b int) bool {
+		return ot.slow[a].Millis > ot.slow[b].Millis
+	})
+}
+
+// Traces snapshots every retained trace, ordered by start time (ties by
+// id) so concurrent snapshots are stable. Empty on a nil recorder.
+func (fr *FlightRecorder) Traces() []Trace {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	var out []Trace
+	for _, ot := range fr.ops {
+		out = append(out, ot.slow...)
+		out = append(out, ot.errs...)
+	}
+	fr.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].StartNanos != out[b].StartNanos {
+			return out[a].StartNanos < out[b].StartNanos
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// ByID returns the retained trace with the given request id. ok is
+// false when the id was never recorded or has been evicted (or the
+// recorder is nil).
+func (fr *FlightRecorder) ByID(id string) (Trace, bool) {
+	if fr == nil {
+		return Trace{}, false
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	for _, ot := range fr.ops {
+		for i := range ot.slow {
+			if ot.slow[i].ID == id {
+				return ot.slow[i], true
+			}
+		}
+		for i := range ot.errs {
+			if ot.errs[i].ID == id {
+				return ot.errs[i], true
+			}
+		}
+	}
+	return Trace{}, false
+}
+
+// Len reports the number of retained traces (0 on nil).
+func (fr *FlightRecorder) Len() int {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	n := 0
+	for _, ot := range fr.ops {
+		n += len(ot.slow) + len(ot.errs)
+	}
+	return n
+}

@@ -199,6 +199,18 @@ var DefBuckets = []float64{
 	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// TimeBuckets are the fine-grained latency buckets in seconds for the
+// sharded serving path, whose cache hits and queue waits live between
+// 1µs and 1ms — the sharded /vpair p99 is ~0.08ms, which DefBuckets
+// resolves into only two buckets. The preset keeps sub-millisecond
+// resolution (roughly 1-2.5-5 per decade from 1µs) and still reaches
+// 10s so stragglers and cold paths land in real buckets too.
+var TimeBuckets = []float64{
+	0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
 // Histogram is a fixed-bucket cumulative histogram. Observations are
 // lock-free: one atomic add on the matching bucket plus CAS on the sum.
 type Histogram struct {

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestExpositionLabelEscaping checks that label values escaped at the
+// call site (the %q convention every instrumentation site uses) survive
+// the text exposition byte-for-byte: quotes, backslashes and newlines
+// inside a label value must come out in Prometheus escape form.
+func TestExpositionLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	hairy := `pa"th\with` + "\nnewline"
+	r.Counter(fmt.Sprintf(`her_esc_total{endpoint=%q}`, hairy)).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// %q renders \ as \\, " as \", and the newline as \n — exactly the
+	// Prometheus label-value escapes.
+	want := `her_esc_total{endpoint="pa\"th\\with\nnewline"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("escaped label value mangled:\n got %q\nwant line %q", out, want)
+	}
+	// Exactly two physical lines (# TYPE + the sample): a raw newline
+	// inside the label value would split the sample line in two.
+	if n := strings.Count(strings.TrimSpace(out), "\n"); n != 1 {
+		t.Errorf("raw newline leaked into exposition (%d line breaks): %q", n, out)
+	}
+}
+
+// TestExpositionStableSortOrder checks that series of one family are
+// emitted in sorted order under a single # TYPE header regardless of
+// registration order, and that families themselves sort by name.
+func TestExpositionStableSortOrder(t *testing.T) {
+	r := NewRegistry()
+	// Register in deliberately shuffled order.
+	r.Counter(`her_sort_total{op="vpair",code="503"}`).Inc()
+	r.Counter(`her_aaa_total`).Inc()
+	r.Counter(`her_sort_total{op="apair",code="200"}`).Inc()
+	r.Counter(`her_sort_total{op="vpair",code="200"}`).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	want := []string{
+		"# TYPE her_aaa_total counter",
+		"her_aaa_total 1",
+		"# TYPE her_sort_total counter",
+		`her_sort_total{op="apair",code="200"} 1`,
+		`her_sort_total{op="vpair",code="200"} 1`,
+		`her_sort_total{op="vpair",code="503"} 1`,
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("exposition lines:\n%s", b.String())
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+
+	// A second write must be byte-identical (map-order independence).
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("exposition output not deterministic across writes")
+	}
+}
+
+// TestExpositionLabeledHistogramSeries checks the per-series histogram
+// lines of a labeled family: the le label appends to the existing label
+// set and _sum/_count keep the series labels.
+func TestExpositionLabeledHistogramSeries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`her_lat_seconds{op="vpair",code="200"}`, []float64{0.001, 1})
+	h.Observe(0.0005)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`her_lat_seconds_bucket{op="vpair",code="200",le="0.001"} 1`,
+		`her_lat_seconds_bucket{op="vpair",code="200",le="1"} 1`,
+		`her_lat_seconds_bucket{op="vpair",code="200",le="+Inf"} 2`,
+		`her_lat_seconds_sum{op="vpair",code="200"} 2.0005`,
+		`her_lat_seconds_count{op="vpair",code="200"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestTimeBucketsResolveSubMillisecond pins the reason TimeBuckets
+// exists: a 0.08ms observation must land in a real bucket with
+// sub-millisecond neighbors on both sides, not in a catch-all.
+func TestTimeBucketsResolveSubMillisecond(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("her_fast_seconds", TimeBuckets)
+	h.Observe(0.00008) // 0.08ms, the sharded /vpair p99
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `her_fast_seconds_bucket{le="5e-05"} 0`) {
+		t.Errorf("no empty bucket below 0.08ms:\n%s", out)
+	}
+	if !strings.Contains(out, `her_fast_seconds_bucket{le="0.0001"} 1`) {
+		t.Errorf("0.08ms not resolved by the 100µs bucket:\n%s", out)
+	}
+	for i := 1; i < len(TimeBuckets); i++ {
+		if TimeBuckets[i] <= TimeBuckets[i-1] {
+			t.Fatalf("TimeBuckets not ascending at %d", i)
+		}
+	}
+}

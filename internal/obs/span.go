@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -9,8 +11,8 @@ import (
 
 // Span is one timed region of work. Spans form a tree: StartSpan opens
 // a root, Child opens a nested span, End closes one. A nil *Span is a
-// valid disabled span — Child returns nil and End is a no-op — so
-// tracing call sites need no conditionals.
+// valid disabled span — Child returns nil, SetAttr/SetError/End are
+// no-ops — so tracing call sites need no conditionals.
 //
 // A Span's children may be appended from the goroutine that owns the
 // span; concurrent children are supported through the internal lock.
@@ -20,7 +22,14 @@ type Span struct {
 
 	mu       sync.Mutex
 	end      time.Time
+	attrs    []attr
+	errMsg   string
 	children []*Span
+}
+
+// attr is one key=value annotation on a span (e.g. shard=3, cache=hit).
+type attr struct {
+	key, val string
 }
 
 // StartSpan opens a root span.
@@ -40,6 +49,58 @@ func (s *Span) Child(name string) *Span {
 	return c
 }
 
+// ChildInterval attaches an already-measured region as a closed child
+// span: the caller supplies the start and end timestamps it observed
+// elsewhere (a shard worker's enqueue→dequeue→done clock reads travel
+// back to the router, which reconstructs the spans). Returns nil on a
+// nil span.
+func (s *Span) ChildInterval(name string, start, end time.Time) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: start, end: end}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr annotates the span with a key=value pair (last write wins at
+// export). No-op on a nil span.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attr{key: key, val: val})
+	s.mu.Unlock()
+}
+
+// SetError marks the span as failed and records the error text (also
+// surfaced as the "error" attribute of the exported node). A nil error
+// or a nil span is a no-op.
+func (s *Span) SetError(err error) {
+	if s == nil {
+		return
+	}
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.errMsg = err.Error()
+	s.mu.Unlock()
+}
+
+// Errored reports whether SetError was called (false on nil).
+func (s *Span) Errored() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errMsg != ""
+}
+
 // End closes the span. Closing twice keeps the first end time. No-op on
 // a nil span.
 func (s *Span) End() {
@@ -53,12 +114,55 @@ func (s *Span) End() {
 	s.mu.Unlock()
 }
 
+// DurationMillis reports the span's wall time in milliseconds — up to
+// now when the span is still open. Returns 0 on nil.
+func (s *Span) DurationMillis() float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return float64(end.Sub(s.start)) / float64(time.Millisecond)
+}
+
+// spanCtxKey is the context key spans propagate under.
+type spanCtxKey struct{}
+
+// WithSpan returns a context carrying sp, the request-scoped tracing
+// channel of the serving stack: the HTTP middleware installs the root
+// span, and every layer below (shard router, matcher) attaches children
+// via SpanFrom. A nil span returns ctx unchanged, so the disabled path
+// allocates nothing.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFrom returns the span carried by ctx, or nil when ctx is nil or
+// carries none. The nil result composes with the nil-safe Span methods:
+// call sites chain SpanFrom(ctx).Child(...) unconditionally.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
 // SpanNode is the exported form of a span tree, JSON-serializable.
 type SpanNode struct {
-	Name       string     `json:"name"`
-	StartNanos int64      `json:"startNanos"`
-	Millis     float64    `json:"millis"`
-	Children   []SpanNode `json:"children,omitempty"`
+	Name       string            `json:"name"`
+	StartNanos int64             `json:"startNanos"`
+	Millis     float64           `json:"millis"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Error      string            `json:"error,omitempty"`
+	Children   []SpanNode        `json:"children,omitempty"`
 }
 
 // Export snapshots the span tree with wall-times. A still-open span
@@ -69,8 +173,16 @@ func (s *Span) Export() SpanNode {
 	}
 	s.mu.Lock()
 	end := s.end
+	errMsg := s.errMsg
 	kids := make([]*Span, len(s.children))
 	copy(kids, s.children)
+	var attrs map[string]string
+	if len(s.attrs) > 0 {
+		attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			attrs[a.key] = a.val
+		}
+	}
 	s.mu.Unlock()
 	if end.IsZero() {
 		end = time.Now()
@@ -79,6 +191,8 @@ func (s *Span) Export() SpanNode {
 		Name:       s.name,
 		StartNanos: s.start.UnixNano(),
 		Millis:     float64(end.Sub(s.start)) / float64(time.Millisecond),
+		Attrs:      attrs,
+		Error:      errMsg,
 	}
 	for _, c := range kids {
 		n.Children = append(n.Children, c.Export())
@@ -94,7 +208,21 @@ func (n SpanNode) Render() string {
 }
 
 func (n SpanNode) render(b *strings.Builder, depth int) {
-	fmt.Fprintf(b, "%s%s %.3fms\n", strings.Repeat("  ", depth), n.Name, n.Millis)
+	fmt.Fprintf(b, "%s%s %.3fms", strings.Repeat("  ", depth), n.Name, n.Millis)
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(b, " %s=%s", k, n.Attrs[k])
+		}
+	}
+	if n.Error != "" {
+		fmt.Fprintf(b, " error=%q", n.Error)
+	}
+	b.WriteByte('\n')
 	for _, c := range n.Children {
 		c.render(b, depth+1)
 	}

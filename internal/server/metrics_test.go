@@ -42,13 +42,15 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	for _, want := range []string{
 		"# TYPE her_http_requests_total counter",
-		`her_http_requests_total{endpoint="/spair",status="200"} 1`,
-		`her_http_requests_total{endpoint="/spair",status="400"} 1`,
-		`her_http_requests_total{endpoint="/spair",status="404"} 1`,
-		`her_http_requests_total{endpoint="/vpair",status="200"} 1`,
+		`her_http_requests_total{op="/spair",code="200"} 1`,
+		`her_http_requests_total{op="/spair",code="400"} 1`,
+		`her_http_requests_total{op="/spair",code="404"} 1`,
+		`her_http_requests_total{op="/vpair",code="200"} 1`,
 		"# TYPE her_http_request_seconds histogram",
-		`her_http_request_seconds_bucket{endpoint="/vpair",le="+Inf"} 1`,
-		`her_http_request_seconds_count{endpoint="/vpair"} 1`,
+		`her_http_request_seconds_bucket{op="/vpair",code="200",le="+Inf"} 1`,
+		`her_http_request_seconds_count{op="/vpair",code="200"} 1`,
+		// Sub-millisecond resolution: the finest TimeBuckets bound shows.
+		`her_http_request_seconds_bucket{op="/vpair",code="200",le="1e-06"}`,
 		// Core phase metrics flow through the shared registry.
 		"# TYPE her_core_paramatch_seconds histogram",
 		"her_core_paramatch_calls_total",
@@ -72,7 +74,7 @@ func TestMetricsWithoutSystemRegistry(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("metrics = %d", code)
 	}
-	if !strings.Contains(body, `her_http_requests_total{endpoint="/healthz",status="200"} 1`) {
+	if !strings.Contains(body, `her_http_requests_total{op="/healthz",code="200"} 1`) {
 		t.Errorf("missing healthz sample:\n%s", body)
 	}
 	// No core metrics: the matcher has no registry.
@@ -87,7 +89,7 @@ func TestMiddlewareBoundsEndpointCardinality(t *testing.T) {
 	getRaw(t, srv, "/totally/unknown/path-1")
 	getRaw(t, srv, "/totally/unknown/path-2")
 	_, body := getRaw(t, srv, "/metrics")
-	if !strings.Contains(body, `her_http_requests_total{endpoint="other",status="404"} 2`) {
+	if !strings.Contains(body, `her_http_requests_total{op="other",code="404"} 2`) {
 		t.Errorf("unknown paths not folded into \"other\":\n%s", body)
 	}
 	if strings.Contains(body, "path-1") {

@@ -40,9 +40,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"her"
@@ -73,7 +75,19 @@ type Server struct {
 	// Saturation sheds with 429 + Retry-After. Set before the first
 	// request; the bound latches on first use.
 	MaxInflight int
+	// Recorder is the always-on flight recorder: every request gets an
+	// ID and a root span, and the finished trace is retained when it is
+	// among the op's slowest or it errored. New installs one with the
+	// default capacities; set nil before serving to disable tracing
+	// entirely (requests then pay only nil checks). Serve the retained
+	// traces at GET /debug/requests.
+	Recorder *obs.FlightRecorder
+	// Logger, when set, emits one structured request log line per
+	// request (request_id, op, gen, status, duration). Independent of
+	// Recorder: either enables root-span tracing.
+	Logger *slog.Logger
 
+	reqSeq  atomic.Uint64 // request-ID sequence
 	seqOnce sync.Once
 	seqSem  chan struct{} // semaphore of MaxInflight sequential-match slots
 
@@ -94,7 +108,8 @@ func New(sys *her.System) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	s := &Server{sys: sys, mux: http.NewServeMux(), reg: reg, MaxAPairMatches: 1000, MaxWorkers: 32}
+	s := &Server{sys: sys, mux: http.NewServeMux(), reg: reg, MaxAPairMatches: 1000, MaxWorkers: 32,
+		Recorder: obs.NewFlightRecorder(0, 0)}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/spair", s.handleSPair)
 	s.mux.HandleFunc("/vpair", s.handleVPair)
@@ -103,6 +118,7 @@ func New(sys *her.System) *Server {
 	s.mux.HandleFunc("/feedback", s.handleFeedback)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	return s
 }
 
@@ -211,11 +227,12 @@ func writeMatchErr(w http.ResponseWriter, err error, fallback int) {
 	}
 }
 
-// knownEndpoints bounds the cardinality of the endpoint label: paths
-// outside this set are recorded as "other".
+// knownEndpoints bounds the cardinality of the op label: paths outside
+// this set are recorded as "other".
 var knownEndpoints = map[string]bool{
 	"/healthz": true, "/spair": true, "/vpair": true, "/apair": true,
 	"/explain": true, "/feedback": true, "/stats": true, "/metrics": true,
+	"/debug/requests": true,
 }
 
 // statusRecorder captures the status code written by a handler.
@@ -230,20 +247,78 @@ func (sr *statusRecorder) WriteHeader(code int) {
 }
 
 // ServeHTTP implements http.Handler: the instrumentation middleware
-// wrapping the mux.
+// wrapping the mux. When tracing is on (Recorder or Logger set) it
+// assigns the request an ID, installs a root span on the request
+// context — every layer below picks it up via obs.SpanFrom — and, once
+// the handler returns, records the finished trace and emits the
+// structured request log line. With both off, a request pays two map
+// lookups and two nil checks beyond the metrics it always paid.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	op := r.URL.Path
+	if !knownEndpoints[op] {
+		op = "other"
+	}
 	sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+
+	var sp *obs.Span
+	var id string
+	gen := s.sys.Generation()
+	if s.Recorder != nil || s.Logger != nil {
+		id = fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		sp = obs.StartSpan(op)
+		sp.SetAttr("gen", strconv.FormatUint(gen, 10))
+		sr.Header().Set("X-Request-ID", id)
+		r = r.WithContext(obs.WithSpan(r.Context(), sp))
+	}
 	s.mux.ServeHTTP(sr, r)
 
-	endpoint := r.URL.Path
-	if !knownEndpoints[endpoint] {
-		endpoint = "other"
+	s.reg.Counter(fmt.Sprintf(`her_http_requests_total{op=%q,code="%d"}`,
+		op, sr.status)).Inc()
+	s.reg.Histogram(fmt.Sprintf(`her_http_request_seconds{op=%q,code="%d"}`,
+		op, sr.status), obs.TimeBuckets).ObserveSince(t0)
+
+	if sp != nil {
+		var errMsg string
+		if sr.status >= 400 {
+			errMsg = fmt.Sprintf("HTTP %d", sr.status)
+			sp.SetError(errors.New(errMsg))
+		}
+		sp.End()
+		s.Recorder.Record(id, op, sp, errMsg)
+		if s.Logger != nil {
+			s.Logger.Info("request",
+				"request_id", id,
+				"op", op,
+				"gen", gen,
+				"status", sr.status,
+				"duration", time.Since(t0))
+		}
 	}
-	s.reg.Counter(fmt.Sprintf(`her_http_requests_total{endpoint=%q,status="%d"}`,
-		endpoint, sr.status)).Inc()
-	s.reg.Histogram(fmt.Sprintf(`her_http_request_seconds{endpoint=%q}`, endpoint),
-		nil).ObserveSince(t0)
+}
+
+// handleDebugRequests serves the flight recorder: every retained trace,
+// or one trace by its request ID (?id=req-000042). 404 when tracing is
+// disabled or the ID fell out of retention.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if s.Recorder == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("tracing disabled"))
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		tr, ok := s.Recorder.ByID(id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no retained trace %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, tr)
+		return
+	}
+	traces := s.Recorder.Traces()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"count":  len(traces),
+		"traces": traces,
+	})
 }
 
 // handleMetrics serves the Prometheus text exposition of every metric
@@ -350,8 +425,11 @@ func (s *Server) vpairMatches(ctx context.Context, rel string, tuple int) ([]her
 		}
 		return out.pairs, out.err
 	}
+	sp := obs.SpanFrom(ctx)
 	if s.eng != nil {
+		rsp := sp.Child("resolve")
 		u, err := s.sys.TupleVertex(rel, tuple)
+		rsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -362,7 +440,7 @@ func (s *Server) vpairMatches(ctx context.Context, rel string, tuple int) ([]her
 		err   error
 	}
 	out, err := runSeq(ctx, s.seqSlots(), func() res {
-		p, e := s.sys.VPair(rel, tuple)
+		p, e := s.sys.VPairTraced(rel, tuple, sp)
 		return res{pairs: p, err: e}
 	})
 	if err != nil {
@@ -388,6 +466,7 @@ func (s *Server) handleVPair(w http.ResponseWriter, r *http.Request) {
 		writeMatchErr(w, err, http.StatusNotFound)
 		return
 	}
+	rsp := obs.SpanFrom(ctx).Child("render")
 	out := make([]matchJSON, 0, len(matches))
 	for _, m := range matches {
 		out = append(out, matchJSON{Vertex: int32(m.V), Label: s.sys.GraphLabel(m.V)})
@@ -395,6 +474,7 @@ func (s *Server) handleVPair(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"rel": rel, "tuple": tuple, "matches": out,
 	})
+	rsp.End()
 }
 
 func (s *Server) handleAPair(w http.ResponseWriter, r *http.Request) {

@@ -46,7 +46,16 @@ type engineMetrics struct {
 	sfWaits       *obs.Counter
 	shed          *obs.Counter
 	rebuilds      *obs.Counter
-	gatherSeconds *obs.Histogram
+	vpairGather   *obs.Histogram // her_shard_gather_seconds{op="vpair"}
+	apairGather   *obs.Histogram // her_shard_gather_seconds{op="apair"}
+}
+
+// gather returns the scatter/gather latency histogram for op.
+func (m *engineMetrics) gather(op taskOp) *obs.Histogram {
+	if op == opAPair {
+		return m.apairGather
+	}
+	return m.vpairGather
 }
 
 // NewEngine validates the configuration and builds the initial shard
@@ -68,7 +77,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 			sfWaits:       cfg.Metrics.Counter(`her_shard_singleflight_waits_total`),
 			shed:          cfg.Metrics.Counter(`her_shard_shed_total`),
 			rebuilds:      cfg.Metrics.Counter(`her_shard_rebuilds_total`),
-			gatherSeconds: cfg.Metrics.Histogram(`her_shard_gather_seconds`, nil),
+			vpairGather:   cfg.Metrics.Histogram(`her_shard_gather_seconds{op="vpair"}`, obs.TimeBuckets),
+			apairGather:   cfg.Metrics.Histogram(`her_shard_gather_seconds{op="apair"}`, obs.TimeBuckets),
 		},
 	}
 	st, err := buildState(cfg, e.generation())
@@ -94,6 +104,11 @@ type task struct {
 	u       graph.VID   // VPair source
 	sources []graph.VID // APair sources
 	reply   chan taskResult
+	// enqueuedAt is stamped at enqueue when the worker measures queue
+	// wait (metrics registered) or the request carries a span; zero
+	// otherwise, so the disabled path never reads the clock.
+	enqueuedAt time.Time
+	traced     bool // request carries a span: worker must stamp times
 }
 
 type taskOp int
@@ -106,6 +121,11 @@ const (
 type taskResult struct {
 	pairs []core.Pair // global ids
 	err   error
+	// dequeuedAt/doneAt travel back to the router so a traced request
+	// can reconstruct the worker's queue-wait and compute intervals as
+	// spans. Zero when neither metrics nor tracing asked for them.
+	dequeuedAt time.Time
+	doneAt     time.Time
 }
 
 // run is the worker's drain loop: one goroutine per shard owns the
@@ -118,6 +138,18 @@ func (w *shardWorker) run() {
 			t.reply <- taskResult{err: t.ctx.Err()}
 			continue
 		}
+		// Queue-wait and compute are measured here, on the worker, and
+		// shipped back as timestamps: the router owns no clock that could
+		// see the dequeue. Clock reads happen only when the histograms
+		// are registered or the request is traced.
+		var dq, done time.Time
+		timed := w.waitSeconds != nil || t.traced
+		if timed {
+			dq = time.Now()
+			if !t.enqueuedAt.IsZero() {
+				w.waitSeconds.Observe(dq.Sub(t.enqueuedAt).Seconds())
+			}
+		}
 		var local []core.Pair
 		switch t.op {
 		case opVPair:
@@ -125,11 +157,15 @@ func (w *shardWorker) run() {
 		case opAPair:
 			local = w.matcher.APair(t.sources, w.gen)
 		}
+		if timed {
+			done = time.Now()
+			w.computeSeconds.Observe(done.Sub(dq).Seconds())
+		}
 		out := make([]core.Pair, len(local))
 		for i, p := range local {
 			out[i] = core.Pair{U: p.U, V: w.toGlobal[p.V]}
 		}
-		t.reply <- taskResult{pairs: out}
+		t.reply <- taskResult{pairs: out, dequeuedAt: dq, doneAt: done}
 	}
 }
 
@@ -178,13 +214,23 @@ func apairKey(sources []graph.VID) string {
 // finished, and each waiting follower loops back to re-check the cache
 // and elect a fresh leader under its own still-healthy budget.
 func (e *Engine) serve(ctx context.Context, key string, scope graph.VID, proto *task) ([]core.Pair, error) {
+	sp := obs.SpanFrom(ctx)
 	gen := e.generation()
 	counted := false
 	for {
+		csp := sp.Child("cache")
 		if pairs, ok := e.cache.get(key, gen); ok {
 			e.met.cacheHits.Inc()
+			if csp != nil {
+				csp.SetAttr("cache", "hit")
+			}
+			csp.End()
 			return pairs, nil
 		}
+		if csp != nil {
+			csp.SetAttr("cache", "miss")
+		}
+		csp.End()
 		if !counted {
 			e.met.cacheMisses.Inc()
 			counted = true
@@ -193,13 +239,16 @@ func (e *Engine) serve(ctx context.Context, key string, scope graph.VID, proto *
 		leader, c := e.sf.join(key, gen)
 		if !leader {
 			e.met.sfWaits.Inc()
+			wsp := sp.Child("singleflight_wait")
 			select {
 			case <-c.done:
+				wsp.End()
 				if c.retry {
 					continue // leader died on its own budget, not ours
 				}
 				return c.pairs, c.err
 			case <-ctx.Done():
+				wsp.End()
 				return nil, ctx.Err()
 			}
 		}
@@ -235,13 +284,18 @@ func (e *Engine) compute(ctx context.Context, gen uint64, scope graph.VID, proto
 		return nil, fmt.Errorf("shard: unknown G_D vertex %d", proto.u)
 	}
 
+	sp := obs.SpanFrom(ctx)
 	t0 := time.Now()
+	ssp := sp.Child("scatter")
 	reqCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	tasks := make([]*task, 0, len(st.shards))
 	for _, w := range st.shards {
 		t := &task{ctx: reqCtx, op: proto.op, u: proto.u, sources: proto.sources,
-			reply: make(chan taskResult, 1)}
+			reply: make(chan taskResult, 1), traced: sp != nil}
+		if w.waitSeconds != nil || t.traced {
+			t.enqueuedAt = time.Now()
+		}
 		select {
 		case w.queue <- t:
 			w.depth.Add(1)
@@ -250,26 +304,43 @@ func (e *Engine) compute(ctx context.Context, gen uint64, scope graph.VID, proto
 			// Abandon the siblings already queued: cancel flips their
 			// context so workers skip them cheaply.
 			e.met.shed.Inc()
+			ssp.End()
 			return nil, ErrOverloaded
 		}
 	}
+	ssp.End()
+	gsp := sp.Child("gather")
 	var merged []core.Pair
-	for _, t := range tasks {
+	for i, t := range tasks {
 		select {
 		case r := <-t.reply:
 			if r.err != nil {
+				gsp.End()
 				return nil, r.err
+			}
+			if sp != nil && !r.doneAt.IsZero() {
+				// Reconstruct the worker's timeline from its own clock
+				// reads: enqueue→dequeue is queue wait, dequeue→done is
+				// compute. The shard span nests both under gather.
+				shSp := gsp.ChildInterval("shard", t.enqueuedAt, r.doneAt)
+				shSp.SetAttr("shard", fmt.Sprint(st.shards[i].id))
+				shSp.ChildInterval("queue_wait", t.enqueuedAt, r.dequeuedAt)
+				shSp.ChildInterval("compute", r.dequeuedAt, r.doneAt)
 			}
 			merged = append(merged, r.pairs...)
 		case <-ctx.Done():
+			gsp.End()
 			return nil, ctx.Err()
 		}
 	}
+	gsp.End()
+	msp := sp.Child("merge")
 	core.SortPairs(merged)
 	if e.cfg.Overrides != nil {
 		merged = e.cfg.Overrides(merged, scope)
 	}
-	e.met.gatherSeconds.ObserveSince(t0)
+	msp.End()
+	e.met.gather(proto.op).ObserveSince(t0)
 	return merged, nil
 }
 

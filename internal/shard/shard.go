@@ -148,6 +148,11 @@ type shardWorker struct {
 	gen      core.CandidateGen // candidate generator over owned vertices
 	queue    chan *task
 	depth    *obs.Gauge
+	// waitSeconds/computeSeconds attribute each task's enqueue→dequeue
+	// and dequeue→done intervals per shard; nil (no registry) skips the
+	// worker's clock reads unless the request itself is traced.
+	waitSeconds    *obs.Histogram // her_shard_queue_wait_seconds{shard}
+	computeSeconds *obs.Histogram // her_shard_compute_seconds{shard}
 }
 
 // buildState partitions G, materializes every fragment's halo-closed
@@ -176,6 +181,10 @@ func buildState(cfg Config, gen uint64) (*shardState, error) {
 	}
 	for _, w := range st.shards {
 		w.depth = cfg.Metrics.Gauge(`her_shard_queue_depth{shard="` + strconv.Itoa(w.id) + `"}`)
+		w.waitSeconds = cfg.Metrics.Histogram(
+			`her_shard_queue_wait_seconds{shard="`+strconv.Itoa(w.id)+`"}`, obs.TimeBuckets)
+		w.computeSeconds = cfg.Metrics.Histogram(
+			`her_shard_compute_seconds{shard="`+strconv.Itoa(w.id)+`"}`, obs.TimeBuckets)
 		cfg.Metrics.Gauge(`her_shard_owned_vertices{shard="` + strconv.Itoa(w.id) + `"}`).
 			Set(float64(len(w.owned)))
 		cfg.Metrics.Gauge(`her_shard_halo_vertices{shard="` + strconv.Itoa(w.id) + `"}`).

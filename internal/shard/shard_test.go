@@ -611,3 +611,40 @@ func TestLeaderCancelDoesNotPoisonFollowers(t *testing.T) {
 		t.Fatal("follower got an empty result")
 	}
 }
+
+// TestQueueWaitAttributionMetrics checks the per-shard queue-wait and
+// compute histograms and the per-op gather histograms fill in on an
+// instrumented engine: one VPair and one APair touch both shards, so
+// every per-shard series observes twice and each op's gather once.
+func TestQueueWaitAttributionMetrics(t *testing.T) {
+	cfg := fixtureConfig(2)
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.VPair(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.APair(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		`her_shard_queue_wait_seconds{shard="0"}`,
+		`her_shard_queue_wait_seconds{shard="1"}`,
+		`her_shard_compute_seconds{shard="0"}`,
+		`her_shard_compute_seconds{shard="1"}`,
+	} {
+		if n := reg.Histogram(name, obs.TimeBuckets).Count(); n != 2 {
+			t.Errorf("%s count = %d, want 2", name, n)
+		}
+	}
+	if n := reg.Histogram(`her_shard_gather_seconds{op="vpair"}`, obs.TimeBuckets).Count(); n != 1 {
+		t.Errorf("vpair gather count = %d, want 1", n)
+	}
+	if n := reg.Histogram(`her_shard_gather_seconds{op="apair"}`, obs.TimeBuckets).Count(); n != 1 {
+		t.Errorf("apair gather count = %d, want 1", n)
+	}
+}

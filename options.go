@@ -43,11 +43,16 @@ type Options struct {
 	MinSharedTokens int
 
 	// Metrics, when non-nil, instruments the system: the sequential
-	// matcher, the BSP engine's workers and supersteps, and (through
+	// matcher, the BSP engine's workers and supersteps, the sharded
+	// serving engine (per-shard queue-wait/compute and gather
+	// histograms, cache and singleflight counters), and (through
 	// internal/server) the HTTP serving path all record into this
 	// registry, exposable in Prometheus text format. Nil (the default)
 	// disables instrumentation at effectively zero cost — every
-	// recording site degrades to a single nil check.
+	// recording site degrades to a single nil check. Request-scoped
+	// tracing is independent of this registry: spans propagate through
+	// context (WithSpan/SpanFrom) and land in the server's
+	// FlightRecorder, traced or not.
 	Metrics *MetricsRegistry
 }
 

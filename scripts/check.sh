@@ -43,6 +43,17 @@ go test -race ./internal/shard ./internal/server || fail "go test -race shard/se
 # CHECK_FUZZTIME=0 to skip fuzzing (e.g. on very slow machines).
 TESTKIT_SEEDS="${TESTKIT_SEEDS:-150}" go test -count=1 ./internal/testkit || fail "testkit differential"
 
+# Serving smoke: boot the real herserve binary, issue one traced
+# request, and assert the observability surface end to end — /metrics
+# parses strictly and /debug/requests serves a well-formed span tree
+# (see scripts/servesmoke). Set CHECK_SMOKE=0 to skip.
+if [ "${CHECK_SMOKE:-1}" != "0" ]; then
+    smokedir=$(mktemp -d)
+    trap 'rm -rf "$smokedir"' EXIT
+    go build -o "$smokedir/herserve" ./cmd/herserve || fail "smoke build herserve"
+    go run ./scripts/servesmoke -herserve "$smokedir/herserve" || fail "serving smoke"
+fi
+
 fuzztime="${CHECK_FUZZTIME:-10s}"
 if [ "$fuzztime" != "0" ]; then
     go test -run='^$' -fuzz='^FuzzReadTSV$' -fuzztime="$fuzztime" ./internal/graph || fail "fuzz FuzzReadTSV"

@@ -1,0 +1,290 @@
+// Command servesmoke is the end-to-end serving smoke used by
+// scripts/check.sh: it starts a pre-built herserve binary on a free
+// port, issues a traced /vpair request, and asserts that the
+// observability surface is well-formed — /metrics parses strictly as
+// Prometheus text exposition with the expected tracing families
+// present, and /debug/requests returns a well-formed span tree that
+// can also be fetched by the request's X-Request-ID. It exits nonzero
+// with a diagnostic on the first violation.
+//
+//	go build -o /tmp/herserve ./cmd/herserve
+//	go run ./scripts/servesmoke -herserve /tmp/herserve
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "servesmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	bin := flag.String("herserve", "", "path to a pre-built herserve binary")
+	entities := flag.Int("entities", 25, "entity count for the smoke dataset (small keeps training fast)")
+	shards := flag.Int("shards", 2, "shard count for the serving engine")
+	timeout := flag.Duration("timeout", 90*time.Second, "overall deadline including training")
+	flag.Parse()
+	if *bin == "" {
+		fatalf("-herserve is required")
+	}
+
+	// Reserve a free port, release it, and hand it to herserve. The
+	// tiny race window is acceptable for a local smoke.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("reserve port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cmd := exec.Command(*bin,
+		"-dataset", "Synthetic",
+		"-entities", strconv.Itoa(*entities),
+		"-shards", strconv.Itoa(*shards),
+		"-addr", addr,
+		"-log-requests",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		fatalf("start herserve: %v", err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(*timeout)
+	waitHealthy(base, deadline)
+
+	id := checkVPair(base)
+	checkMetrics(base)
+	checkDebugRequests(base, id)
+
+	fmt.Printf("servesmoke: ok (request %s traced end to end on %s)\n", id, addr)
+}
+
+// waitHealthy polls /healthz until the server (which trains its models
+// before listening) comes up.
+func waitHealthy(base string, deadline time.Time) {
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			fatalf("herserve did not become healthy before the deadline (last error: %v)", err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// checkVPair issues the traced request and returns its X-Request-ID.
+// Synthetic's main relation is "part" and tuple IDs are 0-based
+// sequential, so tuple 0 always exists.
+func checkVPair(base string) string {
+	resp, err := http.Get(base + "/vpair?rel=part&tuple=0")
+	if err != nil {
+		fatalf("GET /vpair: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("GET /vpair: read body: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatalf("GET /vpair: status %d, body %s", resp.StatusCode, body)
+	}
+	var payload map[string]interface{}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		fatalf("GET /vpair: response is not JSON: %v", err)
+	}
+	id := resp.Header.Get("X-Request-ID")
+	if id == "" {
+		fatalf("GET /vpair: missing X-Request-ID header (tracing should be on by default)")
+	}
+	return id
+}
+
+// Exposition grammar: "# TYPE family kind" headers interleaved with
+// "name[{labels}] value" samples.
+var (
+	typeLineRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	sampleNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})?$`)
+)
+
+// checkMetrics strictly parses the full /metrics exposition and
+// requires the tracing-era families to be present.
+func checkMetrics(base string) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("GET /metrics: read body: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	families := map[string]bool{}
+	for i, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !typeLineRe.MatchString(line) {
+				fatalf("/metrics line %d: malformed comment line %q", i+1, line)
+			}
+			continue
+		}
+		name, value, ok := splitSample(line)
+		if !ok {
+			fatalf("/metrics line %d: malformed sample %q", i+1, line)
+		}
+		if !sampleNameRe.MatchString(name) {
+			fatalf("/metrics line %d: malformed metric name %q", i+1, name)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			fatalf("/metrics line %d: unparseable value %q", i+1, value)
+		}
+		families[familyOf(name)] = true
+	}
+	for _, want := range []string{
+		"her_http_requests_total",
+		"her_http_request_seconds_count",
+		"her_shard_queue_wait_seconds_count",
+		"her_shard_gather_seconds_count",
+	} {
+		if !families[want] {
+			fatalf("/metrics: family %s missing after a traced sharded request", want)
+		}
+	}
+}
+
+// splitSample splits "name[{labels}] value" on the last space so label
+// values containing spaces stay inside the name part.
+func splitSample(line string) (name, value string, ok bool) {
+	i := strings.LastIndex(line, " ")
+	if i < 0 {
+		return "", "", false
+	}
+	return line[:i], line[i+1:], true
+}
+
+func familyOf(name string) string {
+	if i := strings.Index(name, "{"); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// spanNode mirrors obs.SpanNode's JSON shape.
+type spanNode struct {
+	Name     string            `json:"name"`
+	Millis   float64           `json:"millis"`
+	Attrs    map[string]string `json:"attrs"`
+	Children []spanNode        `json:"children"`
+}
+
+// trace mirrors obs.Trace's JSON shape.
+type trace struct {
+	ID   string   `json:"id"`
+	Op   string   `json:"op"`
+	Root spanNode `json:"root"`
+}
+
+// checkDebugRequests asserts the flight recorder retained the /vpair
+// trace (listed and fetchable by id) with a well-formed span tree.
+func checkDebugRequests(base, id string) {
+	resp, err := http.Get(base + "/debug/requests")
+	if err != nil {
+		fatalf("GET /debug/requests: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("GET /debug/requests: status %d", resp.StatusCode)
+	}
+	var listing struct {
+		Count  int     `json:"count"`
+		Traces []trace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		fatalf("GET /debug/requests: bad JSON: %v", err)
+	}
+	if listing.Count < 1 || len(listing.Traces) != listing.Count {
+		fatalf("/debug/requests: count %d does not match %d traces", listing.Count, len(listing.Traces))
+	}
+
+	byID, err := http.Get(base + "/debug/requests?id=" + id)
+	if err != nil {
+		fatalf("GET /debug/requests?id=%s: %v", id, err)
+	}
+	defer byID.Body.Close()
+	if byID.StatusCode != http.StatusOK {
+		fatalf("GET /debug/requests?id=%s: status %d (trace evicted or never recorded)", id, byID.StatusCode)
+	}
+	var tr trace
+	if err := json.NewDecoder(byID.Body).Decode(&tr); err != nil {
+		fatalf("GET /debug/requests?id=%s: bad JSON: %v", id, err)
+	}
+	if tr.ID != id || tr.Op != "/vpair" {
+		fatalf("trace %s: got id=%q op=%q, want the /vpair request", id, tr.ID, tr.Op)
+	}
+	validateTree(tr.Root, "root")
+	if tr.Root.Name != "/vpair" {
+		fatalf("trace %s: root span named %q, want /vpair", id, tr.Root.Name)
+	}
+	names := map[string]bool{}
+	for _, c := range tr.Root.Children {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"resolve", "cache", "gather", "render"} {
+		if !names[want] {
+			fatalf("trace %s: root has no %q child (children: %v)", id, want, keys(names))
+		}
+	}
+}
+
+// validateTree checks structural invariants recursively: every node is
+// named and non-negatively timed, and children do not outlive their
+// parent by more than scheduling noise.
+func validateTree(n spanNode, path string) {
+	if n.Name == "" {
+		fatalf("span at %s has an empty name", path)
+	}
+	if n.Millis < 0 {
+		fatalf("span %s/%s has negative duration %f", path, n.Name, n.Millis)
+	}
+	for _, c := range n.Children {
+		validateTree(c, path+"/"+n.Name)
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
