@@ -58,6 +58,18 @@ type serveVariant struct {
 	Stages      map[string]stageStat `json:"stages,omitempty"`
 	CacheHits   int64                `json:"cacheHits"`
 	CacheMisses int64                `json:"cacheMisses"`
+	// Mixed read+write phase only ("single-rw" / "sharded-rw" modes): a
+	// writer applies AddTuple mutations while the readers keep hammering
+	// /vpair. CacheSurvivalRate is survived/(survived+evicted) across the
+	// write sweeps — with generation-wipe invalidation it is 0; delta
+	// maintenance keeps VPair entries alive across unrelated writes.
+	Writes            int     `json:"writes,omitempty"`
+	WritesPerSecond   float64 `json:"writesPerSecond,omitempty"`
+	WriteErrors       int     `json:"writeErrors,omitempty"`
+	DeltasApplied     uint64  `json:"deltasApplied,omitempty"`
+	FullRebuilds      uint64  `json:"fullRebuilds,omitempty"`
+	FragmentRebuilds  uint64  `json:"fragmentRebuilds,omitempty"`
+	CacheSurvivalRate float64 `json:"cacheSurvivalRate,omitempty"`
 }
 
 // stageStat is one attributed stage: how many times it ran during the
@@ -220,6 +232,51 @@ func runServeBench(path, dsName string, entities, clients int, seed int64) error
 		}
 	}
 
+	// Mixed read+write phase: the same read mix with a concurrent writer
+	// applying AddTuple at a steady cadence. Runs after the read-only
+	// variants so their numbers stay comparable across revisions. The
+	// single sequential server is the contrast (no result cache, every
+	// query pays matching); the sharded(4) variant shows what delta
+	// maintenance buys — sustained writes/sec while serving, with cache
+	// entries surviving unrelated writes instead of a wipe per write.
+	relName := d.DB.RelationNames()[0]
+	rel := d.DB.Relation(relName)
+	keyIdx := 0
+	for i, a := range rel.Schema.Attrs {
+		if a == rel.Schema.Key {
+			keyIdx = i
+		}
+	}
+	baseVals := append([]string(nil), rel.Tuples[0].Values...)
+
+	singleRW := server.New(sys)
+	singleRW.MaxInflight = clients
+	beforeRW := snapStages(reg, 0)
+	vrw := driveServerRW(singleRW, sys, relName, keyIdx, baseVals, "bench-single", urls, clients, runFor)
+	vrw.Mode, vrw.Shards = "single-rw", 0
+	vrw.Stages, vrw.CacheHits, vrw.CacheMisses = stageDelta(beforeRW, snapStages(reg, 0))
+	rec.Variants = append(rec.Variants, vrw)
+
+	shardedRW, err := server.NewSharded(sys, 4)
+	if err != nil {
+		return err
+	}
+	preInfo := shardedRW.Engine().Snapshot()
+	beforeRW = snapStages(reg, 4)
+	vrw = driveServerRW(shardedRW, sys, relName, keyIdx, baseVals, "bench-sharded", urls, clients, runFor)
+	vrw.Mode, vrw.Shards = "sharded-rw", 4
+	vrw.HaloRadius = shardedRW.Engine().Snapshot().HaloRadius
+	vrw.Stages, vrw.CacheHits, vrw.CacheMisses = stageDelta(beforeRW, snapStages(reg, 4))
+	info := shardedRW.Engine().Snapshot()
+	vrw.DeltasApplied = info.DeltasApplied - preInfo.DeltasApplied
+	vrw.FullRebuilds = info.FullRebuilds - preInfo.FullRebuilds
+	vrw.FragmentRebuilds = info.FragmentRebuilds - preInfo.FragmentRebuilds
+	if swept := (info.CacheSurvived - preInfo.CacheSurvived) + (info.CacheEvicted - preInfo.CacheEvicted); swept > 0 {
+		vrw.CacheSurvivalRate = float64(info.CacheSurvived-preInfo.CacheSurvived) / float64(swept)
+	}
+	shardedRW.Close()
+	rec.Variants = append(rec.Variants, vrw)
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -233,9 +290,49 @@ func runServeBench(path, dsName string, entities, clients int, seed int64) error
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: single %.0f req/s, sharded(4) speedup %.1fx\n",
-		path, single.RPS, rec.SpeedupAt4)
+	fmt.Printf("wrote %s: single %.0f req/s, sharded(4) speedup %.1fx, rw %.0f writes/s at %.0f%% cache survival\n",
+		path, single.RPS, rec.SpeedupAt4, vrw.WritesPerSecond, vrw.CacheSurvivalRate*100)
 	return nil
+}
+
+// driveServerRW runs driveServer's read mix while one writer goroutine
+// applies AddTuple mutations every 2ms — fast enough that the serving
+// layer crosses many generations per window, slow enough that reads
+// actually interleave between consecutive writes (the cache-survival
+// measurement needs live entries at sweep time). Each write clones a
+// real tuple (foreign keys stay valid) under a fresh unique key
+// (keyPrefix keeps phases from colliding on the shared system).
+func driveServerRW(srv *server.Server, sys *her.System, relName string, keyIdx int, baseVals []string, keyPrefix string, urls []string, clients int, runFor time.Duration) serveVariant {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var writes, werrs atomic.Int64
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			vals := append([]string(nil), baseVals...)
+			vals[keyIdx] = fmt.Sprintf("%s write %d", keyPrefix, i)
+			if _, err := sys.AddTuple(relName, vals...); err != nil {
+				werrs.Add(1)
+			} else {
+				writes.Add(1)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	v := driveServer(srv, urls, clients, runFor)
+	close(stop)
+	<-done
+	v.Writes = int(writes.Load())
+	v.WriteErrors = int(werrs.Load())
+	if v.WallMillis > 0 {
+		v.WritesPerSecond = float64(v.Writes) / (v.WallMillis / 1000)
+	}
+	return v
 }
 
 // driveServer hammers srv with clients concurrent goroutines issuing

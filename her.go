@@ -36,6 +36,7 @@ import (
 	"her/internal/ranking"
 	"her/internal/rdb2rdf"
 	"her/internal/relational"
+	"her/internal/shard"
 )
 
 // Public aliases so downstream users can name the library's types
@@ -119,9 +120,12 @@ type System struct {
 
 	// generation counts semantic mutations: incremental updates to D or
 	// G, feedback, retraining, threshold changes — anything that can
-	// change a match verdict. External result caches (internal/shard)
-	// stamp entries with it and treat a bump as full invalidation.
+	// change a match verdict. Each bump records exactly one typed delta
+	// in the delta log, so external engines (internal/shard) can tell
+	// incremental updates — maintainable in place, with vertex-scoped
+	// cache invalidation — from resets that force a full rebuild.
 	generation atomic.Uint64
+	deltas     *shard.DeltaLog
 }
 
 // New builds a System from a relational database and a graph, converting
@@ -158,6 +162,7 @@ func NewFromGraphs(gd, g *graph.Graph, opts Options) (*System, error) {
 		rankerD:   ranking.NewRanker(gd, nil, o.MaxPathLen),
 		rankerG:   ranking.NewRanker(g, nil, o.MaxPathLen),
 		overrides: make(map[core.Pair]bool),
+		deltas:    shard.NewDeltaLog(0),
 	}
 	s.buildCandidateGen()
 	if err := s.resetMatcherLocked(); err != nil {
@@ -204,10 +209,22 @@ func (s *System) resetMatcherLocked() error {
 	m.SetMetrics(s.opts.Metrics)
 	s.matcher = m
 	// Every matcher reset is a semantic change (new scorers, thresholds
-	// or feedback): stamp a new generation so external caches drop their
-	// entries.
-	s.generation.Add(1)
+	// or feedback) that can flip verdicts anywhere: record it as a reset
+	// delta, which poisons incremental maintenance and forces external
+	// engines into a full rebuild with total cache invalidation.
+	s.recordDelta(shard.Delta{Kind: shard.DeltaReset})
 	return nil
+}
+
+// recordDelta stamps d with the next generation, records it in the
+// delta log, and only then publishes the generation bump — so any
+// engine that observes the new generation is guaranteed to find its
+// delta in the log. Callers hold s.mu (all mutation paths do), which
+// serializes the stamp-record-bump sequence.
+func (s *System) recordDelta(d shard.Delta) {
+	d.Gen = s.generation.Load() + 1
+	s.deltas.Record(d)
+	s.generation.Add(1)
 }
 
 // Generation reports the system's mutation generation. It changes

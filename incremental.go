@@ -5,6 +5,7 @@ import (
 
 	"her/internal/graph"
 	"her/internal/rdb2rdf"
+	"her/internal/shard"
 )
 
 // This file implements the paper's Section VI-B remark 2: IncPSim
@@ -35,23 +36,38 @@ func (s *System) AddTuple(rel string, values ...string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	base := s.GD.NumVertices()
 	if err := rdb2rdf.AddTuple(s.GD, s.Mapping, s.DB, rel, id); err != nil {
 		return 0, err
 	}
-	// The new tuple extends G_D and the source set: external caches of
-	// APair-style results are stale now.
-	s.generation.Add(1)
+	// The new tuple extends G_D and the source set: unscoped APair
+	// results are stale now, while VPair and explicit-source results
+	// survive (the fresh region has no incoming edges from old
+	// vertices). The delta carries the exact new region — vertices in id
+	// order, edges grouped by source in insertion order (only the new
+	// vertices gained out-edges) — so an engine mirror replaying it is
+	// byte-identical to this G_D.
+	d := shard.Delta{Kind: shard.DeltaTuple, GDBase: base}
+	for v := base; v < s.GD.NumVertices(); v++ {
+		d.GDLabels = append(d.GDLabels, s.GD.Label(graph.VID(v)))
+		for _, e := range s.GD.Out(graph.VID(v)) {
+			d.GDEdges = append(d.GDEdges, shard.GDEdge{From: graph.VID(v), To: e.To, Label: e.Label})
+		}
+	}
+	s.recordDelta(d)
 	return id, nil
 }
 
 // AddGraphVertex appends a vertex to G. It becomes matchable once it is
-// connected; the blocking index picks it up immediately.
+// connected: a fresh vertex is a leaf, which the blocking index skips
+// and whose presence changes no existing neighborhood doc, so the index
+// is deliberately NOT rebuilt here — the first AddGraphEdge touching
+// the vertex rebuilds it (and every doc it appears in) anyway.
 func (s *System) AddGraphVertex(label string) VertexID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	v := s.G.AddVertex(label)
-	s.buildCandidateGen()
-	s.generation.Add(1)
+	s.recordDelta(shard.Delta{Kind: shard.DeltaGraphVertex, V: v, Label: label})
 	return v
 }
 
@@ -71,7 +87,7 @@ func (s *System) AddGraphEdge(from, to VertexID, label string) error {
 	}
 	s.matcher.ForgetVertices(func(v graph.VID) bool { return affected[v] })
 	s.buildCandidateGen()
-	s.generation.Add(1)
+	s.recordDelta(shard.Delta{Kind: shard.DeltaGraphEdge, From: from, To: to, Label: label})
 	return nil
 }
 

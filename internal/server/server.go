@@ -26,7 +26,11 @@
 // halo-replicated fragments, per-shard workers with bounded queues and
 // a generation-stamped result cache — instead of the single sequential
 // matcher. When shard queues are full the request is shed with 429 and
-// a Retry-After hint rather than queueing unbounded work.
+// a Retry-After hint rather than queueing unbounded work. Writes are
+// maintained incrementally: the engine replays the system's typed delta
+// log against its private snapshots (halo-scoped fragment updates,
+// vertex-scoped cache invalidation), so a write retires only the cached
+// results it can actually affect and the rest keep serving warm.
 //
 // Every request passes through an instrumentation middleware that
 // records per-endpoint request counts, status codes and latency
@@ -123,10 +127,19 @@ func New(sys *her.System) *Server {
 }
 
 // NewSharded builds the server in sharded serving mode: /vpair and
-// /apair route through a shard.Engine over the system's graphs. The
-// engine's cache invalidates on the system's generation counter, so
-// incremental updates and feedback applied through this server (or
-// directly on the system) are never masked by stale cached results.
+// /apair route through a shard.Engine over the system's graphs.
+//
+// Read-your-writes semantics: a request that starts after a mutation
+// returns never observes pre-mutation results. The engine keys its
+// cache on the system's generation counter and, before reading the
+// cache, replays the system's typed delta log against its private
+// snapshots — incremental writes (AddTuple, AddGraphVertex,
+// AddGraphEdge) update only the fragments whose halo regions contain
+// the touched vertices and evict only the cached entries whose key
+// vertices fall inside an affected halo; non-incremental changes
+// (feedback, retraining, thresholds) poison the log and force a full
+// rebuild. Either way no stale entry survives a write it depends on,
+// while unaffected entries keep serving without recomputation.
 // Call Close to stop the shard workers.
 func NewSharded(sys *her.System, shards int) (*Server, error) {
 	eng, err := shard.NewEngine(sys.ShardConfig(shards))

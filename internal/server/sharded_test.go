@@ -238,6 +238,60 @@ func TestShardedIncrementalUpdate(t *testing.T) {
 	}
 }
 
+// TestShardedCacheSurvivesWrite is the delta-maintenance regression for
+// the serving path: AddTuple extends G_D with a region no old verdict
+// depends on, so a cached /vpair for an OLD tuple must survive the
+// write — re-stamped by the delta sweep and served as a cache hit, not
+// recomputed — while still answering exactly as before.
+func TestShardedCacheSurvivesWrite(t *testing.T) {
+	sys, p1, _ := trainedSystem(t)
+	srv, err := NewSharded(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	vpair := func() map[int32]bool {
+		t.Helper()
+		code, body := get(t, srv, "/vpair?rel=product&tuple=0")
+		if code != http.StatusOK {
+			t.Fatalf("vpair = %d %v", code, body)
+		}
+		out := map[int32]bool{}
+		for _, m := range body["matches"].([]interface{}) {
+			out[int32(m.(map[string]interface{})["vertex"].(float64))] = true
+		}
+		return out
+	}
+
+	before := vpair()
+	if !before[int32(p1)] {
+		t.Fatalf("baseline vpair = %v, want %d", before, p1)
+	}
+	if _, err := sys.AddTuple("product", "Zephyr Canyon Clog 9", "mauve"); err != nil {
+		t.Fatal(err)
+	}
+	pre := srv.Engine().Snapshot()
+	after := vpair()
+	post := srv.Engine().Snapshot()
+
+	if !after[int32(p1)] || len(after) != len(before) {
+		t.Fatalf("old tuple's vpair changed across an unrelated AddTuple: %v → %v", before, after)
+	}
+	if post.CacheSurvived <= pre.CacheSurvived {
+		t.Fatalf("vpair entry did not survive the AddTuple sweep (survived %d → %d)",
+			pre.CacheSurvived, post.CacheSurvived)
+	}
+	if post.FullRebuilds != pre.FullRebuilds {
+		t.Fatalf("AddTuple forced a full engine rebuild (%d → %d); the delta path is dead",
+			pre.FullRebuilds, post.FullRebuilds)
+	}
+	if post.DeltasApplied != pre.DeltasApplied+1 {
+		t.Fatalf("deltasApplied %d → %d, want one in-place application",
+			pre.DeltasApplied, post.DeltasApplied)
+	}
+}
+
 // TestSeqAdmissionControl: expired sequential requests abandon their
 // matcher goroutines, and MaxInflight bounds how many such goroutines
 // (live or abandoned) can exist — once the slots are full of abandoned

@@ -5,15 +5,20 @@ import (
 	"sync"
 
 	"her/internal/core"
+	"her/internal/graph"
 )
 
 // resultCache is the generation-stamped LRU fronting the router. Merged
 // match sets are stored under their request key together with the
-// mutation generation they were computed at; a lookup whose stored
-// generation differs from the caller's current generation misses and
-// drops the stale entry. Incremental updates (AddTuple, AddGraphVertex,
-// AddGraphEdge, feedback) therefore invalidate the entire cache by
-// bumping a single counter — no per-key dependency tracking.
+// mutation generation they were computed at and the key's vertex scope.
+// A lookup whose stored generation differs from the caller's misses
+// (dropping the entry only when it is older — a concurrent sweep may
+// already have advanced it past a request that captured its generation
+// earlier). Incremental updates no longer wipe the cache: the engine's
+// delta sweep (advance) re-stamps unaffected entries to the new
+// generation and evicts only the ones whose key vertices fall inside an
+// affected halo region. Non-incremental changes (feedback, retraining)
+// skip the sweep, so every entry goes stale and is dropped lazily.
 //
 // A nil *resultCache is a valid "disabled" cache: get always misses and
 // put is a no-op (the obs nil-safety idiom).
@@ -24,9 +29,20 @@ type resultCache struct {
 	byKey map[string]*list.Element
 }
 
+// keyScope is the parsed addressing of a cache entry — which G_D
+// vertices its result ranges over — so delta sweeps can decide
+// relevance without reparsing keys.
+type keyScope struct {
+	op         taskOp
+	u          graph.VID   // opVPair: the source vertex
+	sources    []graph.VID // opAPair: explicit sources (nil with allSources)
+	allSources bool        // opAPair over every vertex of G_D
+}
+
 type cacheEntry struct {
 	key   string
 	gen   uint64
+	scope keyScope
 	pairs []core.Pair
 }
 
@@ -44,8 +60,11 @@ func newResultCache(capacity int) *resultCache {
 }
 
 // get returns a copy of the match set stored under key at generation
-// gen. Entries from another generation are stale: they miss and are
-// evicted eagerly.
+// gen. An entry from an older generation is stale: it misses and is
+// evicted eagerly. An entry from a NEWER generation also misses for
+// this caller (whose request pre-dates the mutation) but stays — a
+// delta sweep legitimately advanced it, and the next current-generation
+// request should still hit it.
 func (c *resultCache) get(key string, gen uint64) ([]core.Pair, bool) {
 	if c == nil {
 		return nil, false
@@ -58,8 +77,10 @@ func (c *resultCache) get(key string, gen uint64) ([]core.Pair, bool) {
 	}
 	e := el.Value.(*cacheEntry)
 	if e.gen != gen {
-		c.order.Remove(el)
-		delete(c.byKey, key)
+		if e.gen < gen {
+			c.order.Remove(el)
+			delete(c.byKey, key)
+		}
 		return nil, false
 	}
 	c.order.MoveToFront(el)
@@ -68,9 +89,11 @@ func (c *resultCache) get(key string, gen uint64) ([]core.Pair, bool) {
 	return out, true
 }
 
-// put stores a copy of pairs under key at generation gen, evicting the
-// least recently used entry when the cache is full.
-func (c *resultCache) put(key string, gen uint64, pairs []core.Pair) {
+// put stores a copy of pairs under key at generation gen with its
+// vertex scope, evicting the least recently used entry when the cache
+// is full. A newer entry already present (a sweep advanced it while
+// this result was being computed) is left alone.
+func (c *resultCache) put(key string, gen uint64, scope keyScope, pairs []core.Pair) {
 	if c == nil {
 		return
 	}
@@ -80,7 +103,11 @@ func (c *resultCache) put(key string, gen uint64, pairs []core.Pair) {
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		e := el.Value.(*cacheEntry)
+		if e.gen > gen {
+			return
+		}
 		e.gen = gen
+		e.scope = scope
 		e.pairs = stored
 		c.order.MoveToFront(el)
 		return
@@ -90,7 +117,34 @@ func (c *resultCache) put(key string, gen uint64, pairs []core.Pair) {
 		c.order.Remove(oldest)
 		delete(c.byKey, oldest.Value.(*cacheEntry).key)
 	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, gen: gen, pairs: stored})
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, gen: gen, scope: scope, pairs: stored})
+}
+
+// advance is the vertex-scoped invalidation sweep: it walks every live
+// entry, evicts the ones the current delta affects (plus strays from
+// generations older than to-1, which could never be re-validated), and
+// re-stamps the survivors to generation to. It returns how many
+// entries survived and how many were evicted.
+func (c *resultCache) advance(to uint64, affects func(keyScope) bool) (survived, evicted int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.gen != to-1 || affects(e.scope) {
+			c.order.Remove(el)
+			delete(c.byKey, e.key)
+			evicted++
+		} else {
+			e.gen = to
+			survived++
+		}
+		el = next
+	}
+	return survived, evicted
 }
 
 // len reports the number of live entries (stale ones included until

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"her/internal/core"
@@ -31,6 +32,14 @@ type Engine struct {
 	sf    *inflight
 	met   engineMetrics
 
+	// Lifetime maintenance counters, kept on the engine (not the obs
+	// registry) so Info reports them even without instrumentation.
+	deltasApplied atomic.Uint64
+	fullRebuilds  atomic.Uint64
+	fragRebuilds  atomic.Uint64
+	cacheSurvived atomic.Uint64
+	cacheEvicted  atomic.Uint64
+
 	mu     sync.RWMutex
 	cur    *shardState
 	closed bool
@@ -46,6 +55,10 @@ type engineMetrics struct {
 	sfWaits       *obs.Counter
 	shed          *obs.Counter
 	rebuilds      *obs.Counter
+	deltasApplied *obs.Counter
+	fragRebuilds  *obs.Counter
+	cacheSurvived *obs.Counter
+	cacheEvicted  *obs.Counter
 	vpairGather   *obs.Histogram // her_shard_gather_seconds{op="vpair"}
 	apairGather   *obs.Histogram // her_shard_gather_seconds{op="apair"}
 }
@@ -77,6 +90,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 			sfWaits:       cfg.Metrics.Counter(`her_shard_singleflight_waits_total`),
 			shed:          cfg.Metrics.Counter(`her_shard_shed_total`),
 			rebuilds:      cfg.Metrics.Counter(`her_shard_rebuilds_total`),
+			deltasApplied: cfg.Metrics.Counter(`her_shard_deltas_applied_total`),
+			fragRebuilds:  cfg.Metrics.Counter(`her_shard_fragment_rebuilds_total`),
+			cacheSurvived: cfg.Metrics.Counter(`her_shard_cache_delta_survived_total`),
+			cacheEvicted:  cfg.Metrics.Counter(`her_shard_cache_delta_evicted_total`),
 			vpairGather:   cfg.Metrics.Histogram(`her_shard_gather_seconds{op="vpair"}`, obs.TimeBuckets),
 			apairGather:   cfg.Metrics.Histogram(`her_shard_gather_seconds{op="apair"}`, obs.TimeBuckets),
 		},
@@ -116,6 +133,10 @@ type taskOp int
 const (
 	opVPair taskOp = iota
 	opAPair
+	// opBarrier is the quiesce sentinel (delta.go): workers acknowledge
+	// it immediately, and FIFO order guarantees every earlier task —
+	// including abandoned ones — has fully drained first.
+	opBarrier
 )
 
 type taskResult struct {
@@ -133,6 +154,10 @@ type taskResult struct {
 // locking and its cache warms across requests.
 func (w *shardWorker) run() {
 	for t := range w.queue {
+		if t.op == opBarrier {
+			t.reply <- taskResult{}
+			continue
+		}
 		w.depth.Add(-1)
 		if t.ctx.Err() != nil {
 			t.reply <- taskResult{err: t.ctx.Err()}
@@ -189,6 +214,21 @@ func (e *Engine) APair(ctx context.Context, sources []graph.VID) ([]core.Pair, e
 		&task{op: opAPair, sources: sources})
 }
 
+// scopeOf parses a request prototype into the cache entry's vertex
+// scope, copying the source slice so a caller reusing its buffer cannot
+// corrupt sweep decisions.
+func scopeOf(proto *task) keyScope {
+	sc := keyScope{op: proto.op, u: proto.u}
+	if proto.op == opAPair {
+		if proto.sources == nil {
+			sc.allSources = true
+		} else {
+			sc.sources = append([]graph.VID(nil), proto.sources...)
+		}
+	}
+	return sc
+}
+
 // apairKey folds the source set into the cache key so distinct source
 // selections never collide. A nil slice means "every vertex of G_D"
 // (Matcher.APair's convention) and gets its own key, distinct from an
@@ -216,6 +256,15 @@ func apairKey(sources []graph.VID) string {
 func (e *Engine) serve(ctx context.Context, key string, scope graph.VID, proto *task) ([]core.Pair, error) {
 	sp := obs.SpanFrom(ctx)
 	gen := e.generation()
+	// Advance maintenance before the cache read: a delta sweep re-stamps
+	// surviving entries to the new generation, so reading the cache first
+	// would misjudge a survivor as stale — and the very request that
+	// should have been served from the surviving entry would recompute
+	// it. Errors fall through: compute() calls state() again and reports
+	// them on the request path.
+	if _, release, err := e.state(gen); err == nil {
+		release()
+	}
 	counted := false
 	for {
 		csp := sp.Child("cache")
@@ -264,7 +313,7 @@ func (e *Engine) serve(ctx context.Context, key string, scope graph.VID, proto *
 			// Only cache results whose generation is still current: a
 			// mutation that landed mid-request must not be masked by a
 			// stale entry stamped with the new generation.
-			e.cache.put(key, gen, pairs)
+			e.cache.put(key, gen, scopeOf(proto), pairs)
 		}
 		e.sf.finish(key, gen, c, pairs, err)
 		return pairs, err
@@ -345,18 +394,22 @@ func (e *Engine) compute(ctx context.Context, gen uint64, scope graph.VID, proto
 }
 
 // state returns the shard state for generation gen with a read lease
-// (the returned release func). A stale state is rebuilt first.
+// (the returned release func). A state behind gen is advanced first —
+// in place when the delta log covers the gap, by a full rebuild
+// otherwise (delta.go). A state AHEAD of gen is served as-is: it is the
+// freshest view, and the caller's pre-mutation generation stamp only
+// prevents its result from being cached.
 func (e *Engine) state(gen uint64) (*shardState, func(), error) {
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
 		return nil, nil, ErrClosed
 	}
-	if e.cur.gen == gen {
+	if e.cur.gen >= gen {
 		return e.cur, e.mu.RUnlock, nil
 	}
 	e.mu.RUnlock()
-	if err := e.rebuild(); err != nil {
+	if err := e.advance(); err != nil {
 		return nil, nil, err
 	}
 	e.mu.RLock()
@@ -365,29 +418,6 @@ func (e *Engine) state(gen uint64) (*shardState, func(), error) {
 		return nil, nil, ErrClosed
 	}
 	return e.cur, e.mu.RUnlock, nil
-}
-
-// rebuild retires the current shard state and builds one at the current
-// generation. The write lock excludes every in-flight request, so the
-// retired workers' queues are quiescent when closed.
-func (e *Engine) rebuild() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		return ErrClosed
-	}
-	gen := e.generation()
-	if e.cur.gen == gen {
-		return nil // raced with another rebuilder
-	}
-	st, err := buildState(e.cfg, gen)
-	if err != nil {
-		return err
-	}
-	stopWorkers(e.cur.shards)
-	e.cur = st
-	e.met.rebuilds.Inc()
-	return nil
 }
 
 // Close stops every shard worker. Subsequent requests return ErrClosed.
@@ -406,10 +436,15 @@ func (e *Engine) Snapshot() Info {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	info := Info{
-		Shards:     len(e.cur.shards),
-		Generation: e.cur.gen,
-		HaloRadius: e.cur.radius,
-		CacheLen:   e.cache.len(),
+		Shards:           len(e.cur.shards),
+		Generation:       e.cur.gen,
+		HaloRadius:       e.cur.radius,
+		CacheLen:         e.cache.len(),
+		DeltasApplied:    e.deltasApplied.Load(),
+		FullRebuilds:     e.fullRebuilds.Load(),
+		FragmentRebuilds: e.fragRebuilds.Load(),
+		CacheSurvived:    e.cacheSurvived.Load(),
+		CacheEvicted:     e.cacheEvicted.Load(),
 	}
 	for _, w := range e.cur.shards {
 		info.Fragments = append(info.Fragments, FragmentInfo{

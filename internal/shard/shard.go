@@ -82,9 +82,22 @@ type Config struct {
 	// negative disables the cache).
 	CacheSize int
 	// Generation reports the current mutation generation; results are
-	// cached stamped with it and a bump invalidates all of them (and
-	// triggers a shard rebuild). Nil means the constant generation 0.
+	// cached stamped with it, and a bump triggers maintenance at the
+	// next request: delta application when Deltas covers the gap, a full
+	// rebuild otherwise. Nil means the constant generation 0.
 	Generation func() uint64
+	// Deltas, when set alongside Generation, returns the typed deltas
+	// recorded in (after, upto] so the engine can maintain its state in
+	// place instead of rebuilding (DeltaLog.Since). ok=false — the log
+	// was truncated or diverged — falls back to a full rebuild, as does
+	// any DeltaReset in the range. Nil always rebuilds.
+	Deltas func(after, upto uint64) ([]Delta, bool)
+	// SnapGen is stamped by the Snapshot hook: the generation the cloned
+	// graphs were taken at, read under the same owner lock that excludes
+	// mutations. It anchors delta replay — a state built from a SnapGen
+	// snapshot plus the deltas (SnapGen, g] is exactly the owner's state
+	// at g. Ignored when Snapshot is nil.
+	SnapGen uint64
 	// Snapshot, when set, refreshes the component fields (graphs,
 	// RankerD, LM, Params, MaxPathLen, MinSharedTokens) from their owner
 	// before each build: a System retrains rankers and language models
@@ -124,13 +137,20 @@ func (c Config) validate() error {
 	return c.Params.Validate()
 }
 
-// shardState is one immutable generation of the engine: the partition,
-// the materialized per-shard subgraphs and their workers. A mutation
-// (generation bump) retires the whole state and builds a fresh one.
+// shardState is one generation of the engine: the partition, the
+// materialized per-shard subgraphs and their workers. A mutation
+// (generation bump) advances it at the next request — in place when the
+// owner's delta log covers the gap (delta.go), by retiring the whole
+// state and building a fresh one otherwise. All mutation happens under
+// the engine write lock with quiesced workers; requests share it read-
+// only.
 type shardState struct {
+	cfg    Config // snapshotted components this state serves from
 	gen    uint64
-	gd     *graph.Graph // the G_D snapshot this state serves from
+	gd     *graph.Graph // private G_D mirror (grown in place by deltas)
+	g      *graph.Graph // private G mirror (delta replay + fragment rebuilds)
 	radius int          // halo radius used (-1 = full forward closure)
+	docD   func(graph.VID) string
 	shards []*shardWorker
 }
 
@@ -139,15 +159,23 @@ type shardState struct {
 // the whole-graph matcher), a sequential matcher over (G_D, subgraph),
 // and a bounded request queue drained by a single goroutine.
 type shardWorker struct {
-	id       int
-	g        *graph.Graph // fragment + halo, local ids
-	toGlobal []graph.VID  // local id → global id (strictly increasing)
-	owned    []graph.VID  // local ids of owned vertices (candidates)
-	haloLen  int          // replicated (non-owned) vertex count
-	matcher  *core.Matcher
-	gen      core.CandidateGen // candidate generator over owned vertices
-	queue    chan *task
-	depth    *obs.Gauge
+	id          int
+	g           *graph.Graph // fragment + halo, local ids
+	toGlobal    []graph.VID  // local id → global id (strictly increasing)
+	toLocal     []graph.VID  // global id → local id (NoVertex = not here)
+	depthOf     []int32      // local id → BFS depth from the owned set
+	owned       []graph.VID  // local ids of owned vertices (candidates)
+	ownedGlobal []graph.VID  // global ids of owned vertices (the fragment)
+	isOwned     []bool       // local id → owned here
+	haloLen     int          // replicated (non-owned) vertex count
+	blocking    bool
+	minShared   int
+	ix          *index.Inverted // per-shard blocking index (nil: blocking off)
+	rankerG     *ranking.Ranker // this fragment's G-side ranker
+	matcher     *core.Matcher
+	gen         core.CandidateGen // candidate generator over owned vertices
+	queue       chan *task
+	depth       *obs.Gauge
 	// waitSeconds/computeSeconds attribute each task's enqueue→dequeue
 	// and dequeue→done intervals per shard; nil (no registry) skips the
 	// worker's clock reads unless the request itself is traced.
@@ -163,14 +191,18 @@ func buildState(cfg Config, gen uint64) (*shardState, error) {
 		if err := cfg.validate(); err != nil {
 			return nil, err
 		}
+		// The snapshot's graphs belong to its own generation, read under
+		// the owner's lock; stamping anything else would make later delta
+		// replay double-apply (or skip) the mutations that raced the clone.
+		gen = cfg.SnapGen
 	}
 	part, err := graph.PartitionEdgeCut(cfg.G, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
 	radius := core.HaloRadius(cfg.GD, cfg.MaxPathLen)
-	st := &shardState{gen: gen, gd: cfg.GD, radius: radius}
 	docD := index.NeighborhoodDoc(cfg.GD)
+	st := &shardState{cfg: cfg, gen: gen, gd: cfg.GD, g: cfg.G, radius: radius, docD: docD}
 	for i := range part.Fragments {
 		w, err := buildWorker(cfg, &part.Fragments[i], radius, docD)
 		if err != nil {
@@ -180,18 +212,25 @@ func buildState(cfg Config, gen uint64) (*shardState, error) {
 		st.shards = append(st.shards, w)
 	}
 	for _, w := range st.shards {
-		w.depth = cfg.Metrics.Gauge(`her_shard_queue_depth{shard="` + strconv.Itoa(w.id) + `"}`)
-		w.waitSeconds = cfg.Metrics.Histogram(
-			`her_shard_queue_wait_seconds{shard="`+strconv.Itoa(w.id)+`"}`, obs.TimeBuckets)
-		w.computeSeconds = cfg.Metrics.Histogram(
-			`her_shard_compute_seconds{shard="`+strconv.Itoa(w.id)+`"}`, obs.TimeBuckets)
-		cfg.Metrics.Gauge(`her_shard_owned_vertices{shard="` + strconv.Itoa(w.id) + `"}`).
-			Set(float64(len(w.owned)))
-		cfg.Metrics.Gauge(`her_shard_halo_vertices{shard="` + strconv.Itoa(w.id) + `"}`).
-			Set(float64(w.haloLen))
-		go w.run()
+		wireWorker(cfg, w)
 	}
 	return st, nil
+}
+
+// wireWorker registers the worker's instrumentation (idempotent: the
+// registry memoizes by name, so a rebuilt fragment reuses its series)
+// and starts its drain goroutine.
+func wireWorker(cfg Config, w *shardWorker) {
+	w.depth = cfg.Metrics.Gauge(`her_shard_queue_depth{shard="` + strconv.Itoa(w.id) + `"}`)
+	w.waitSeconds = cfg.Metrics.Histogram(
+		`her_shard_queue_wait_seconds{shard="`+strconv.Itoa(w.id)+`"}`, obs.TimeBuckets)
+	w.computeSeconds = cfg.Metrics.Histogram(
+		`her_shard_compute_seconds{shard="`+strconv.Itoa(w.id)+`"}`, obs.TimeBuckets)
+	cfg.Metrics.Gauge(`her_shard_owned_vertices{shard="` + strconv.Itoa(w.id) + `"}`).
+		Set(float64(len(w.owned)))
+	cfg.Metrics.Gauge(`her_shard_halo_vertices{shard="` + strconv.Itoa(w.id) + `"}`).
+		Set(float64(w.haloLen))
+	go w.run()
 }
 
 // expandEdges reports whether the out-edges of a vertex discovered at
@@ -243,9 +282,11 @@ func buildWorker(cfg Config, frag *graph.Fragment, radius int, docD func(graph.V
 		toLocal[i] = graph.NoVertex
 	}
 	toGlobal := make([]graph.VID, 0, len(members))
+	ldepth := make([]int32, 0, len(members))
 	for _, gv := range members {
 		toLocal[gv] = sg.AddVertex(cfg.G.Label(gv))
 		toGlobal = append(toGlobal, gv)
+		ldepth = append(ldepth, depthOf[gv])
 	}
 	for _, gv := range members {
 		if !expandEdges(int(depthOf[gv]), radius, blocking) {
@@ -257,14 +298,41 @@ func buildWorker(cfg Config, frag *graph.Fragment, radius int, docD func(graph.V
 	}
 
 	owned := make([]graph.VID, 0, len(frag.Owned))
+	ownedGlobal := make([]graph.VID, 0, len(frag.Owned))
 	isOwned := make([]bool, len(members))
 	for _, gv := range frag.Owned {
 		owned = append(owned, toLocal[gv])
 		isOwned[toLocal[gv]] = true
 	}
 	sort.Slice(owned, func(a, b int) bool { return owned[a] < owned[b] })
+	for _, lv := range owned {
+		ownedGlobal = append(ownedGlobal, toGlobal[lv])
+	}
 
-	var gen core.CandidateGen
+	rankerG := ranking.NewRanker(sg, cfg.LM, cfg.MaxPathLen)
+	m, err := core.NewMatcher(cfg.GD, sg, cfg.RankerD, rankerG, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	w := &shardWorker{
+		id:          frag.ID,
+		g:           sg,
+		toGlobal:    toGlobal,
+		toLocal:     toLocal,
+		depthOf:     ldepth,
+		owned:       owned,
+		ownedGlobal: ownedGlobal,
+		isOwned:     isOwned,
+		haloLen:     len(members) - len(frag.Owned),
+		blocking:    blocking,
+		minShared:   cfg.MinSharedTokens,
+		rankerG:     rankerG,
+		matcher:     m,
+		queue:       make(chan *task, cfg.QueueDepth),
+	}
+	// The candidate generators read the worker's fields, not captured
+	// copies, so an in-place delta (grown owned set, rebuilt blocking
+	// index) is picked up without rebuilding the closure.
 	if blocking {
 		// The per-shard blocking index mirrors System.buildCandidateGen
 		// restricted to owned vertices: halo closure guarantees each
@@ -272,30 +340,12 @@ func buildWorker(cfg Config, frag *graph.Fragment, radius int, docD func(graph.V
 		// labels) is byte-identical to the whole-graph doc, so the
 		// per-shard lookup returns exactly the global candidates that
 		// live here.
-		ix := index.BuildDocs(sg,
-			func(v graph.VID) bool { return isOwned[v] && !sg.IsLeaf(v) },
-			index.NeighborhoodDoc(sg))
-		min := cfg.MinSharedTokens
-		gen = func(u graph.VID) []graph.VID { return ix.Lookup(docD(u), min) }
+		w.rebuildIndex()
+		w.gen = func(u graph.VID) []graph.VID { return w.ix.Lookup(docD(u), w.minShared) }
 	} else {
-		gen = func(graph.VID) []graph.VID { return owned }
+		w.gen = func(graph.VID) []graph.VID { return w.owned }
 	}
-
-	m, err := core.NewMatcher(cfg.GD, sg, cfg.RankerD,
-		ranking.NewRanker(sg, cfg.LM, cfg.MaxPathLen), cfg.Params)
-	if err != nil {
-		return nil, err
-	}
-	return &shardWorker{
-		id:       frag.ID,
-		g:        sg,
-		toGlobal: toGlobal,
-		owned:    owned,
-		haloLen:  len(members) - len(frag.Owned),
-		matcher:  m,
-		gen:      gen,
-		queue:    make(chan *task, cfg.QueueDepth),
-	}, nil
+	return w, nil
 }
 
 // stopWorkers closes every worker's queue; the drain loop exits after
@@ -316,11 +366,25 @@ type FragmentInfo struct {
 	Halo  int `json:"halo"`
 }
 
-// Info is an engine snapshot: the shard layout of the current state.
+// Info is an engine snapshot: the shard layout of the current state
+// plus lifetime maintenance counters (how many generations advanced via
+// deltas versus full rebuilds, and how the vertex-scoped cache sweeps
+// treated existing entries).
 type Info struct {
-	Shards     int            `json:"shards"`
-	Generation uint64         `json:"generation"`
-	HaloRadius int            `json:"haloRadius"` // -1 = full forward closure
-	CacheLen   int            `json:"cacheEntries"`
-	Fragments  []FragmentInfo `json:"fragments"`
+	Shards     int    `json:"shards"`
+	Generation uint64 `json:"generation"`
+	HaloRadius int    `json:"haloRadius"` // -1 = full forward closure
+	CacheLen   int    `json:"cacheEntries"`
+	// DeltasApplied counts mutations maintained in place; FullRebuilds
+	// counts state retirements (initial build excluded); FragmentRebuilds
+	// counts single-fragment rebuilds on the delta path.
+	DeltasApplied    uint64 `json:"deltasApplied"`
+	FullRebuilds     uint64 `json:"fullRebuilds"`
+	FragmentRebuilds uint64 `json:"fragmentRebuilds"`
+	// CacheSurvived/CacheEvicted count how delta sweeps treated live
+	// result-cache entries: survived entries were re-stamped to the new
+	// generation without recomputation.
+	CacheSurvived uint64         `json:"cacheSurvived"`
+	CacheEvicted  uint64         `json:"cacheEvicted"`
+	Fragments     []FragmentInfo `json:"fragments"`
 }

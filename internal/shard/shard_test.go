@@ -270,7 +270,7 @@ func TestHaloClosureBlocking(t *testing.T) {
 func TestResultCacheGeneration(t *testing.T) {
 	c := newResultCache(2)
 	pairs := []core.Pair{{U: 1, V: 2}}
-	c.put("k", 7, pairs)
+	c.put("k", 7, keyScope{op: opVPair, u: 1}, pairs)
 	got, ok := c.get("k", 7)
 	if !ok || len(got) != 1 || got[0] != pairs[0] {
 		t.Fatalf("get(k, 7) = %v, %v; want cached pair", got, ok)
@@ -280,18 +280,28 @@ func TestResultCacheGeneration(t *testing.T) {
 	if again, _ := c.get("k", 7); again[0] != pairs[0] {
 		t.Fatal("cache entry aliased caller's slice")
 	}
-	// A different generation misses and evicts.
+	// An older-generation entry misses a newer caller and is evicted.
 	if _, ok := c.get("k", 8); ok {
 		t.Fatal("stale-generation entry served")
 	}
 	if c.len() != 0 {
 		t.Fatalf("stale entry not evicted, len %d", c.len())
 	}
+	// A newer-generation entry (advanced by a delta sweep) misses an
+	// older caller but survives for current-generation readers.
+	c.put("k2", 7, keyScope{op: opVPair, u: 1}, pairs)
+	if _, ok := c.get("k2", 6); ok {
+		t.Fatal("newer-generation entry served to an older caller")
+	}
+	if _, ok := c.get("k2", 7); !ok {
+		t.Fatal("newer-generation entry evicted by an older caller")
+	}
+	c.advance(8, func(keyScope) bool { return true })
 	// LRU eviction at capacity.
-	c.put("a", 1, nil)
-	c.put("b", 1, nil)
+	c.put("a", 1, keyScope{}, nil)
+	c.put("b", 1, keyScope{}, nil)
 	c.get("a", 1) // a is now most recent
-	c.put("c", 1, nil)
+	c.put("c", 1, keyScope{}, nil)
 	if _, ok := c.get("b", 1); ok {
 		t.Fatal("LRU victim b still cached")
 	}
@@ -300,7 +310,7 @@ func TestResultCacheGeneration(t *testing.T) {
 	}
 	// Disabled cache.
 	var nilCache *resultCache = newResultCache(0)
-	nilCache.put("x", 1, pairs)
+	nilCache.put("x", 1, keyScope{}, pairs)
 	if _, ok := nilCache.get("x", 1); ok {
 		t.Fatal("disabled cache served an entry")
 	}

@@ -43,6 +43,15 @@ go test -race ./internal/shard ./internal/server || fail "go test -race shard/se
 # CHECK_FUZZTIME=0 to skip fuzzing (e.g. on very slow machines).
 TESTKIT_SEEDS="${TESTKIT_SEEDS:-150}" go test -count=1 ./internal/testkit || fail "testkit differential"
 
+# Delta-differential: the mutation-sequence harness asserts the
+# delta-maintained sharded engine stays byte-identical to a from-scratch
+# sequential rebuild after every mutation prefix (1/2/4/8 shards,
+# blocking on and off), plus the shard-level delta edge cases and the
+# System-level end-to-end emission path.
+go test -count=1 -run 'TestMutationSequenceDifferential|FuzzMutationSequence' ./internal/testkit || fail "delta differential (testkit)"
+go test -count=1 -run 'TestDelta' ./internal/shard || fail "delta differential (shard)"
+go test -count=1 -run 'TestSystemDeltaDifferential|TestConcurrentMutateWhileServing' . || fail "delta differential (system)"
+
 # Serving smoke: boot the real herserve binary, issue one traced
 # request, and assert the observability surface end to end — /metrics
 # parses strictly and /debug/requests serves a well-formed span tree
@@ -60,6 +69,7 @@ if [ "$fuzztime" != "0" ]; then
     go test -run='^$' -fuzz='^FuzzReadCSV$' -fuzztime="$fuzztime" ./internal/relational || fail "fuzz FuzzReadCSV"
     go test -run='^$' -fuzz='^FuzzConvert$' -fuzztime="$fuzztime" ./internal/json2graph || fail "fuzz FuzzConvert"
     go test -run='^$' -fuzz='^FuzzServeHTTP$' -fuzztime="$fuzztime" ./internal/server || fail "fuzz FuzzServeHTTP"
+    go test -run='^$' -fuzz='^FuzzMutationSequence$' -fuzztime="$fuzztime" ./internal/testkit || fail "fuzz FuzzMutationSequence"
 fi
 
 echo "check.sh: all gates passed"

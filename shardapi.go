@@ -23,9 +23,14 @@ const NoVertex = graph.NoVertex
 //     rebound to the cloned G_D; a mutation publishes itself through
 //     the generation bump, which retires the snapshot on the next
 //     request;
-//   - Generation ties the engine's result cache and rebuild trigger to
-//     the system's mutation counter — AddTuple, AddGraphVertex,
+//   - Generation ties the engine's result cache and maintenance trigger
+//     to the system's mutation counter — AddTuple, AddGraphVertex,
 //     AddGraphEdge, Refine, retraining and threshold changes all bump it;
+//   - Deltas exposes the system's typed delta log: incremental updates
+//     are applied to the engine's private snapshots in place (halo-scoped
+//     fragment updates, vertex-scoped cache invalidation) instead of
+//     re-cloning; resets (feedback, retraining, threshold changes)
+//     poison the log and force the full rebuild they require;
 //   - Overrides routes every merged match set through the system's
 //     user-verified verdicts, exactly like the sequential query paths.
 //
@@ -36,6 +41,7 @@ func (s *System) ShardConfig(shards int) shard.Config {
 	cfg := shard.Config{
 		Shards:     shards,
 		Generation: s.Generation,
+		Deltas:     s.deltas.Since,
 		Overrides: func(matches []core.Pair, scope graph.VID) []core.Pair {
 			return s.ApplyOverrides(matches, scope)
 		},
@@ -50,6 +56,10 @@ func (s *System) ShardConfig(shards int) shard.Config {
 		c.Params = s.params()
 		c.MaxPathLen = s.opts.MaxPathLen
 		c.MinSharedTokens = s.opts.MinSharedTokens
+		// SnapGen anchors delta replay: it is read under the same lock
+		// that serializes mutations, so the clones are exactly the graphs
+		// of this generation — never a mid-request mix.
+		c.SnapGen = s.generation.Load()
 		return c
 	}
 	return cfg.Snapshot(cfg)

@@ -113,4 +113,100 @@ func TestConcurrentMutateWhileServing(t *testing.T) {
 			t.Fatalf("sharded VPair diverges at %d: %v != %v", i, got[i], want[i])
 		}
 	}
+
+	// Surviving cache entries must never be stale: populate the cache
+	// for every source, apply one more write — whose delta sweep
+	// re-stamps the surviving VPair entries instead of wiping them —
+	// and re-ask. Every post-write answer, whether served from a
+	// survivor or recomputed, must equal the fresh sequential verdict.
+	ctx := context.Background()
+	sources := sys.SourceVertices()
+	for _, u := range sources {
+		if _, err := eng.VPair(ctx, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.AddTuple("product", "Cloudrunner Final GTX", "green"); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Snapshot()
+	for _, u := range sources {
+		got, err := eng.VPair(ctx, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sys.VPairVertex(u)
+		if len(got) != len(want) {
+			t.Fatalf("post-write VPair(%d) = %v, want %v (stale cache survivor?)", u, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("post-write VPair(%d) diverges at %d: %v != %v", u, i, got[i], want[i])
+			}
+		}
+	}
+	after := eng.Snapshot()
+	if after.DeltasApplied == 0 {
+		t.Fatal("no delta was ever applied in place; the incremental serving path is dead")
+	}
+	if after.CacheSurvived <= before.CacheSurvived {
+		t.Fatalf("no cache entry survived the AddTuple sweep (survived %d → %d): vertex-scoped invalidation is not scoping",
+			before.CacheSurvived, after.CacheSurvived)
+	}
+}
+
+// TestSystemDeltaDifferential drives the REAL emission path — System's
+// AddTuple/AddGraphVertex/AddGraphEdge recording into the delta log the
+// engine replays — and asserts after every single write that the
+// delta-maintained engine answers exactly like the sequential system,
+// for every source vertex. This is the end-to-end version of the
+// testkit mutation-sequence differential.
+func TestSystemDeltaDifferential(t *testing.T) {
+	sys, _ := incrementalFixture(t)
+	eng, err := shard.NewEngine(sys.ShardConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+
+	checkAll := func(stage string) {
+		t.Helper()
+		for _, u := range sys.SourceVertices() {
+			got, err := eng.VPair(ctx, u)
+			if err != nil {
+				t.Fatalf("%s: engine VPair(%d): %v", stage, u, err)
+			}
+			want := sys.VPairVertex(u)
+			if len(got) != len(want) {
+				t.Fatalf("%s: VPair(%d) = %v, want %v", stage, u, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: VPair(%d) diverges at %d: %v != %v", stage, u, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	checkAll("initial")
+	p := sys.AddGraphVertex("product")
+	checkAll("after AddGraphVertex(product)")
+	n := sys.AddGraphVertex("Aurora Trail Runner 7")
+	c := sys.AddGraphVertex("red")
+	if err := sys.AddGraphEdge(p, n, "productName"); err != nil {
+		t.Fatal(err)
+	}
+	checkAll("after AddGraphEdge(productName)")
+	if err := sys.AddGraphEdge(p, c, "hasColor"); err != nil {
+		t.Fatal(err)
+	}
+	checkAll("after AddGraphEdge(hasColor)")
+	if _, err := sys.AddTuple("product", "Celeste Dune Sandal", "teal"); err != nil {
+		t.Fatal(err)
+	}
+	checkAll("after AddTuple")
+	if eng.Snapshot().DeltasApplied == 0 {
+		t.Fatal("every write fell back to a full rebuild; the delta path was never taken")
+	}
 }
