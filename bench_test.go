@@ -261,7 +261,7 @@ func BenchmarkObsSPair_Enabled(b *testing.B) {
 
 func BenchmarkParaMatchCold(b *testing.B) {
 	st := benchSetup(b, "DBpediaP", 100)
-	p := st.sys.params()
+	p := st.sys.CoreParams()
 	pairs := st.anns
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,15 +1,45 @@
 // Command herlint runs the project's static-analysis suite
 // (internal/lint) over the given package patterns and reports every
-// violation of the determinism, nil-metrics, and seed-reproducibility
-// contracts.
+// violation of the determinism, nil-metrics, seed-reproducibility, and
+// concurrency contracts (lockguard, atomicmix, snapleak, ctxflow).
 //
 // Usage:
 //
-//	herlint [-json] [-only mapiter,floateq,...] [-list] [packages]
+//	herlint [-json] [-sarif file] [-baseline file] [-write-baseline file]
+//	        [-only names] [-workers n] [-list] [packages]
 //
 // Packages default to ./... relative to the current directory; "dir/..."
-// patterns and plain directories are accepted. Exit status is 0 when
-// clean, 1 when findings were reported, 2 on usage or load errors.
+// patterns and plain directories are accepted. Loading and analysis run
+// on up to -workers concurrent workers (default runtime.GOMAXPROCS);
+// output order is deterministic (sorted by file, line, column,
+// analyzer) regardless of worker count.
+//
+// Exit status:
+//
+//	0 — clean: no findings, or every finding matched by the -baseline
+//	1 — findings were reported (including stale baseline entries that
+//	    no longer match any finding)
+//	2 — usage, package-load, or type-check errors
+//
+// With -json, findings are emitted as a JSON array (empty array when
+// clean), one object per finding:
+//
+//	[
+//	  {
+//	    "analyzer": "lockguard",          // Analyzer name (-list)
+//	    "file": "/abs/path/to/file.go",   // absolute file path
+//	    "line": 42,                       // 1-based line
+//	    "col": 7,                         // 1-based column
+//	    "message": "read of \"cur\" ..."  // human-readable finding
+//	  }
+//	]
+//
+// Baseline-suppressed findings are excluded from both text and JSON
+// output (their count goes to stderr); -sarif writes a SARIF 2.1.0
+// report that includes them with `suppressions` entries carrying the
+// baseline's written justification. -write-baseline snapshots the
+// current findings as a baseline skeleton whose TODO reasons must be
+// filled in before -baseline will accept the file.
 package main
 
 import (
@@ -18,6 +48,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"her/internal/lint"
 )
@@ -30,10 +61,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("herlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	sarifPath := fs.String("sarif", "", "write a SARIF 2.1.0 report to this file")
+	baselinePath := fs.String("baseline", "", "subtract the accepted findings in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "snapshot current findings as a baseline skeleton and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "max concurrent package loads/analyses")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: herlint [-json] [-only names] [-list] [packages]\n")
+		fmt.Fprintf(stderr, "usage: herlint [-json] [-sarif file] [-baseline file] [-write-baseline file] [-only names] [-workers n] [-list] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -52,6 +87,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	var baseline *lint.Baseline
+	if *baselinePath != "" {
+		baseline, err = lint.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -67,17 +111,58 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	var pkgs []*lint.Package
-	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir)
+	pkgs, loadErrs := loader.LoadDirs(dirs, *workers)
+	for _, lerr := range loadErrs {
+		if lerr != nil {
+			fmt.Fprintln(stderr, lerr)
+			return 2
+		}
+	}
+
+	diags := lint.RunParallel(pkgs, analyzers, loader.Fset, *workers)
+
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, diags, loader.ModuleRoot()); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "herlint: wrote %d finding(s) to %s; fill in the TODO reasons before using it with -baseline\n", len(diags), *writeBaseline)
+		return 0
+	}
+
+	var suppressed []lint.SuppressedDiagnostic
+	if baseline != nil {
+		var unused []lint.BaselineEntry
+		diags, suppressed, unused = baseline.Apply(diags, loader.ModuleRoot())
+		for _, e := range unused {
+			// A stale entry is a finding: the accepted debt it documented
+			// is gone and the baseline must be updated to match.
+			fmt.Fprintf(stderr, "herlint: stale baseline entry: [%s] %s: %s\n", e.Analyzer, e.File, e.Message)
+		}
+		if len(suppressed) > 0 {
+			fmt.Fprintf(stderr, "herlint: %d finding(s) suppressed by baseline %s\n", len(suppressed), *baselinePath)
+		}
+		if len(unused) > 0 && len(diags) == 0 {
+			return 1
+		}
+	}
+
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		pkgs = append(pkgs, pkg)
+		werr := lint.WriteSARIF(f, analyzers, diags, suppressed, loader.ModuleRoot())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, werr)
+			return 2
+		}
 	}
 
-	diags := lint.Run(pkgs, analyzers, loader.Fset)
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")

@@ -100,7 +100,7 @@ func SpanFrom(ctx context.Context) *Span { return obs.SpanFrom(ctx) }
 
 // System is one HER instance over a database D and a graph G.
 type System struct {
-	opts Options
+	opts Options // guarded by mu — SetThresholds and LoadModels mutate it while queries read it
 
 	DB      *relational.Database
 	GD      *graph.Graph
@@ -112,11 +112,11 @@ type System struct {
 	rankerD *ranking.Ranker
 	rankerG *ranking.Ranker
 
-	mu        sync.Mutex // guards matcher, overrides and lastPar
-	matcher   *core.Matcher
-	gen       core.CandidateGen
-	overrides map[core.Pair]bool // user-verified pairs (Section IV refinement)
-	lastPar   *bsp.Stats         // stats of the most recent parallel APair run
+	mu        sync.Mutex         // serializes matching and mutation
+	matcher   *core.Matcher      // guarded by mu
+	gen       core.CandidateGen  // guarded by mu — swapped whole on index rebuilds
+	overrides map[core.Pair]bool // guarded by mu — user-verified pairs (Section IV refinement)
+	lastPar   *bsp.Stats         // guarded by mu — stats of the most recent parallel APair run
 
 	// generation counts semantic mutations: incremental updates to D or
 	// G, feedback, retraining, threshold changes — anything that can
@@ -164,19 +164,24 @@ func NewFromGraphs(gd, g *graph.Graph, opts Options) (*System, error) {
 		overrides: make(map[core.Pair]bool),
 		deltas:    shard.NewDeltaLog(0),
 	}
-	s.buildCandidateGen()
+	s.buildCandidateGenLocked()
 	if err := s.resetMatcherLocked(); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-// Options returns the normalized options in effect.
-func (s *System) Options() Options { return s.opts }
+// Options returns the normalized options in effect, under the system
+// lock — SetThresholds and LoadModels mutate them.
+func (s *System) Options() Options {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opts
+}
 
-// params assembles the core parameters from the current scorers and
-// thresholds.
-func (s *System) params() core.Params {
+// paramsLocked assembles the core parameters from the current scorers
+// and thresholds. Callers hold s.mu (the thresholds live in s.opts).
+func (s *System) paramsLocked() core.Params {
 	return core.Params{
 		Mv:    s.sc.Mv,
 		Mrho:  s.sc.Mrho,
@@ -186,11 +191,12 @@ func (s *System) params() core.Params {
 	}
 }
 
-// buildCandidateGen constructs the blocking inverted index: non-leaf
-// vertices of G indexed by their own label plus 1-hop neighbor labels
-// ("critical information"), queried with the tuple vertex's label plus
-// its attribute values.
-func (s *System) buildCandidateGen() {
+// buildCandidateGenLocked constructs the blocking inverted index:
+// non-leaf vertices of G indexed by their own label plus 1-hop neighbor
+// labels ("critical information"), queried with the tuple vertex's
+// label plus its attribute values. Callers hold s.mu (construction-time
+// calls own the System exclusively).
+func (s *System) buildCandidateGenLocked() {
 	ix := index.BuildDocs(s.G,
 		func(v graph.VID) bool { return !s.G.IsLeaf(v) },
 		index.NeighborhoodDoc(s.G))
@@ -202,7 +208,7 @@ func (s *System) buildCandidateGen() {
 }
 
 func (s *System) resetMatcherLocked() error {
-	m, err := core.NewMatcher(s.GD, s.G, s.rankerD, s.rankerG, s.params())
+	m, err := core.NewMatcher(s.GD, s.G, s.rankerD, s.rankerG, s.paramsLocked())
 	if err != nil {
 		return err
 	}
@@ -235,7 +241,11 @@ func (s *System) Generation() uint64 { return s.generation.Load() }
 
 // Metrics returns the registry the system was built with (nil when
 // instrumentation is disabled).
-func (s *System) Metrics() *MetricsRegistry { return s.opts.Metrics }
+func (s *System) Metrics() *MetricsRegistry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opts.Metrics
+}
 
 // ResetMatchState drops all cached match decisions (e.g. after the
 // underlying scorers changed).
@@ -245,8 +255,11 @@ func (s *System) ResetMatchState() {
 	_ = s.resetMatcherLocked()
 }
 
-// Thresholds returns the current (σ, δ, k).
+// Thresholds returns the current (σ, δ, k), under the system lock —
+// SetThresholds installs new ones concurrently.
 func (s *System) Thresholds() Thresholds {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return Thresholds{Sigma: s.opts.Sigma, Delta: s.opts.Delta, K: s.opts.K}
 }
 
@@ -358,7 +371,7 @@ func (s *System) VPair(rel string, tupleID int) ([]Pair, error) {
 func (s *System) VPairVertex(u VertexID) []Pair {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.applyOverrides(s.matcher.VPair(u, s.gen), u)
+	return s.applyOverridesLocked(s.matcher.VPair(u, s.gen), u)
 }
 
 // VPairTraced is VPair with request tracing: sp, when non-nil, receives
@@ -379,7 +392,7 @@ func (s *System) VPairTraced(rel string, tupleID int, sp *Span) ([]Pair, error) 
 	defer s.mu.Unlock()
 	s.matcher.SetSpan(sp)
 	defer s.matcher.SetSpan(nil)
-	return s.applyOverrides(s.matcher.VPair(u, s.gen), u), nil
+	return s.applyOverridesLocked(s.matcher.VPair(u, s.gen), u), nil
 }
 
 // sources returns the G_D vertices APair ranges over: the tuple vertices
@@ -400,7 +413,7 @@ func (s *System) sources() []graph.VID {
 func (s *System) APair() []Pair {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.applyOverrides(s.matcher.APair(s.sources(), s.gen), graph.NoVertex)
+	return s.applyOverridesLocked(s.matcher.APair(s.sources(), s.gen), graph.NoVertex)
 }
 
 // APairOf computes all matches for an explicit set of G_D source
@@ -409,49 +422,66 @@ func (s *System) APair() []Pair {
 func (s *System) APairOf(sources []VertexID) []Pair {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.applyOverrides(s.matcher.APair(sources, s.gen), graph.NoVertex)
+	return s.applyOverridesLocked(s.matcher.APair(sources, s.gen), graph.NoVertex)
 }
 
 // APairParallel computes all matches with the BSP engine on n workers.
+// The run parameters (thresholds, metrics registry, candidate generator,
+// source set) are snapshotted under the system lock before the engine
+// starts, so a concurrent SetThresholds or index rebuild cannot tear
+// them mid-run; the engine itself runs without the lock.
 func (s *System) APairParallel(workers int) ([]Pair, ParallelStats, error) {
-	eng, err := bsp.NewEngine(s.GD, s.G, s.rankerD, s.rankerG, s.params())
+	s.mu.Lock()
+	p := s.paramsLocked()
+	met := s.opts.Metrics
+	gen := s.gen
+	sources := s.sources()
+	s.mu.Unlock()
+	eng, err := bsp.NewEngine(s.GD, s.G, s.rankerD, s.rankerG, p)
 	if err != nil {
 		return nil, ParallelStats{}, err
 	}
-	eng.Metrics = s.opts.Metrics
-	matches, stats, err := eng.Run(s.sources(), s.gen, bsp.Config{Workers: workers})
+	eng.Metrics = met
+	matches, stats, err := eng.Run(sources, gen, bsp.Config{Workers: workers})
 	if err != nil {
 		return nil, stats, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.lastPar = &stats
-	return s.applyOverrides(matches, graph.NoVertex), stats, nil
+	return s.applyOverridesLocked(matches, graph.NoVertex), stats, nil
 }
 
 // APairParallelAsync computes all matches with the asynchronous engine
 // (Section VI-B remark 1): no superstep barriers; workers exchange
 // messages as they arrive until quiescence.
 func (s *System) APairParallelAsync(workers int) ([]Pair, ParallelStats, error) {
-	eng, err := bsp.NewEngine(s.GD, s.G, s.rankerD, s.rankerG, s.params())
+	s.mu.Lock()
+	p := s.paramsLocked()
+	met := s.opts.Metrics
+	gen := s.gen
+	sources := s.sources()
+	s.mu.Unlock()
+	eng, err := bsp.NewEngine(s.GD, s.G, s.rankerD, s.rankerG, p)
 	if err != nil {
 		return nil, ParallelStats{}, err
 	}
-	eng.Metrics = s.opts.Metrics
-	matches, stats, err := eng.RunAsync(s.sources(), s.gen, bsp.Config{Workers: workers})
+	eng.Metrics = met
+	matches, stats, err := eng.RunAsync(sources, gen, bsp.Config{Workers: workers})
 	if err != nil {
 		return nil, stats, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.lastPar = &stats
-	return s.applyOverrides(matches, graph.NoVertex), stats, nil
+	return s.applyOverridesLocked(matches, graph.NoVertex), stats, nil
 }
 
-// applyOverrides reconciles algorithmic matches with user-verified
+// applyOverridesLocked reconciles algorithmic matches with user-verified
 // verdicts: refuted pairs are removed; confirmed pairs for the scoped
-// vertex (or any vertex when scope is NoVertex) are added.
-func (s *System) applyOverrides(matches []Pair, scope graph.VID) []Pair {
+// vertex (or any vertex when scope is NoVertex) are added. Callers hold
+// s.mu (the overrides map mutates under it).
+func (s *System) applyOverridesLocked(matches []Pair, scope graph.VID) []Pair {
 	if len(s.overrides) == 0 {
 		return matches
 	}
@@ -485,7 +515,7 @@ func (s *System) applyOverrides(matches []Pair, scope graph.VID) []Pair {
 func (s *System) ApplyOverrides(matches []Pair, scope VertexID) []Pair {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.applyOverrides(matches, scope)
+	return s.applyOverridesLocked(matches, scope)
 }
 
 // SourceVertices returns the G_D source vertices APair ranges over: the
@@ -499,9 +529,14 @@ func (s *System) SourceVertices() []VertexID {
 
 // Candidates exposes the blocking candidate generator: the G vertices
 // considered for a G_D vertex before the σ filter. Baselines reuse it so
-// efficiency comparisons share the same blocking.
+// efficiency comparisons share the same blocking. The generator is
+// fetched under the system lock (AddGraphEdge swaps it on index
+// rebuilds) and invoked outside it — generators are immutable closures.
 func (s *System) Candidates(u VertexID) []VertexID {
-	return s.gen(u)
+	s.mu.Lock()
+	gen := s.gen
+	s.mu.Unlock()
+	return gen(u)
 }
 
 // RankerD exposes the G_D-side ranking function h_r (for harnesses that
@@ -512,7 +547,11 @@ func (s *System) RankerD() *ranking.Ranker { return s.rankerD }
 func (s *System) RankerG() *ranking.Ranker { return s.rankerG }
 
 // CoreParams exposes the assembled parametric-simulation parameters.
-func (s *System) CoreParams() core.Params { return s.params() }
+func (s *System) CoreParams() core.Params {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.paramsLocked()
+}
 
 // Stats reports the sequential matcher's work counters.
 func (s *System) Stats() Counters {

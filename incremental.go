@@ -86,7 +86,7 @@ func (s *System) AddGraphEdge(from, to VertexID, label string) error {
 		s.rankerG.Invalidate(v)
 	}
 	s.matcher.ForgetVertices(func(v graph.VID) bool { return affected[v] })
-	s.buildCandidateGen()
+	s.buildCandidateGenLocked()
 	s.recordDelta(shard.Delta{Kind: shard.DeltaGraphEdge, From: from, To: to, Label: label})
 	return nil
 }

@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix enforces atomic hygiene on struct fields: a field that the
+// package touches through sync/atomic (atomic.AddUint64(&s.n, 1) on a
+// plain integer field) must never be read or written non-atomically,
+// and a struct whose fields carry atomic state — typed atomics like
+// atomic.Uint64/atomic.Bool, or plain fields used atomically — must not
+// be copied by value, because the copy silently forks the synchronized
+// state. Copies are flagged at their source expression when it is a
+// field selection, pointer dereference, or element load; composite
+// literals and constructor results are fresh values and stay legal.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must never be accessed non-atomically, including via struct copies",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	am := &atomicMix{
+		p:          p,
+		plain:      make(map[*types.Var]bool),
+		sanctioned: make(map[*ast.SelectorExpr]bool),
+	}
+	am.collect()
+	am.check()
+}
+
+type atomicMix struct {
+	p *Pass
+	// plain holds ordinary (non-atomic-typed) fields whose address is
+	// passed to a sync/atomic function somewhere in the package.
+	plain map[*types.Var]bool
+	// sanctioned marks the selector nodes inside those sync/atomic
+	// calls, which are of course not violations themselves.
+	sanctioned map[*ast.SelectorExpr]bool
+}
+
+// collect finds every `atomicpkg.Op(&s.field, ...)` call and records
+// the field as atomically-accessed.
+func (am *atomicMix) collect() {
+	for _, f := range am.p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !am.isAtomicCall(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				s, ok := am.p.Pkg.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					continue
+				}
+				if v, ok := s.Obj().(*types.Var); ok {
+					am.plain[v] = true
+					am.sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (am *atomicMix) isAtomicCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := am.p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+func (am *atomicMix) check() {
+	for _, f := range am.p.Pkg.Files {
+		aliases := newFileAliases(am.p.Pkg.Info, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				am.checkMixedAccess(n, aliases)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					am.checkCopy(rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					am.checkCopy(v)
+				}
+			case *ast.CallExpr:
+				if !am.isAtomicCall(n) {
+					for _, arg := range n.Args {
+						am.checkCopy(arg)
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					am.checkCopy(r)
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						am.checkCopy(kv.Value)
+					} else {
+						am.checkCopy(el)
+					}
+				}
+			case *ast.SendStmt:
+				am.checkCopy(n.Value)
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					// Range-defined idents live in Defs, not Types, so TypeOf.
+					if t := am.p.Pkg.Info.TypeOf(n.Value); t != nil {
+						if name, carries := am.carriesAtomic(t, nil); carries {
+							am.p.Reportf(n.Value.Pos(), "range copies %s values, forking their atomic fields; iterate by index or store pointers", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMixedAccess flags a plain non-atomic use of a field that is
+// accessed via sync/atomic elsewhere in the package.
+func (am *atomicMix) checkMixedAccess(sel *ast.SelectorExpr, aliases *fileAliases) {
+	s, ok := am.p.Pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !am.plain[v] || am.sanctioned[sel] {
+		return
+	}
+	if aliases.isFresh(sel.X) {
+		return // constructor-time init before the object is shared
+	}
+	am.p.Reportf(sel.Sel.Pos(), "field %q is accessed via sync/atomic elsewhere; this plain access races with the atomic ones", v.Name())
+}
+
+// checkCopy flags value copies out of lvalues whose type carries atomic
+// state.
+func (am *atomicMix) checkCopy(e ast.Expr) {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	switch src := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := am.p.Pkg.Info.Selections[src]; !ok || s.Kind() != types.FieldVal {
+			return
+		}
+	case *ast.StarExpr, *ast.IndexExpr:
+		// dereference / element load: copies the pointee or element
+	default:
+		return
+	}
+	tv, ok := am.p.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if name, carries := am.carriesAtomic(tv.Type, nil); carries {
+		am.p.Reportf(e.Pos(), "copying this %s value forks its atomic fields; share a pointer instead", name)
+	}
+}
+
+// carriesAtomic reports whether a value of type t embeds atomic state:
+// a sync/atomic type, a struct containing one (directly or through
+// nested structs/arrays), or a struct containing a plain field the
+// package accesses atomically. Pointers, slices, and maps share rather
+// than copy, so they stop the recursion.
+func (am *atomicMix) carriesAtomic(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if seen[t] {
+		return "", false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			return obj.Name(), true
+		}
+		if name, carries := am.carriesAtomic(named.Underlying(), seen); carries {
+			return obj.Name() + " (via " + name + ")", true
+		}
+		return "", false
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			if am.plain[f] {
+				return "struct with atomically-accessed field " + f.Name(), true
+			}
+			if name, carries := am.carriesAtomic(f.Type(), seen); carries {
+				return name, true
+			}
+		}
+	case *types.Array:
+		return am.carriesAtomic(t.Elem(), seen)
+	}
+	return "", false
+}

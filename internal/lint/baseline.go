@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// baseline.go implements the committed-baseline mechanism: a JSON file
+// of true-but-accepted findings, each with a mandatory written reason.
+// `herlint -baseline file` subtracts the baselined findings from the
+// exit-code decision (they still appear in the SARIF report, marked
+// suppressed); a baseline entry that matches nothing is itself an error
+// so the file can never rot silently.
+
+// BaselineEntry identifies one accepted finding. File is slash-
+// separated and relative to the module root, so the baseline is stable
+// across checkouts.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Reason   string `json:"reason"`
+}
+
+// Baseline is the committed set of accepted findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// SuppressedDiagnostic is a finding matched by a baseline entry,
+// carrying the entry's justification.
+type SuppressedDiagnostic struct {
+	Diagnostic
+	Reason string
+}
+
+// ReadBaseline loads and validates a baseline file: every entry must
+// carry a non-empty reason — an unexplained suppression defeats the
+// point of committing them.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	for i, e := range b.Entries {
+		if e.Reason == "" || strings.HasPrefix(e.Reason, "TODO") {
+			return nil, fmt.Errorf("lint: baseline %s: entry %d (%s in %s) has no reason; every accepted finding needs a written justification", path, i, e.Analyzer, e.File)
+		}
+		if e.Analyzer == "" || e.File == "" || e.Message == "" {
+			return nil, fmt.Errorf("lint: baseline %s: entry %d is missing analyzer/file/message", path, i)
+		}
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes the given findings as a baseline skeleton. The
+// reasons are TODO placeholders, which ReadBaseline rejects: the author
+// must justify each entry before the file is usable.
+func WriteBaseline(path string, diags []Diagnostic, modRoot string) error {
+	b := Baseline{Entries: []BaselineEntry{}}
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		e := BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     baselineRel(modRoot, d.File),
+			Message:  d.Message,
+			Reason:   "TODO: justify why this finding is accepted",
+		}
+		key := e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.Entries = append(b.Entries, e)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply partitions findings into kept (still failing) and suppressed
+// (matched by an entry), and returns the entries that matched nothing —
+// stale entries the caller should treat as an error. A single entry may
+// match several findings (the same accepted message can appear on
+// multiple lines of a file).
+func (b *Baseline) Apply(diags []Diagnostic, modRoot string) (kept []Diagnostic, suppressed []SuppressedDiagnostic, unused []BaselineEntry) {
+	type slot struct {
+		reason string
+		used   bool
+	}
+	index := make(map[string]*slot, len(b.Entries))
+	order := make([]string, 0, len(b.Entries))
+	for _, e := range b.Entries {
+		key := e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+		if _, ok := index[key]; !ok {
+			index[key] = &slot{reason: e.Reason}
+			order = append(order, key)
+		}
+	}
+	for _, d := range diags {
+		key := d.Analyzer + "\x00" + baselineRel(modRoot, d.File) + "\x00" + d.Message
+		if s, ok := index[key]; ok {
+			s.used = true
+			suppressed = append(suppressed, SuppressedDiagnostic{Diagnostic: d, Reason: s.reason})
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, e := range b.Entries {
+		key := e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+		if s := index[key]; s != nil && !s.used {
+			unused = append(unused, e)
+		}
+	}
+	return kept, suppressed, unused
+}
+
+// baselineRel maps an absolute finding path to the baseline's
+// module-root-relative slash form.
+func baselineRel(modRoot, file string) string {
+	if modRoot != "" {
+		if rel, err := filepath.Rel(modRoot, file); err == nil && !filepath.IsAbs(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}

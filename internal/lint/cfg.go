@@ -1,0 +1,316 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfg.go builds the lightweight per-function control-flow graph the
+// flow-sensitive analyzers (lockguard) run their dataflow over. Blocks
+// hold the statements and condition expressions executed straight-line;
+// edges follow Go's structured control flow plus labeled break/continue
+// and goto. The graph is intentionally coarse — one block per branch
+// arm, conditions evaluated in the block that branches — which is exact
+// enough for lock-set tracking: Lock/Unlock calls are statements, so
+// they never straddle a block boundary.
+
+// cfgBlock is one straight-line run of statements/expressions.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+// loopFrame is one enclosing breakable construct (for/range/switch/
+// select). cont is nil for the non-loop frames.
+type loopFrame struct {
+	label string
+	brk   *cfgBlock
+	cont  *cfgBlock
+}
+
+type cfgBuilder struct {
+	cfg       *funcCFG
+	cur       *cfgBlock
+	frames    []loopFrame
+	labels    map[string]*cfgBlock
+	nextLabel string
+	fallto    *cfgBlock // fallthrough target while building a case body
+}
+
+// buildCFG constructs the CFG of a function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{cfg: &funcCFG{}, labels: make(map[string]*cfgBlock)}
+	b.cfg.entry = b.newBlock()
+	b.cfg.exit = b.newBlock()
+	b.cur = b.cfg.entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.cfg.exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.cfg.blocks = append(b.cfg.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+}
+
+func (b *cfgBuilder) labelBlock(name string) *cfgBlock {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// takeLabel consumes the pending label a LabeledStmt attached to the
+// construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.nextLabel
+	b.nextLabel = ""
+	return l
+}
+
+// frameFor finds the innermost frame matching label ("" = innermost of
+// any kind for break, innermost loop for continue).
+func (b *cfgBuilder) frameFor(label string, needCont bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.nodes = append(b.cur.nodes, s.Cond)
+		cond := b.cur
+		thenB := b.newBlock()
+		b.edge(cond, thenB)
+		b.cur = thenB
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		elseEnd := cond
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cond, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		join := b.newBlock()
+		b.edge(thenEnd, join)
+		b.edge(elseEnd, join)
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		post := b.newBlock()
+		exitB := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, exitB)
+		}
+		bodyB := b.newBlock()
+		b.edge(head, bodyB)
+		b.frames = append(b.frames, loopFrame{label: label, brk: exitB, cont: post})
+		b.cur = bodyB
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, post)
+		b.cur = post
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.cur = exitB
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.cur.nodes = append(b.cur.nodes, s.X)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		if s.Key != nil {
+			head.nodes = append(head.nodes, s.Key)
+		}
+		if s.Value != nil {
+			head.nodes = append(head.nodes, s.Value)
+		}
+		exitB := b.newBlock()
+		b.edge(head, exitB)
+		bodyB := b.newBlock()
+		b.edge(head, bodyB)
+		b.frames = append(b.frames, loopFrame{label: label, brk: exitB, cont: head})
+		b.cur = bodyB
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, head)
+		b.cur = exitB
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.nodes = append(b.cur.nodes, s.Tag)
+		}
+		b.caseClauses(label, s.Body.List, func(cc *ast.CaseClause, head *cfgBlock) {
+			head.nodes = append(head.nodes, exprNodes(cc.List)...)
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.nodes = append(b.cur.nodes, s.Assign)
+		b.caseClauses(label, s.Body.List, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		exitB := b.newBlock()
+		b.frames = append(b.frames, loopFrame{label: label, brk: exitB})
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			bodyB := b.newBlock()
+			b.edge(head, bodyB)
+			b.cur = bodyB
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, exitB)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = exitB
+
+	case *ast.ReturnStmt:
+		b.cur.nodes = append(b.cur.nodes, s)
+		b.edge(b.cur, b.cfg.exit)
+		b.cur = b.newBlock()
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.frameFor(label, false); f != nil {
+				b.edge(b.cur, f.brk)
+			}
+		case token.CONTINUE:
+			if f := b.frameFor(label, true); f != nil {
+				b.edge(b.cur, f.cont)
+			}
+		case token.GOTO:
+			b.edge(b.cur, b.labelBlock(label))
+		case token.FALLTHROUGH:
+			if b.fallto != nil {
+				b.edge(b.cur, b.fallto)
+			}
+		}
+		b.cur = b.newBlock()
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.nextLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.nextLabel = ""
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Straight-line statements: assignments, declarations, expression
+		// statements, defer/go, sends, inc/dec.
+		b.cur.nodes = append(b.cur.nodes, s)
+	}
+}
+
+// caseClauses builds the shared case-dispatch shape of switch and type
+// switch: every case body is entered from the dispatch block, exits to
+// the join, and may fall through to the next body.
+func (b *cfgBuilder) caseClauses(label string, clauses []ast.Stmt, caseExprs func(*ast.CaseClause, *cfgBlock)) {
+	head := b.cur
+	exitB := b.newBlock()
+	starts := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if caseExprs != nil {
+			caseExprs(cc, head)
+		}
+		starts[i] = b.newBlock()
+		b.edge(head, starts[i])
+	}
+	if !hasDefault {
+		b.edge(head, exitB)
+	}
+	b.frames = append(b.frames, loopFrame{label: label, brk: exitB})
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if i+1 < len(starts) {
+			b.fallto = starts[i+1]
+		} else {
+			b.fallto = nil
+		}
+		b.cur = starts[i]
+		b.stmtList(cc.Body)
+		b.edge(b.cur, exitB)
+	}
+	b.fallto = nil
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exitB
+}
+
+func exprNodes(exprs []ast.Expr) []ast.Node {
+	out := make([]ast.Node, len(exprs))
+	for i, e := range exprs {
+		out[i] = e
+	}
+	return out
+}

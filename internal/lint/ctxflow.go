@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces context propagation on the request path. Three
+// rules:
+//
+//  1. In any function that receives a context.Context parameter
+//     (closures inherit the property from their enclosing function),
+//     calling context.Background() or context.TODO() severs the
+//     caller's cancellation and deadline — thread the parameter
+//     instead.
+//  2. In request-path packages (import path ending in /server or
+//     /shard — the serving front end and the scatter-gather engine),
+//     Background/TODO are forbidden everywhere: every unit of work
+//     there executes on behalf of some request.
+//  3. In request-path packages, storing a context.Context into a struct
+//     field hides a request-scoped value in long-lived state; pass it
+//     as a parameter. Deliberate exceptions (the shard work-queue task)
+//     are tracked in the committed baseline with a written reason.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "request-path code must thread the incoming context.Context; Background/TODO forbidden there",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	reqPath := isRequestPathPkg(p.Pkg.Types.Path())
+	cf := &ctxFlow{p: p, reqPath: reqPath}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				cf.walkFunc(fd.Body, cf.hasCtxParam(fd.Type))
+			}
+		}
+	}
+}
+
+// isRequestPathPkg reports whether the import path names a serving
+// package: the HTTP front end (/server) or the scatter-gather engine
+// (/shard).
+func isRequestPathPkg(path string) bool {
+	for _, seg := range []string{"server", "shard"} {
+		if path == seg || strings.HasSuffix(path, "/"+seg) {
+			return true
+		}
+	}
+	return false
+}
+
+type ctxFlow struct {
+	p       *Pass
+	reqPath bool
+}
+
+func (cf *ctxFlow) hasCtxParam(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, fld := range ft.Params.List {
+		if tv, ok := cf.p.Pkg.Info.Types[fld.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkFunc checks one function body; inCtx records whether this
+// function (or an enclosing one, for closures) receives a context.
+func (cf *ctxFlow) walkFunc(body *ast.BlockStmt, inCtx bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			cf.walkFunc(n.Body, inCtx || cf.hasCtxParam(n.Type))
+			return false
+		case *ast.CallExpr:
+			if name, ok := cf.backgroundCall(n); ok {
+				switch {
+				case cf.reqPath:
+					cf.p.Reportf(n.Pos(), "context.%s() on the request path severs cancellation; thread the request context", name)
+				case inCtx:
+					cf.p.Reportf(n.Pos(), "context.%s() inside a function that already receives a context.Context; thread the parameter", name)
+				}
+			}
+		case *ast.CompositeLit:
+			if cf.reqPath {
+				for _, el := range n.Elts {
+					v := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if tv, ok := cf.p.Pkg.Info.Types[v]; ok && isContextType(tv.Type) {
+						cf.p.Reportf(v.Pos(), "context.Context stored in a struct literal; request-scoped values must flow through parameters")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if cf.reqPath {
+				for _, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if s, ok := cf.p.Pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal && isContextType(s.Obj().Type()) {
+						cf.p.Reportf(sel.Pos(), "context.Context stored in a struct field; request-scoped values must flow through parameters")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// backgroundCall matches context.Background() / context.TODO().
+func (cf *ctxFlow) backgroundCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := cf.p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		return name, true
+	}
+	return "", false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

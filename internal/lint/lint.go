@@ -18,6 +18,22 @@
 //	             her_-prefixed Prometheus names with well-formed
 //	             {label="value"} blocks (a typo forks the time series)
 //
+// and the whole-package dataflow analyzers enforcing the concurrency
+// contracts of the serving stack (per-function CFG + alias pass, see
+// cfg.go/aliases.go):
+//
+//	lockguard  — fields annotated `// guarded by <mu>` are only
+//	             accessed with the mutex held on every CFG path
+//	             (RLock accepted for reads under an RWMutex)
+//	atomicmix  — a field touched via sync/atomic must never be
+//	             accessed non-atomically, including via struct copies
+//	snapleak   — System's live G/G_D graphs must not escape into
+//	             shard engine state except through Clone() (the PR 5
+//	             snapshot-isolation contract)
+//	ctxflow    — request-path functions must thread the incoming
+//	             context.Context; Background()/TODO() forbidden in
+//	             serving and shard scatter-gather packages
+//
 // A finding can be suppressed with a trailing or preceding comment
 //
 //	//herlint:ignore <analyzer>[,<analyzer>...] — reason
@@ -34,6 +50,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer is one named check run over a type-checked package.
@@ -44,7 +61,10 @@ type Analyzer struct {
 }
 
 // All is the herlint analyzer suite.
-var All = []*Analyzer{MapIter, FloatEq, NilRecv, GlobalRand, ErrDrop, MetricName}
+var All = []*Analyzer{
+	MapIter, FloatEq, NilRecv, GlobalRand, ErrDrop, MetricName,
+	LockGuard, AtomicMix, SnapLeak, CtxFlow,
+}
 
 // ByName returns the analyzers matching the comma-separated names list,
 // or All when names is empty.
@@ -145,12 +165,47 @@ func buildIgnores(fset *token.FileSet, files []*ast.File) map[string]map[int]map
 // Run executes the analyzers over the packages and returns findings
 // sorted by file, line, column, analyzer.
 func Run(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) []Diagnostic {
+	return RunParallel(pkgs, analyzers, fset, 1)
+}
+
+// RunParallel is Run with up to workers packages analyzed concurrently.
+// Output is deterministic regardless of worker count: per-package
+// findings are collected separately and merged in one final sort by
+// file, line, column, analyzer. Analyzers only read the type-checked
+// package and append to their own pass's slice, so packages are
+// independent units of work.
+func RunParallel(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet, workers int) []Diagnostic {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	perPkg := make([][]Diagnostic, len(pkgs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				pkg := pkgs[i]
+				ignores := buildIgnores(fset, pkg.Files)
+				for _, a := range analyzers {
+					a.Run(&Pass{Analyzer: a, Fset: fset, Pkg: pkg, ignores: ignores, out: &perPkg[i]})
+				}
+			}
+		}()
+	}
+	for i := range pkgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		ignores := buildIgnores(fset, pkg.Files)
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Fset: fset, Pkg: pkg, ignores: ignores, out: &diags})
-		}
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

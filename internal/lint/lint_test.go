@@ -117,6 +117,11 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{GlobalRand, "globalrand"},
 		{ErrDrop, "errdrop"},
 		{MetricName, "metricname"},
+		{LockGuard, "lockguard"},
+		{AtomicMix, "atomicmix"},
+		{SnapLeak, "snapleak"},
+		{CtxFlow, filepath.Join("ctxflow", "server")},
+		{CtxFlow, filepath.Join("ctxflow", "lib")},
 	}
 	for _, c := range cases {
 		t.Run(c.analyzer.Name+"/"+filepath.Base(c.dir), func(t *testing.T) {
@@ -126,10 +131,13 @@ func TestAnalyzerFixtures(t *testing.T) {
 }
 
 // TestSelfLint runs the full analyzer suite over the entire module —
-// including internal/lint itself — and requires zero findings. This is
-// the regression gate: any future map-order, float-equality, nil-guard,
-// global-rand, or dropped-error violation fails here (and in check.sh's
-// herlint stage) before it can reach a release.
+// including internal/lint itself — and requires zero unbaselined
+// findings. This is the regression gate: any future map-order,
+// float-equality, nil-guard, global-rand, dropped-error, or
+// concurrency-contract violation fails here (and in check.sh's herlint
+// stage) before it can reach a release. Accepted findings live in the
+// committed .herlint-baseline.json, each with a written reason; a stale
+// baseline entry fails the test too.
 func TestSelfLint(t *testing.T) {
 	loader, err := NewLoader(".")
 	if err != nil {
@@ -146,17 +154,23 @@ func TestSelfLint(t *testing.T) {
 	if len(dirs) < 20 {
 		t.Fatalf("discovered only %d package dirs — discovery is broken", len(dirs))
 	}
-	var pkgs []*Package
-	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir)
-		if err != nil {
-			t.Fatalf("loading %s: %v", dir, err)
+	pkgs, errs := loader.LoadDirs(dirs, 4)
+	for i, lerr := range errs {
+		if lerr != nil {
+			t.Fatalf("loading %s: %v", dirs[i], lerr)
 		}
-		pkgs = append(pkgs, pkg)
 	}
-	diags := Run(pkgs, All, loader.Fset)
-	for _, d := range diags {
+	diags := RunParallel(pkgs, All, loader.Fset, 4)
+	baseline, err := ReadBaseline(filepath.Join(root, ".herlint-baseline.json"))
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	kept, _, unused := baseline.Apply(diags, root)
+	for _, d := range kept {
 		t.Errorf("repo must be herlint-clean: %s", d)
+	}
+	for _, e := range unused {
+		t.Errorf("stale baseline entry: [%s] %s: %s", e.Analyzer, e.File, e.Message)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package: the unit analyzers run
@@ -29,20 +30,43 @@ type Package struct {
 // imports are resolved back through the loader itself, and everything
 // else (the standard library) goes through the compiler's export data
 // with a from-source fallback.
+//
+// The loader is safe for concurrent LoadDir calls: each call runs as a
+// load session that claims packages in a shared memo. A session that
+// needs a package claimed by another session waits for it; a wait that
+// would close a cycle across sessions is detected by walking the
+// owner chain under the loader lock and fails with a cycle error
+// instead of deadlocking. token.FileSet is internally synchronized;
+// the stdlib importers are not, so they sit behind their own mutex.
 type Loader struct {
 	Fset *token.FileSet
 
 	modRoot string // absolute module root ("" outside a module)
 	modPath string // module path from go.mod ("" outside a module)
 
+	mu   sync.Mutex            // guards pkgs and every loadSession.waitingOn
 	pkgs map[string]*loadEntry // memo, keyed by import path
-	gc   types.Importer
-	src  types.Importer
+
+	stdMu sync.Mutex // serializes gc/src (not concurrency-safe)
+	gc    types.Importer
+	src   types.Importer
 }
 
 type loadEntry struct {
-	pkg *Package
-	err error
+	pkg   *Package
+	err   error
+	done  chan struct{} // closed when pkg/err are final
+	owner *loadSession  // the session loading this entry
+}
+
+// loadSession is one LoadDir call's recursion state: the chain of
+// packages it is currently loading (for in-session cycle detection) and
+// the entry it is blocked on, if any (for cross-session deadlock
+// detection).
+type loadSession struct {
+	l         *Loader
+	stack     []string
+	waitingOn string // protected by l.mu (the loader's lock); "" when not blocked
 }
 
 // NewLoader creates a loader rooted at dir: if dir (or a parent) holds
@@ -162,13 +186,46 @@ func ExpandPatterns(base string, patterns []string) ([]string, error) {
 	return dirs, nil
 }
 
-// LoadDir parses and type-checks the package in dir.
+// LoadDir parses and type-checks the package in dir. Concurrent calls
+// are safe and share the memo.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
-	return l.load(l.pathForDir(abs), abs)
+	s := &loadSession{l: l}
+	return s.load(l.pathForDir(abs), abs)
+}
+
+// LoadDirs loads every directory with up to workers concurrent load
+// sessions, returning packages in input order. Errors are reported per
+// directory in the parallel errs slice.
+func (l *Loader) LoadDirs(dirs []string, workers int) ([]*Package, []error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	pkgs := make([]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				pkgs[i], errs[i] = l.LoadDir(dirs[i])
+			}
+		}()
+	}
+	for i := range dirs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return pkgs, errs
 }
 
 // pathForDir maps a directory to its import path when it lies inside
@@ -199,37 +256,100 @@ func (l *Loader) dirForPath(path string) (string, bool) {
 	return "", false
 }
 
-// Import implements types.Importer: module-internal paths load from
-// source through the loader, everything else through export data with a
+// Import implements types.Importer for one session: module-internal
+// paths load from source through the session (so its cycle detection
+// sees the full chain), everything else through export data with a
 // from-source fallback (export data for the standard library is not
 // always installed).
-func (l *Loader) Import(path string) (*types.Package, error) {
-	if dir, ok := l.dirForPath(path); ok {
-		pkg, err := l.load(path, dir)
+func (s *loadSession) Import(path string) (*types.Package, error) {
+	if dir, ok := s.l.dirForPath(path); ok {
+		pkg, err := s.load(path, dir)
 		if err != nil {
 			return nil, err
 		}
 		return pkg.Types, nil
 	}
-	if pkg, err := l.gc.Import(path); err == nil {
+	s.l.stdMu.Lock()
+	defer s.l.stdMu.Unlock()
+	if pkg, err := s.l.gc.Import(path); err == nil {
 		return pkg, nil
 	}
-	return l.src.Import(path)
+	return s.l.src.Import(path)
 }
 
-func (l *Loader) load(path, dir string) (*Package, error) {
+// load returns the memoized package for path, claiming and loading it
+// if no session has, or waiting for the owning session otherwise.
+func (s *loadSession) load(path, dir string) (*Package, error) {
+	for _, p := range s.stack {
+		if p == path {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+	}
+	l := s.l
+	l.mu.Lock()
 	if e, ok := l.pkgs[path]; ok {
+		select {
+		case <-e.done:
+			l.mu.Unlock()
+			return e.pkg, e.err
+		default:
+		}
+		// In flight in another session. Waiting is safe unless the chain
+		// of owners waiting on owners leads back to this session — that
+		// is an import cycle split across sessions, and waiting would
+		// deadlock all of them.
+		if l.ownerChainReaches(e, s) {
+			l.mu.Unlock()
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		s.waitingOn = path
+		l.mu.Unlock()
+		<-e.done
+		l.mu.Lock()
+		s.waitingOn = ""
+		l.mu.Unlock()
 		return e.pkg, e.err
 	}
-	// Reserve the slot first so import cycles fail fast instead of
-	// recursing forever.
-	l.pkgs[path] = &loadEntry{err: fmt.Errorf("lint: import cycle through %s", path)}
-	pkg, err := l.loadUncached(path, dir)
-	l.pkgs[path] = &loadEntry{pkg: pkg, err: err}
+	e := &loadEntry{done: make(chan struct{}), owner: s}
+	l.pkgs[path] = e
+	l.mu.Unlock()
+
+	s.stack = append(s.stack, path)
+	pkg, err := s.loadUncached(path, dir)
+	s.stack = s.stack[:len(s.stack)-1]
+
+	e.pkg, e.err = pkg, err
+	close(e.done)
 	return pkg, err
 }
 
-func (l *Loader) loadUncached(path, dir string) (*Package, error) {
+// ownerChainReaches reports whether following owner→waitingOn links
+// from entry e leads back to session s. Caller holds l.mu.
+func (l *Loader) ownerChainReaches(e *loadEntry, s *loadSession) bool {
+	for e != nil {
+		owner := e.owner
+		if owner == s {
+			return true
+		}
+		if owner == nil || owner.waitingOn == "" {
+			return false
+		}
+		next := l.pkgs[owner.waitingOn]
+		if next == nil {
+			return false
+		}
+		select {
+		case <-next.done:
+			return false // resolved; the owner is about to wake up
+		default:
+		}
+		e = next
+	}
+	return false
+}
+
+func (s *loadSession) loadUncached(path, dir string) (*Package, error) {
+	l := s.l
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("lint: %w", err)
@@ -255,7 +375,7 @@ func (l *Loader) loadUncached(path, dir string) (*Package, error) {
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	conf := types.Config{Importer: l}
+	conf := types.Config{Importer: s}
 	tpkg, err := conf.Check(path, l.Fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// sarif.go renders findings in SARIF 2.1.0, the static-analysis
+// interchange format CI systems ingest. The emitted subset is minimal:
+// one run, one rule per analyzer, one result per finding with a
+// physical location; baselined findings are included with an external
+// suppression carrying the baseline's written justification, so the
+// report shows the accepted debt instead of hiding it.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifText          `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// WriteSARIF emits one SARIF run covering the active findings (level
+// error — they fail the build) and the baseline-suppressed ones. File
+// URIs are module-root-relative, matching what CI checks out.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, active []Diagnostic, suppressed []SuppressedDiagnostic, modRoot string) error {
+	rules := make([]sarifRule, len(analyzers))
+	for i, a := range analyzers {
+		rules[i] = sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}}
+	}
+	results := make([]sarifResult, 0, len(active)+len(suppressed))
+	for _, d := range active {
+		results = append(results, sarifResultOf(d, modRoot, nil))
+	}
+	for _, s := range suppressed {
+		results = append(results, sarifResultOf(s.Diagnostic, modRoot, []sarifSuppression{
+			{Kind: "external", Justification: s.Reason},
+		}))
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "herlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&log)
+}
+
+func sarifResultOf(d Diagnostic, modRoot string, sup []sarifSuppression) sarifResult {
+	return sarifResult{
+		RuleID:  d.Analyzer,
+		Level:   "error",
+		Message: sarifText{Text: d.Message},
+		Locations: []sarifLocation{{
+			PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: baselineRel(modRoot, d.File)},
+				Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+			},
+		}},
+		Suppressions: sup,
+	}
+}

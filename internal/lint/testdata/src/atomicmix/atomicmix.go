@@ -1,0 +1,74 @@
+// Package atomicmix is a herlint fixture for the atomic-hygiene
+// analyzer: a field touched via sync/atomic (or declared as a typed
+// atomic) must never be accessed plainly, including via struct copies.
+package atomicmix
+
+import (
+	"sync/atomic"
+)
+
+type stats struct {
+	hits  int64 // accessed via atomic.AddInt64 in inc
+	calls atomic.Uint64
+	name  string
+}
+
+type plainOnly struct {
+	n int64
+}
+
+func (s *stats) inc() {
+	atomic.AddInt64(&s.hits, 1)
+	s.calls.Add(1)
+}
+
+func (s *stats) goodRead() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *stats) badRead() int64 {
+	return s.hits // want `field "hits" is accessed via sync/atomic elsewhere`
+}
+
+func (s *stats) badWrite() {
+	s.hits = 0 // want `field "hits" is accessed via sync/atomic elsewhere`
+}
+
+// badCopy dereferences the struct: the copy forks hits and calls away
+// from the atomics everyone else updates.
+func badCopy(s *stats) stats {
+	return *s // want `value forks its atomic fields; share a pointer instead`
+}
+
+func badCopyFromSlice(ss []stats) stats {
+	return ss[0] // want `value forks its atomic fields; share a pointer instead`
+}
+
+func badRangeCopy(ss []stats) uint64 {
+	var total uint64
+	for _, s := range ss { // want `values, forking their atomic fields; iterate by index`
+		total += s.calls.Load()
+	}
+	return total
+}
+
+// goodPointerShare hands out a pointer, not a copy.
+func goodPointerShare(ss []*stats) *stats {
+	return ss[0]
+}
+
+// goodLocalCopy copies a struct with no atomic fields.
+func goodLocalCopy(p *plainOnly) plainOnly {
+	return *p
+}
+
+// goodIdentCopy passes an already-local value around; only lvalue
+// sources (selectors, derefs, index expressions) fork shared state.
+func goodIdentCopy() stats {
+	var fresh stats
+	return fresh
+}
+
+func ignoredRead(s *stats) int64 {
+	return s.hits //herlint:ignore atomicmix — fixture: suppression interplay with the atomic-hygiene analyzer
+}

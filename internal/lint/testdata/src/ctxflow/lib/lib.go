@@ -1,0 +1,39 @@
+// Package lib is a herlint fixture for the context-flow analyzer off
+// the request path: only rule 1 applies — a function that already
+// receives a context must not call Background/TODO.
+package lib
+
+import "context"
+
+type job struct {
+	ctx context.Context
+}
+
+func badInCtxFunc(ctx context.Context) error {
+	_ = ctx
+	sub := context.Background() // want `inside a function that already receives a context.Context`
+	<-sub.Done()
+	return nil
+}
+
+func badInClosure(ctx context.Context) {
+	go func() {
+		_ = context.TODO() // want `inside a function that already receives a context.Context`
+	}()
+	_ = ctx
+}
+
+// goodNoCtx has no context parameter; Background is its only choice.
+func goodNoCtx() context.Context {
+	return context.Background()
+}
+
+// goodStore: struct-field storage is only policed on the request path.
+func goodStore(ctx context.Context) *job {
+	return &job{ctx: ctx}
+}
+
+func ignoredTODO(ctx context.Context) context.Context {
+	_ = ctx
+	return context.TODO() //herlint:ignore ctxflow — fixture: suppression interplay with the context-flow analyzer
+}

@@ -1,0 +1,52 @@
+// Package server is a herlint fixture for the context-flow analyzer on
+// a request-path package (import path ends in /server): Background/TODO
+// are forbidden everywhere and contexts must not hide in struct fields.
+package server
+
+import "context"
+
+type item struct {
+	ctx  context.Context
+	name string
+}
+
+// Handle threads the incoming request context.
+func Handle(ctx context.Context) error {
+	return work(ctx)
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func badBackground() error {
+	return work(context.Background()) // want `on the request path severs cancellation`
+}
+
+func badTODO(ctx context.Context) error {
+	_ = ctx
+	return work(context.TODO()) // want `on the request path severs cancellation`
+}
+
+func badStoreLiteral(ctx context.Context) *item {
+	return &item{
+		ctx:  ctx, // want `context.Context stored in a struct literal`
+		name: "job",
+	}
+}
+
+func badStoreField(ctx context.Context, it *item) {
+	it.ctx = ctx // want `context.Context stored in a struct field`
+}
+
+// goodDerived derives from the request context rather than severing it.
+func goodDerived(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(sub)
+}
+
+func ignoredBackground() error {
+	return work(context.Background()) //herlint:ignore ctxflow — fixture: suppression interplay with the context-flow analyzer
+}

@@ -1,0 +1,148 @@
+// Package lockguard is a herlint fixture for the lock-discipline
+// analyzer: `// guarded by <mu>` fields must be accessed with the
+// mutex held on every CFG path.
+package lockguard
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+
+	n int            // guarded by mu
+	m map[string]int // guarded by rw
+}
+
+func (b *box) goodWrite() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b *box) goodDeferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func (b *box) badWrite() {
+	b.n++ // want `write to "n" requires mu held for writing`
+}
+
+func (b *box) badRead() int {
+	return b.n // want `read of "n" requires mu held`
+}
+
+func (b *box) goodRLockRead() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.m["x"]
+}
+
+func (b *box) badWriteUnderRLock() {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	b.m["x"] = 1 // want `write to "m" requires rw held for writing`
+}
+
+func (b *box) badAfterUnlock() int {
+	b.mu.Lock()
+	b.mu.Unlock()
+	return b.n // want `read of "n" requires mu held`
+}
+
+// badOneBranch locks on only one path: the access after the join is
+// not protected on every path.
+func (b *box) badOneBranch(cond bool) {
+	if cond {
+		b.mu.Lock()
+	}
+	b.n = 2 // want `write to "n" requires mu held for writing`
+	if cond {
+		b.mu.Unlock()
+	}
+}
+
+// goodBothBranches locks on every path before the access.
+func (b *box) goodBothBranches(cond bool) {
+	if cond {
+		b.mu.Lock()
+	} else {
+		b.mu.Lock()
+	}
+	b.n = 3
+	b.mu.Unlock()
+}
+
+// goodEarlyReturn releases and returns in the branch; the tail access
+// still holds the lock.
+func (b *box) goodEarlyReturn(cond bool) int {
+	b.mu.Lock()
+	if cond {
+		b.mu.Unlock()
+		return 0
+	}
+	v := b.n
+	b.mu.Unlock()
+	return v
+}
+
+func (b *box) badInBranchAfterUnlock(cond bool) int {
+	b.mu.Lock()
+	if cond {
+		b.mu.Unlock()
+		return b.n // want `read of "n" requires mu held`
+	}
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// goodLoop holds the lock across the whole loop.
+func (b *box) goodLoop(k int) {
+	b.mu.Lock()
+	for i := 0; i < k; i++ {
+		b.n++
+	}
+	b.mu.Unlock()
+}
+
+// setLocked declares by naming convention that the caller holds the
+// receiver's mutexes.
+func (b *box) setLocked(v int) {
+	b.n = v
+}
+
+// peekRLocked runs under a caller-held read lock: reads are fine,
+// writes are not.
+func (b *box) peekRLocked() int {
+	b.m["w"] = 1 // want `write to "m" requires rw held for writing`
+	return b.m["r"]
+}
+
+// newBox initializes a freshly constructed, not-yet-shared box: no
+// lock needed.
+func newBox() *box {
+	b := &box{m: make(map[string]int)}
+	b.n = 1
+	b.m["seed"] = 2
+	return b
+}
+
+// aliasedLock locks through a single-assignment pointer alias; the
+// analyzer resolves it to the same canonical path.
+func aliasedLock(b *box) int {
+	bb := b
+	bb.mu.Lock()
+	defer bb.mu.Unlock()
+	return b.n
+}
+
+func ignored(b *box) {
+	b.n = 9 //herlint:ignore lockguard — fixture: suppression interplay with the lock-discipline analyzer
+}
+
+type badAnnotation struct {
+	notAMutex int
+	v         int // want `guarded-by annotation names "notAMutex"` — guarded by notAMutex
+	w         int // want `guarded-by annotation names "missing"` — guarded by missing
+}

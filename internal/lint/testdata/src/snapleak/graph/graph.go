@@ -1,0 +1,18 @@
+// Package graph is the snapleak fixture's stand-in for the her graph
+// type: a mutable Graph with a Clone deep-copy.
+package graph
+
+// Graph is a mutable adjacency structure.
+type Graph struct {
+	Adj map[int][]int
+}
+
+// Clone returns a private deep copy, the only value that may be handed
+// to the shard serving layer.
+func (g *Graph) Clone() *Graph {
+	out := &Graph{Adj: make(map[int][]int, len(g.Adj))}
+	for k, v := range g.Adj {
+		out.Adj[k] = append([]int(nil), v...)
+	}
+	return out
+}

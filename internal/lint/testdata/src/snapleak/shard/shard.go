@@ -1,0 +1,27 @@
+// Package shard is the snapleak fixture's stand-in for the serving
+// layer: anything here reads graphs at request time without the system
+// lock, so only private clones may flow in.
+package shard
+
+import "her/internal/lint/testdata/src/snapleak/graph"
+
+// Config seeds an engine with its serving graphs.
+type Config struct {
+	Live  *graph.Graph
+	Extra *graph.Graph
+}
+
+// Engine holds the serving state.
+type Engine struct {
+	Cur *graph.Graph
+}
+
+// New builds an engine from a config.
+func New(cfg Config) *Engine {
+	return &Engine{Cur: cfg.Live}
+}
+
+// Consume ingests a graph into engine state.
+func Consume(g *graph.Graph) *Engine {
+	return &Engine{Cur: g}
+}

@@ -33,7 +33,7 @@ type FlightRecorder struct {
 	mu        sync.Mutex
 	slowPerOp int
 	errsPerOp int
-	ops       map[string]*opTraces
+	ops       map[string]*opTraces // guarded by mu
 }
 
 // opTraces is one op's retention state.

@@ -30,9 +30,9 @@ import (
 // every lookup returns a nil handle whose methods are no-ops.
 type Registry struct {
 	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*Counter   // guarded by mu
+	gauges     map[string]*Gauge     // guarded by mu
+	histograms map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry creates an empty registry.

@@ -21,10 +21,10 @@ type Span struct {
 	start time.Time
 
 	mu       sync.Mutex
-	end      time.Time
-	attrs    []attr
-	errMsg   string
-	children []*Span
+	end      time.Time // guarded by mu
+	attrs    []attr    // guarded by mu
+	errMsg   string    // guarded by mu
+	children []*Span   // guarded by mu
 }
 
 // attr is one key=value annotation on a span (e.g. shard=3, cache=hit).

@@ -25,8 +25,8 @@ import (
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
-	order *list.List // front = most recently used
-	byKey map[string]*list.Element
+	order *list.List               // guarded by mu — front = most recently used
+	byKey map[string]*list.Element // guarded by mu
 }
 
 // keyScope is the parsed addressing of a cache entry — which G_D
@@ -165,7 +165,7 @@ func (c *resultCache) len() int {
 // mutation never latches onto a stale computation.
 type inflight struct {
 	mu    sync.Mutex
-	calls map[sfKey]*call
+	calls map[sfKey]*call // guarded by mu
 }
 
 type sfKey struct {

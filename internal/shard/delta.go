@@ -75,7 +75,7 @@ type Delta struct {
 type DeltaLog struct {
 	mu  sync.Mutex
 	cap int
-	buf []Delta // ascending Gen; oldest dropped when past capacity
+	buf []Delta // guarded by mu — ascending Gen; oldest dropped when past capacity
 }
 
 // NewDeltaLog creates a log retaining the most recent capacity deltas
@@ -146,7 +146,7 @@ func (e *Engine) advance() error {
 	}
 	if e.cfg.Deltas != nil {
 		if deltas, ok := e.cfg.Deltas(e.cur.gen, target); ok && incrementalOnly(deltas) {
-			if err := e.applyDeltas(deltas); err == nil {
+			if err := e.applyDeltasLocked(deltas); err == nil {
 				e.cur.gen = target
 				return nil
 			} else if err != errDeltaRebuild {
@@ -176,12 +176,13 @@ func incrementalOnly(deltas []Delta) bool {
 	return len(deltas) > 0
 }
 
-// applyDeltas quiesces the workers and replays the batch in generation
-// order, advancing the result cache after each delta so surviving
-// entries are re-stamped exactly once per generation. Any error leaves
-// the state partially mutated; the caller discards it with a full
-// rebuild, so nothing corrupt is ever served.
-func (e *Engine) applyDeltas(deltas []Delta) error {
+// applyDeltasLocked quiesces the workers and replays the batch in
+// generation order, advancing the result cache after each delta so
+// surviving entries are re-stamped exactly once per generation. Any
+// error leaves the state partially mutated; the caller discards it with
+// a full rebuild, so nothing corrupt is ever served. Callers hold
+// e.mu for writing (advance does), which excludes every request lease.
+func (e *Engine) applyDeltasLocked(deltas []Delta) error {
 	st := e.cur
 	st.quiesce()
 	for i := range deltas {

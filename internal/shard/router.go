@@ -41,8 +41,8 @@ type Engine struct {
 	cacheEvicted  atomic.Uint64
 
 	mu     sync.RWMutex
-	cur    *shardState
-	closed bool
+	cur    *shardState // guarded by mu — requests read-lease it, advance swaps it
+	closed bool        // guarded by mu
 }
 
 // engineMetrics resolves the engine's obs handles once; all of them are

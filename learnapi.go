@@ -22,8 +22,9 @@ func (s *System) TrainPathModel(pairs []PathPair, epochs int) error {
 	if epochs <= 0 {
 		epochs = 60
 	}
-	in := 4 * s.opts.EmbeddingDim
-	model := nn.MustMLP([]int{in, s.opts.MetricHidden, 1}, nn.ReLU, s.opts.Seed)
+	o := s.Options() // snapshot: SetThresholds may mutate s.opts concurrently
+	in := 4 * o.EmbeddingDim
+	model := nn.MustMLP([]int{in, o.MetricHidden, 1}, nn.ReLU, o.Seed)
 	samples := make([]nn.Sample, 0, len(pairs))
 	for _, p := range pairs {
 		y := 0.0
@@ -33,7 +34,7 @@ func (s *System) TrainPathModel(pairs []PathPair, epochs int) error {
 		samples = append(samples, nn.Sample{X: s.sc.pathFeatures(p.A, p.B), Y: y})
 	}
 	model.TrainBCE(samples, nn.TrainConfig{
-		Epochs: epochs, LearnRate: 0.005, BatchSize: 8, Seed: s.opts.Seed,
+		Epochs: epochs, LearnRate: 0.005, BatchSize: 8, Seed: o.Seed,
 	})
 	s.sc.metric = model
 	s.sc.invalidateRho()
@@ -79,19 +80,20 @@ func (s *System) TrainRanker(sampleVertices, epochs int) error {
 		}
 		return out
 	}
-	corpus := ranking.TrainingPaths(s.GD, starts(s.GD), s.opts.MaxPathLen, ranking.RejectPassThrough(s.GD))
-	corpus = append(corpus, ranking.TrainingPaths(s.G, starts(s.G), s.opts.MaxPathLen, ranking.RejectPassThrough(s.G))...)
+	o := s.Options() // snapshot: SetThresholds may mutate s.opts concurrently
+	corpus := ranking.TrainingPaths(s.GD, starts(s.GD), o.MaxPathLen, ranking.RejectPassThrough(s.GD))
+	corpus = append(corpus, ranking.TrainingPaths(s.G, starts(s.G), o.MaxPathLen, ranking.RejectPassThrough(s.G))...)
 	if len(corpus) == 0 {
 		return fmt.Errorf("her: empty ranker training corpus")
 	}
 	vocab := lstm.NewVocab(append(embed.LabelVocabulary(s.GD), embed.LabelVocabulary(s.G)...))
-	lm := lstm.New(vocab, s.opts.LSTMEmbed, s.opts.LSTMHidden, s.opts.Seed)
+	lm := lstm.New(vocab, o.LSTMEmbed, o.LSTMHidden, o.Seed)
 	lm.Train(corpus, lstm.TrainConfig{
-		Epochs: epochs, LearnRate: 0.05, Clip: 5, Seed: s.opts.Seed,
+		Epochs: epochs, LearnRate: 0.05, Clip: 5, Seed: o.Seed,
 	})
 	s.lm = lm
-	s.rankerD = ranking.NewRanker(s.GD, lm, s.opts.MaxPathLen)
-	s.rankerG = ranking.NewRanker(s.G, lm, s.opts.MaxPathLen)
+	s.rankerD = ranking.NewRanker(s.GD, lm, o.MaxPathLen)
+	s.rankerG = ranking.NewRanker(s.G, lm, o.MaxPathLen)
 	s.ResetMatchState()
 	return nil
 }
@@ -105,7 +107,7 @@ func (s *System) LearnThresholds(val []Annotation, space learn.SearchSpace, tria
 	if trials <= 0 {
 		trials = 30
 	}
-	best, score, err := learn.RandomSearch(space, trials, s.opts.Seed, func(th Thresholds) float64 {
+	best, score, err := learn.RandomSearch(space, trials, s.Options().Seed, func(th Thresholds) float64 {
 		return s.EvaluateWith(th, val).F1()
 	})
 	if err != nil {
@@ -146,9 +148,10 @@ func (s *System) Refine(fb []Feedback) {
 	}
 	var pos, neg [][]float64 // path features from FN / FP pairs
 	s.mu.Lock()
+	seed := s.opts.Seed // captured here: the fine-tune below runs unlocked
 	for _, f := range fb {
 		s.overrides[f.Pair] = f.IsMatch
-		feats := s.alignedPathFeatures(f.Pair)
+		feats := s.alignedPathFeaturesLocked(f.Pair)
 		if f.IsMatch {
 			pos = append(pos, feats...)
 		} else {
@@ -163,17 +166,18 @@ func (s *System) Refine(fb []Feedback) {
 			triplets = append(triplets, nn.Triplet{Pos: p, Neg: neg[i%len(neg)]})
 		}
 		s.sc.metric.TrainTriplet(triplets, 0.5, nn.TrainConfig{
-			Epochs: 5, LearnRate: 0.001, BatchSize: 8, Seed: s.opts.Seed,
+			Epochs: 5, LearnRate: 0.001, BatchSize: 8, Seed: seed,
 		})
 		s.sc.invalidateRho()
 	}
 	s.ResetMatchState()
 }
 
-// alignedPathFeatures pairs the top-k selected paths of a feedback
-// pair's two sides by rank and returns their metric features — the
-// "path-path matches" the paper marks as similar or dissimilar.
-func (s *System) alignedPathFeatures(p Pair) [][]float64 {
+// alignedPathFeaturesLocked pairs the top-k selected paths of a
+// feedback pair's two sides by rank and returns their metric features —
+// the "path-path matches" the paper marks as similar or dissimilar.
+// Callers hold s.mu (k lives in s.opts).
+func (s *System) alignedPathFeaturesLocked(p Pair) [][]float64 {
 	du := s.rankerD.TopK(p.U, s.opts.K)
 	dv := s.rankerG.TopK(p.V, s.opts.K)
 	n := len(du)

@@ -27,7 +27,13 @@ fi
 
 go vet ./... || fail "go vet"
 go build ./... || fail "go build"
-go run ./cmd/herlint ./... || fail "herlint"
+# Self-lint: the full analyzer suite over the whole module, minus the
+# committed baseline (each entry carries a written justification; a
+# stale entry fails the run). The wall time is printed so self-lint
+# cost regressions show up in the stage banner.
+lint_start=$(date +%s)
+go run ./cmd/herlint -baseline .herlint-baseline.json ./... || fail "herlint"
+echo "check.sh: herlint self-lint clean in $(($(date +%s) - lint_start))s"
 go test ./... || fail "go test"
 go test -race -short ./... || fail "go test -race -short"
 # The sharded serving engine is the most concurrency-dense code in the

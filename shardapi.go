@@ -45,7 +45,7 @@ func (s *System) ShardConfig(shards int) shard.Config {
 		Overrides: func(matches []core.Pair, scope graph.VID) []core.Pair {
 			return s.ApplyOverrides(matches, scope)
 		},
-		Metrics: s.opts.Metrics,
+		Metrics: s.Metrics(),
 	}
 	cfg.Snapshot = func(c shard.Config) shard.Config {
 		s.mu.Lock()
@@ -53,7 +53,7 @@ func (s *System) ShardConfig(shards int) shard.Config {
 		c.GD, c.G = s.GD.Clone(), s.G.Clone()
 		c.LM = s.lm
 		c.RankerD = ranking.NewRanker(c.GD, s.lm, s.opts.MaxPathLen)
-		c.Params = s.params()
+		c.Params = s.paramsLocked()
 		c.MaxPathLen = s.opts.MaxPathLen
 		c.MinSharedTokens = s.opts.MinSharedTokens
 		// SnapGen anchors delta replay: it is read under the same lock
