@@ -401,8 +401,13 @@ func (s *System) sources() []graph.VID {
 	if s.Mapping == nil {
 		return nil
 	}
-	var out []graph.VID
-	for _, relName := range s.DB.RelationNames() {
+	names := s.DB.RelationNames()
+	total := 0
+	for _, relName := range names {
+		total += len(s.DB.Relation(relName).Tuples)
+	}
+	out := make([]graph.VID, 0, total)
+	for _, relName := range names {
 		rel := s.DB.Relation(relName)
 		out = append(out, s.Mapping.TupleVertices(relName, len(rel.Tuples))...)
 	}
@@ -497,7 +502,7 @@ func (s *System) applyOverridesLocked(matches []Pair, scope graph.VID) []Pair {
 	// Collect the confirmed additions and sort them: s.overrides is a
 	// map, and letting its iteration order reach the returned match list
 	// would make VPair/APair responses differ run to run.
-	var added []Pair
+	added := make([]Pair, 0, len(s.overrides))
 	for p, verdict := range s.overrides {
 		if verdict && !have[p] && (scope == graph.NoVertex || p.U == scope) {
 			added = append(added, p)

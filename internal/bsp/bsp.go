@@ -268,7 +268,11 @@ func (e *Engine) Run(sources []graph.VID, gen core.CandidateGen, cfg Config) ([]
 	}
 
 	// Union of partial results, read from the final per-owner caches.
-	var matches []core.Pair
+	totalCands := 0
+	for _, w := range workers {
+		totalCands += len(w.cands)
+	}
+	matches := make([]core.Pair, 0, totalCands)
 	stats.PerWorkerCalls = make([]int, n)
 	for _, w := range workers {
 		stats.PerWorkerCalls[w.id] = w.m.Stats().Calls

@@ -278,7 +278,9 @@ func (m *Matcher) SetOnRevalid(fn func(Pair)) { m.onRevalid = fn }
 // both valid and invalid decisions, since an added edge can flip either
 // way.
 func (m *Matcher) ForgetVertices(affected func(v graph.VID) bool) {
-	var queue []Pair
+	// The initial sweep is bounded by the cache; the worklist re-grows
+	// past it only through dependency fan-out.
+	queue := make([]Pair, 0, len(m.cache))
 	for p := range m.cache {
 		if affected(p.V) {
 			queue = append(queue, p)
@@ -416,7 +418,7 @@ func (m *Matcher) match(p Pair) bool {
 	}
 
 	sum := 0.0
-	var w []Pair
+	w := make([]Pair, 0, len(lists)) // one lineage pair per property list until Δ is reached
 	used := make(map[graph.VID]bool) // injectivity of the lineage set
 
 	for j := range lists {
@@ -564,7 +566,7 @@ type scored struct {
 // candidateList builds l_{u'}: candidates v' ∈ V_v^k with
 // h_v(u', v') ≥ σ, sorted by descending h_ρ (ties by v' id).
 func (m *Matcher) candidateList(su ranking.Selected, vvk []ranking.Selected) []scored {
-	var l []scored
+	l := make([]scored, 0, len(vvk)) // survivors of the σ filter are a subset of vvk
 	for _, sv := range vvk {
 		if m.Hv(su.Desc, sv.Desc) < m.P.Sigma {
 			continue

@@ -16,7 +16,7 @@ func SCC(g *Graph) ([]int, int) {
 	for i := range index {
 		index[i] = -1
 	}
-	var stack []VID
+	stack := make([]VID, 0, n) // Tarjan stack holds each vertex at most once
 	var count, next int
 
 	type frame struct {
@@ -103,7 +103,7 @@ func PartitionEdgeCutSCC(g *Graph, n int) (*Partition, error) {
 	}
 	visited := make([]bool, nv)
 	compDone := make([]bool, nComp)
-	var compOrder []int
+	compOrder := make([]int, 0, nComp)
 	for s := 0; s < nv; s++ {
 		if visited[s] {
 			continue

@@ -6,6 +6,7 @@ package index
 
 import (
 	"sort"
+	"strings"
 
 	"her/internal/graph"
 	"her/internal/text"
@@ -27,6 +28,9 @@ func Build(g *graph.Graph, filter func(graph.VID) bool) *Inverted {
 // information" blocking. A nil docFn means the vertex label alone.
 func BuildDocs(g *graph.Graph, filter func(graph.VID) bool, docFn func(graph.VID) string) *Inverted {
 	ix := &Inverted{postings: make(map[string][]graph.VID)}
+	// Per-document token dedup set, hoisted and cleared per vertex
+	// instead of reallocated.
+	seen := make(map[string]bool)
 	for i := 0; i < g.NumVertices(); i++ {
 		v := graph.VID(i)
 		if filter != nil && !filter(v) {
@@ -36,7 +40,7 @@ func BuildDocs(g *graph.Graph, filter func(graph.VID) bool, docFn func(graph.VID
 		if docFn != nil {
 			doc = docFn(v)
 		}
-		seen := make(map[string]bool)
+		clear(seen)
 		for _, tok := range text.Tokenize(doc) {
 			if !seen[tok] {
 				seen[tok] = true
@@ -51,11 +55,13 @@ func BuildDocs(g *graph.Graph, filter func(graph.VID) bool, docFn func(graph.VID
 // vertex's own label with the labels of its out-neighbors.
 func NeighborhoodDoc(g *graph.Graph) func(graph.VID) string {
 	return func(v graph.VID) string {
-		doc := g.Label(v)
+		var b strings.Builder
+		b.WriteString(g.Label(v))
 		for _, e := range g.Out(v) {
-			doc += " " + g.Label(e.To)
+			b.WriteByte(' ')
+			b.WriteString(g.Label(e.To))
 		}
-		return doc
+		return b.String()
 	}
 }
 
@@ -80,11 +86,14 @@ func (ix *Inverted) Lookup(label string, minShared int) []graph.VID {
 			counts[v]++
 		}
 	}
-	var out []graph.VID
+	out := make([]graph.VID, 0, len(counts))
 	for v, c := range counts {
 		if c >= minShared {
 			out = append(out, v)
 		}
+	}
+	if len(out) == 0 {
+		return nil // no-match contract: nil, not an empty slice
 	}
 	sort.Slice(out, func(a, b int) bool {
 		ca, cb := counts[out[a]], counts[out[b]]

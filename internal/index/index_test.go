@@ -99,3 +99,42 @@ func TestNeighborhoodDoc(t *testing.T) {
 		t.Errorf("neighborhood lookup = %v", hits)
 	}
 }
+
+// TestNeighborhoodDocExactFormat pins the exact document string
+// (label, then each out-neighbor label, space-separated, in edge
+// order). The strings.Builder rewrite of NeighborhoodDoc must produce
+// byte-identical docs to the old "+"-concatenation, or previously
+// indexed tokenizations would shift.
+func TestNeighborhoodDocExactFormat(t *testing.T) {
+	g := graph.New()
+	e := g.AddVertex("item")
+	v1 := g.AddVertex("red")
+	v2 := g.AddVertex("Dame Seven")
+	g.MustAddEdge(e, v1, "hasColor")
+	g.MustAddEdge(e, v2, "names")
+	naive := g.Label(e)
+	for _, edge := range g.Out(e) {
+		naive += " " + g.Label(edge.To)
+	}
+	if got := NeighborhoodDoc(g)(e); got != naive {
+		t.Errorf("NeighborhoodDoc = %q, want %q", got, naive)
+	}
+	// A vertex with no out-edges is just its own label, no trailing space.
+	if got := NeighborhoodDoc(g)(v1); got != "red" {
+		t.Errorf("leaf doc = %q, want %q", got, "red")
+	}
+}
+
+// TestLookupNoMatchNil pins the no-match contract: Lookup returns nil,
+// never a non-nil empty slice. The capacity-preallocated rewrite
+// regressed this once; callers distinguish "no candidates" by == nil.
+func TestLookupNoMatchNil(t *testing.T) {
+	g, _ := buildGraph()
+	ix := Build(g, nil)
+	if got := ix.Lookup("zzz qqq", 1); got != nil {
+		t.Errorf("Lookup(no shared tokens) = %#v, want nil", got)
+	}
+	if got := ix.Lookup("dame", 5); got != nil {
+		t.Errorf("Lookup(minShared unreachable) = %#v, want nil", got)
+	}
+}

@@ -22,6 +22,12 @@ import (
 //     field hides a request-scoped value in long-lived state; pass it
 //     as a parameter. Deliberate exceptions (the shard work-queue task)
 //     are tracked in the committed baseline with a written reason.
+//  4. (Interprocedural.) Calling a ctx-less helper whose summary says
+//     it creates Background/TODO internally — directly or through its
+//     own callees — severs cancellation just as surely as calling
+//     context.Background() here; the call site is reported. Helpers in
+//     request-path packages or with a ctx parameter are excluded from
+//     the summary bit because rules 1–2 already flag their definitions.
 var CtxFlow = &Analyzer{
 	Name: "ctxflow",
 	Doc:  "request-path code must thread the incoming context.Context; Background/TODO forbidden there",
@@ -85,6 +91,10 @@ func (cf *ctxFlow) walkFunc(body *ast.BlockStmt, inCtx bool) {
 				case inCtx:
 					cf.p.Reportf(n.Pos(), "context.%s() inside a function that already receives a context.Context; thread the parameter", name)
 				}
+				return true
+			}
+			if cf.reqPath || inCtx {
+				cf.checkCalleeBackground(n)
 			}
 		case *ast.CompositeLit:
 			if cf.reqPath {
@@ -113,6 +123,21 @@ func (cf *ctxFlow) walkFunc(body *ast.BlockStmt, inCtx bool) {
 		}
 		return true
 	})
+}
+
+// checkCalleeBackground reports a call whose static callee's summary
+// says it creates context.Background()/TODO() internally (rule 4).
+func (cf *ctxFlow) checkCalleeBackground(call *ast.CallExpr) {
+	if cf.p.Prog == nil {
+		return
+	}
+	fn := calleeFunc(cf.p.Pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	if sum := cf.p.Prog.Summary(fn); sum != nil && sum.CallsBackground {
+		cf.p.Reportf(call.Pos(), "call to %s severs cancellation: it creates context.Background()/TODO() internally and takes no context parameter", fn.Name())
+	}
 }
 
 // backgroundCall matches context.Background() / context.TODO().

@@ -1,0 +1,361 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// HotAlloc flags per-iteration allocations in functions on the declared
+// hot path. A `//herlint:hot` directive on a function declaration marks
+// a hot root (the ParaMatch inner phases, the shard compute loop, the
+// server handlers); every function reachable from a root through the
+// call graph — including through closures, goroutines, and
+// devirtualized interface calls — is scanned. Inside any loop of a hot
+// function the analyzer reports:
+//
+//   - fmt.Sprintf/Sprint/Sprintln/Errorf calls (one or more allocations
+//     per iteration; use strconv or append onto a reused buffer);
+//   - non-constant string concatenation (each + copies both halves);
+//   - append onto a slice declared outside the loop without capacity
+//     (`var s []T` / `s := []T{}` / make with zero capacity) — the
+//     growth path re-copies the backing array log-many times;
+//   - map literals and make(map) (a fresh hashtable per iteration);
+//   - explicit conversions to an interface type (boxing escapes to the
+//     heap);
+//   - defer statements (the deferred frame allocates, and release is
+//     delayed to function exit — usually a bug inside a loop);
+//   - calls to string-returning helpers whose summary says they
+//     allocate (the Sprintf-wrapper pattern, caught interprocedurally).
+//
+// The analyzer is an advisor about the shape of the code, not a proof
+// of heap traffic: a flagged site inside a cold error branch can be
+// suppressed with `//herlint:ignore hotalloc — reason` or baselined.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions reachable from //herlint:hot roots must not allocate per loop iteration",
+	Run:  runHotAlloc,
+}
+
+var hotDirectiveRe = regexp.MustCompile(`^//\s*herlint:hot\s*$`)
+
+func runHotAlloc(p *Pass) {
+	if p.Prog == nil {
+		return
+	}
+	hot := p.Prog.hotFuncs()
+	for _, node := range p.Prog.Nodes {
+		if node.Pkg != p.Pkg || !hot[node] {
+			continue
+		}
+		checkHotFunc(p, node)
+	}
+}
+
+// hotFuncs returns (building once) the set of functions reachable from
+// the //herlint:hot roots.
+func (prog *Program) hotFuncs() map[*FuncNode]bool {
+	prog.hotOnce.Do(func() {
+		hot := make(map[*FuncNode]bool)
+		var queue []*FuncNode
+		for _, node := range prog.Nodes {
+			if node.Decl.Doc == nil {
+				continue
+			}
+			for _, c := range node.Decl.Doc.List {
+				if hotDirectiveRe.MatchString(c.Text) {
+					hot[node] = true
+					queue = append(queue, node)
+					break
+				}
+			}
+		}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, cs := range n.Out {
+				if !hot[cs.Callee] {
+					hot[cs.Callee] = true
+					queue = append(queue, cs.Callee)
+				}
+			}
+		}
+		prog.hotSet = hot
+	})
+	return prog.hotSet
+}
+
+// checkHotFunc scans one hot function's loops.
+func checkHotFunc(p *Pass, node *FuncNode) {
+	info := node.Pkg.Info
+	body := node.Decl.Body
+
+	// Loop body ranges (for/range anywhere in the decl, incl. closures —
+	// a closure defined by a hot function runs on the hot path too).
+	var loops []struct{ lo, hi token.Pos }
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, struct{ lo, hi token.Pos }{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, struct{ lo, hi token.Pos }{n.Body.Pos(), n.Body.End()})
+		}
+		return true
+	})
+	if len(loops) == 0 {
+		return
+	}
+	inLoop := func(pos token.Pos) bool {
+		for _, l := range loops {
+			if l.lo <= pos && pos < l.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	decls := sliceDeclForms(info, body)
+
+	// Func-literal ranges: a defer inside a closure launched per
+	// iteration runs when the closure returns, not at the hot function's
+	// exit, so it is not the accumulating-frames pattern.
+	var lits []struct{ lo, hi token.Pos }
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, struct{ lo, hi token.Pos }{fl.Body.Pos(), fl.Body.End()})
+		}
+		return true
+	})
+	inLit := func(pos token.Pos) bool {
+		for _, l := range lits {
+			if l.lo <= pos && pos < l.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	report := func(pos token.Pos, format string, args ...any) {
+		p.Reportf(pos, format, args...)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if inLoop(x.Pos()) && !inLit(x.Pos()) {
+				report(x.Pos(), "defer inside a loop on the hot path: the deferred frame allocates and runs only at function exit")
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && inLoop(x.Pos()) && isNonConstString(info, x) {
+				report(x.Pos(), "string concatenation in a loop on the hot path allocates per iteration; build with strconv.Append* or a reused buffer")
+				return false // don't re-report nested +
+			}
+		case *ast.CompositeLit:
+			if inLoop(x.Pos()) {
+				if tv, ok := info.Types[x]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						report(x.Pos(), "map literal in a loop on the hot path allocates a hashtable per iteration; hoist and clear, or restructure")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if !inLoop(x.Pos()) {
+				return true
+			}
+			checkHotCall(p, node, x, decls)
+		}
+		return true
+	})
+}
+
+// checkHotCall classifies one call expression inside a hot loop.
+func checkHotCall(p *Pass, node *FuncNode, call *ast.CallExpr, decls map[types.Object]sliceDecl) {
+	info := node.Pkg.Info
+
+	// Explicit conversion to an interface type: T(x) boxes.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if types.IsInterface(tv.Type) {
+			if atv, ok := info.Types[call.Args[0]]; ok && atv.Type != nil && !types.IsInterface(atv.Type) {
+				p.Reportf(call.Pos(), "conversion to interface type %s in a loop on the hot path boxes the value per iteration", types.TypeString(tv.Type, types.RelativeTo(node.Pkg.Types)))
+			}
+		}
+		return
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch info.Uses[id] {
+		case types.Universe.Lookup("append"):
+			checkHotAppend(p, node, call, decls)
+			return
+		case types.Universe.Lookup("make"):
+			if tv, ok := info.Types[call]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					p.Reportf(call.Pos(), "make(map) in a loop on the hot path allocates a hashtable per iteration; hoist and clear, or restructure")
+				}
+			}
+			return
+		}
+	}
+
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Sprintf", "Sprint", "Sprintln", "Errorf":
+			p.Reportf(call.Pos(), "fmt.%s in a loop on the hot path allocates per iteration; use strconv or append onto a reused buffer", fn.Name())
+		}
+		return
+	}
+	// Interprocedural: a module-local string-returning helper that
+	// allocates is the Sprintf-wrapper pattern.
+	if sum := p.Prog.Summary(fn); sum != nil && sum.Allocates && returnsOnlyString(fn) {
+		p.Reportf(call.Pos(), "call to %s in a loop on the hot path allocates per iteration (string-building helper)", fn.Name())
+	}
+}
+
+// checkHotAppend flags append onto a slice declared without capacity
+// outside the loop.
+func checkHotAppend(p *Pass, node *FuncNode, call *ast.CallExpr, decls map[types.Object]sliceDecl) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := node.Pkg.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	d, ok := decls[obj]
+	if !ok || !d.bare {
+		return
+	}
+	declLine := p.Fset.Position(d.pos).Line
+	p.Reportf(call.Pos(), "append to %q in a loop on the hot path grows a slice declared without capacity (line %d); preallocate with make(len/cap)", id.Name, declLine)
+}
+
+// sliceDecl records how a slice variable was declared.
+type sliceDecl struct {
+	pos  token.Pos
+	bare bool // var s []T, s := []T{}, or make with zero capacity
+}
+
+// sliceDeclForms indexes every slice-typed variable declared in the
+// body by its declaration form.
+func sliceDeclForms(info *types.Info, body *ast.BlockStmt) map[types.Object]sliceDecl {
+	out := make(map[types.Object]sliceDecl)
+	record := func(name *ast.Ident, rhs ast.Expr) {
+		obj := info.Defs[name]
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		out[obj] = sliceDecl{pos: name.Pos(), bare: bareSliceInit(info, rhs)}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok != token.DEFINE || len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				if name, ok := lhs.(*ast.Ident); ok {
+					record(name, x.Rhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := x.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					record(name, rhs)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// bareSliceInit reports whether rhs declares a slice with no capacity:
+// missing (var s []T), an empty literal, or make with zero length and
+// no capacity argument.
+func bareSliceInit(info *types.Info, rhs ast.Expr) bool {
+	switch x := ast.Unparen(rhs).(type) {
+	case nil:
+		return true
+	case *ast.CompositeLit:
+		return len(x.Elts) == 0
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+		if !ok || info.Uses[id] != types.Universe.Lookup("make") {
+			return false
+		}
+		if len(x.Args) >= 3 {
+			return false // explicit capacity
+		}
+		if len(x.Args) == 2 {
+			return isZeroLiteral(info, x.Args[1])
+		}
+		return true // make([]T) is invalid Go; unreachable in type-checked code
+	}
+	return false
+}
+
+func isZeroLiteral(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+// isNonConstString reports whether the + expression is a string
+// concatenation with at least one non-constant operand.
+func isNonConstString(info *types.Info, b *ast.BinaryExpr) bool {
+	tv, ok := info.Types[b]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false // untyped, unresolved, or folds to a constant
+	}
+	basic, isBasic := tv.Type.Underlying().(*types.Basic)
+	return isBasic && basic.Info()&types.IsString != 0
+}
+
+// returnsOnlyString reports whether fn's only result is a string.
+func returnsOnlyString(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	basic, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// sortedHotNames is used by tests and the doc generator: the hot set in
+// deterministic order.
+func (prog *Program) sortedHotNames() []string {
+	hot := prog.hotFuncs()
+	var names []string
+	for n := range hot {
+		names = append(names, n.Pkg.Types.Path()+"."+n.Fn.Name())
+	}
+	sort.Strings(names)
+	return names
+}

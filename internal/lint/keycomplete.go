@@ -1,0 +1,410 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// KeyComplete enforces cache-key completeness for request structs. A
+// struct type annotated
+//
+//	//herlint:keyed <builder>[,<builder>...]
+//
+// declares that its instances are compute requests whose results are
+// cached (and deduplicated through singleflight) under keys produced by
+// the named same-package builder functions. The contract checked:
+//
+//  1. Every field of the struct that is read on the compute path
+//     (anywhere in the package, outside the builders and outside the
+//     builder call arguments themselves) must flow into at least one
+//     builder call — directly as `x.field`, inside a larger argument
+//     expression, or through a single-assignment local alias. A field
+//     that influences the result but not the key makes two distinct
+//     requests share a cache entry: the PR-5 bug class.
+//  2. A nilable field (slice/map/pointer/interface) whose nil-ness the
+//     compute path distinguishes (compared against nil directly, or
+//     passed to a callee whose summary nil-checks that parameter) must
+//     reach a builder that also distinguishes nil — the builder's
+//     receiving parameter is nil-checked per its interprocedural
+//     summary. This is exactly the nil-vs-empty `apairKey` collision
+//     PR 5 fixed by hand.
+//
+// Fields that deliberately do not affect the result (reply channels,
+// tracing flags, timestamps) are exempted with a field comment
+// `nonkey: <reason>`; the reason is mandatory.
+var KeyComplete = &Analyzer{
+	Name: "keycomplete",
+	Doc:  "every request-struct field read on a cached compute path must flow into the cache-key builder",
+	Run:  runKeyComplete,
+}
+
+var (
+	keyedDirectiveRe = regexp.MustCompile(`^//\s*herlint:keyed[ \t]+([\w,]+)([ \t]|$)`)
+	nonkeyRe         = regexp.MustCompile(`(?m)^\s*nonkey:\s*(\S.*)?$`)
+)
+
+// keyedStruct is one annotated request struct in the package.
+type keyedStruct struct {
+	name     string
+	pos      token.Pos
+	fields   []*types.Var
+	fieldPos map[*types.Var]token.Pos
+	nonkey   map[*types.Var]bool
+	builders []*types.Func
+}
+
+func runKeyComplete(p *Pass) {
+	if p.Prog == nil {
+		return
+	}
+	for _, ks := range collectKeyedStructs(p) {
+		checkKeyedStruct(p, ks)
+	}
+}
+
+// collectKeyedStructs parses the keyed directives of the package,
+// reporting malformed ones in place.
+func collectKeyedStructs(p *Pass) []*keyedStruct {
+	var out []*keyedStruct
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				builders, pos, ok := keyedDirective(p.Fset, gd.Doc, ts.Doc)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					p.Reportf(pos, "herlint:keyed applies to struct types; %s is not a struct", ts.Name.Name)
+					continue
+				}
+				ks := &keyedStruct{
+					name:     ts.Name.Name,
+					pos:      pos,
+					fieldPos: make(map[*types.Var]token.Pos),
+					nonkey:   make(map[*types.Var]bool),
+				}
+				for _, name := range builders {
+					fn, _ := p.Pkg.Types.Scope().Lookup(name).(*types.Func)
+					if fn == nil {
+						p.Reportf(pos, "herlint:keyed names %q, which is not a function in this package", name)
+						continue
+					}
+					ks.builders = append(ks.builders, fn)
+				}
+				if len(ks.builders) == 0 {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					exempt, hasReason := nonkeyExemption(fld)
+					if exempt && !hasReason {
+						p.Reportf(fld.Pos(), "nonkey exemption on %s.%s requires a reason: `nonkey: <why this field cannot affect the result>`", ks.name, fieldNames(fld))
+					}
+					for _, id := range fld.Names {
+						v, ok := p.Pkg.Info.Defs[id].(*types.Var)
+						if !ok {
+							continue
+						}
+						ks.fields = append(ks.fields, v)
+						ks.fieldPos[v] = id.Pos()
+						if exempt {
+							ks.nonkey[v] = true
+						}
+					}
+				}
+				out = append(out, ks)
+			}
+		}
+	}
+	return out
+}
+
+// keyedDirective extracts the builder list from a type's doc comments.
+func keyedDirective(fset *token.FileSet, groups ...*ast.CommentGroup) ([]string, token.Pos, bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := keyedDirectiveRe.FindStringSubmatch(c.Text); m != nil {
+				var names []string
+				for _, n := range strings.Split(m[1], ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						names = append(names, n)
+					}
+				}
+				return names, c.Pos(), true
+			}
+		}
+	}
+	return nil, token.NoPos, false
+}
+
+// nonkeyExemption parses a field's `nonkey: reason` comment.
+func nonkeyExemption(fld *ast.Field) (exempt, hasReason bool) {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := nonkeyRe.FindStringSubmatch(cg.Text()); m != nil {
+			return true, strings.TrimSpace(m[1]) != ""
+		}
+	}
+	return false, false
+}
+
+func fieldNames(fld *ast.Field) string {
+	var names []string
+	for _, id := range fld.Names {
+		names = append(names, id.Name)
+	}
+	return strings.Join(names, ",")
+}
+
+// checkKeyedStruct runs the two contract checks over the package.
+func checkKeyedStruct(p *Pass, ks *keyedStruct) {
+	info := p.Pkg.Info
+	isField := make(map[types.Object]bool, len(ks.fields))
+	for _, v := range ks.fields {
+		isField[v] = true
+	}
+	builderSet := make(map[*types.Func]bool, len(ks.builders))
+	var builderNames []string
+	for _, b := range ks.builders {
+		builderSet[b] = true
+		builderNames = append(builderNames, b.Name())
+	}
+
+	// Builder body ranges: reads inside a builder are key construction,
+	// not compute.
+	var builderBodies []struct{ lo, hi token.Pos }
+	for _, node := range p.Prog.Nodes {
+		if node.Pkg == p.Pkg && builderSet[node.Fn] {
+			builderBodies = append(builderBodies, struct{ lo, hi token.Pos }{node.Decl.Pos(), node.Decl.End()})
+		}
+	}
+	inBuilder := func(pos token.Pos) bool {
+		for _, b := range builderBodies {
+			if b.lo <= pos && pos < b.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	flows := make(map[*types.Var]bool)      // field reaches some builder call
+	builderNil := make(map[*types.Var]bool) // ...and that builder nil-checks the receiving param
+	computeNil := make(map[*types.Var]bool) // compute path distinguishes the field's nil-ness
+	reads := make(map[*types.Var]token.Pos) // first compute-path read
+	var keyArgRanges []struct{ lo, hi token.Pos }
+	inKeyArg := func(pos token.Pos) bool {
+		for _, r := range keyArgRanges {
+			if r.lo <= pos && pos < r.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, f := range p.Pkg.Files {
+		aliases := newFileAliases(info, f)
+
+		// Pass A: builder call sites — which fields flow in, and whether
+		// the receiving parameter distinguishes nil.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || !builderSet[fn] {
+				return true
+			}
+			sum := p.Prog.Summary(fn)
+			sig, _ := fn.Type().(*types.Signature)
+			for k, arg := range call.Args {
+				mentioned := mentionedFields(info, aliases, arg, isField, nil)
+				if len(mentioned) == 0 {
+					continue
+				}
+				keyArgRanges = append(keyArgRanges, struct{ lo, hi token.Pos }{arg.Pos(), arg.End()})
+				nilChecked := false
+				if sum != nil {
+					if j, ok := staticArgParam(sig, k, len(call.Args), call.Ellipsis.IsValid()); ok && j < len(sum.ParamNilCheck) {
+						nilChecked = sum.ParamNilCheck[j]
+					}
+				}
+				for _, v := range mentioned {
+					flows[v] = true
+					if nilChecked {
+						builderNil[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range p.Pkg.Files {
+		writes := make(map[ast.Expr]bool)
+		collectWriteExprs(f, writes)
+
+		// Pass B: compute-path reads and nil-distinctions.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				v := fieldSelection(info, x, isField)
+				if v == nil || writes[x] || inBuilder(x.Pos()) || inKeyArg(x.Pos()) {
+					return true
+				}
+				if _, seen := reads[v]; !seen {
+					reads[v] = x.Pos()
+				}
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if inBuilder(x.Pos()) {
+					return true
+				}
+				for _, pair := range [2][2]ast.Expr{{x.X, x.Y}, {x.Y, x.X}} {
+					sel, ok := ast.Unparen(pair[0]).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					v := fieldSelection(info, sel, isField)
+					if v == nil {
+						continue
+					}
+					if id, ok := ast.Unparen(pair[1]).(*ast.Ident); ok && id.Name == "nil" {
+						computeNil[v] = true
+					}
+				}
+			case *ast.CallExpr:
+				// Field handed to a callee that nil-checks the parameter.
+				fn := calleeFunc(info, x)
+				if fn == nil || builderSet[fn] || inBuilder(x.Pos()) {
+					return true
+				}
+				sum := p.Prog.Summary(fn)
+				if sum == nil {
+					return true
+				}
+				sig, _ := fn.Type().(*types.Signature)
+				for k, arg := range x.Args {
+					sel, ok := ast.Unparen(arg).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					v := fieldSelection(info, sel, isField)
+					if v == nil {
+						continue
+					}
+					if j, ok := staticArgParam(sig, k, len(x.Args), x.Ellipsis.IsValid()); ok && j < len(sum.ParamNilCheck) && sum.ParamNilCheck[j] {
+						computeNil[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	sort.Strings(builderNames)
+	blist := strings.Join(builderNames, ", ")
+	for _, v := range ks.fields {
+		if ks.nonkey[v] {
+			continue
+		}
+		readPos, isRead := reads[v]
+		if !isRead {
+			continue // never read on a compute path: cannot affect the result
+		}
+		if !flows[v] {
+			rp := p.Fset.Position(readPos)
+			p.Reportf(ks.fieldPos[v], "field %q of keyed struct %s is read on the compute path (%s:%d) but never flows into key builder(s) %s; include it in the key or mark it `nonkey: <reason>`",
+				v.Name(), ks.name, filepath.Base(rp.Filename), rp.Line, blist)
+			continue
+		}
+		if nilableType(v.Type()) && computeNil[v] && !builderNil[v] {
+			p.Reportf(ks.fieldPos[v], "nil-vs-empty: field %q of keyed struct %s is nil-checked on the compute path, but no key builder receiving it distinguishes nil — two requests differing only in nil-ness share a cache key",
+				v.Name(), ks.name)
+		}
+	}
+}
+
+// fieldSelection resolves a selector to one of the tracked fields.
+func fieldSelection(info *types.Info, sel *ast.SelectorExpr, isField map[types.Object]bool) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !isField[v] {
+		return nil
+	}
+	return v
+}
+
+// mentionedFields collects the tracked fields mentioned anywhere inside
+// the expression, following single-assignment local aliases one level
+// at a time (`srcs := t.sources; key(srcs)`).
+func mentionedFields(info *types.Info, aliases *fileAliases, e ast.Expr, isField map[types.Object]bool, visiting map[types.Object]bool) []*types.Var {
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	add := func(v *types.Var) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if v := fieldSelection(info, x, isField); v != nil {
+				add(v)
+			}
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil || aliases.tainted[obj] || visiting[obj] {
+				return true
+			}
+			rhs, ok := aliases.defRHS[obj]
+			if !ok {
+				return true
+			}
+			vis := visiting
+			if vis == nil {
+				vis = make(map[types.Object]bool)
+			}
+			vis[obj] = true
+			for _, v := range mentionedFields(info, aliases, rhs, isField, vis) {
+				add(v)
+			}
+			delete(vis, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// nilableType reports whether nil is a distinguishable value of t.
+func nilableType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Interface, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}

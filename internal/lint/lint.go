@@ -34,13 +34,33 @@
 //	             context.Context; Background()/TODO() forbidden in
 //	             serving and shard scatter-gather packages
 //
+// and the whole-module interprocedural analyzers built on the
+// type-resolved call graph and bottom-up per-function summaries
+// (callgraph.go/summaries.go):
+//
+//	lockorder   — the global lock-acquisition-order graph, assembled
+//	              from interprocedural locksets, must be acyclic
+//	              (a cycle is a potential deadlock)
+//	hotalloc    — functions reachable from //herlint:hot roots must
+//	              not allocate per loop iteration (Sprintf, string
+//	              concat, un-preallocated append, map literals,
+//	              interface boxing, defer in loops)
+//	keycomplete — every field of a //herlint:keyed request struct
+//	              that is read on the cached compute path must flow
+//	              into the named cache-key builder(s), with nil-ness
+//	              preserved when the compute path distinguishes it
+//	directive   — herlint: control comments themselves must be
+//	              well-formed (known verb, explicit analyzer list,
+//	              written reason)
+//
 // A finding can be suppressed with a trailing or preceding comment
 //
 //	//herlint:ignore <analyzer>[,<analyzer>...] — reason
 //
-// which applies to its own line and the line below it. See DESIGN.md
-// ("Determinism and concurrency contracts") for the invariant each
-// analyzer protects.
+// which applies to its own line and the line below it; the analyzer
+// list and the reason are mandatory (enforced by directive). See
+// DESIGN.md ("Determinism and concurrency contracts") for the
+// invariant each analyzer protects.
 package lint
 
 import (
@@ -64,6 +84,7 @@ type Analyzer struct {
 var All = []*Analyzer{
 	MapIter, FloatEq, NilRecv, GlobalRand, ErrDrop, MetricName,
 	LockGuard, AtomicMix, SnapLeak, CtxFlow,
+	LockOrder, HotAlloc, KeyComplete, Directive,
 }
 
 // ByName returns the analyzers matching the comma-separated names list,
@@ -100,11 +121,16 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of one package. Prog is the shared
+// whole-module view (call graph + summaries) built once per Run; an
+// interprocedural analyzer consults it globally but must anchor every
+// finding at a position inside its own package, so that concurrent
+// per-package passes never report the same fact twice.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	Prog     *Program
 
 	ignores map[string]map[int]map[string]bool // file → line → suppressed analyzers
 	out     *[]Diagnostic
@@ -181,6 +207,12 @@ func RunParallel(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet, wo
 	if workers > len(pkgs) {
 		workers = len(pkgs)
 	}
+	// The whole-module view is built once, before the per-package
+	// workers start: summaries are computed bottom-up here, and the
+	// lazily derived caches inside Program are sync.Once-guarded, so
+	// the workers only ever read it.
+	prog := BuildProgram(pkgs)
+
 	perPkg := make([][]Diagnostic, len(pkgs))
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -192,7 +224,7 @@ func RunParallel(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet, wo
 				pkg := pkgs[i]
 				ignores := buildIgnores(fset, pkg.Files)
 				for _, a := range analyzers {
-					a.Run(&Pass{Analyzer: a, Fset: fset, Pkg: pkg, ignores: ignores, out: &perPkg[i]})
+					a.Run(&Pass{Analyzer: a, Fset: fset, Pkg: pkg, Prog: prog, ignores: ignores, out: &perPkg[i]})
 				}
 			}
 		}()

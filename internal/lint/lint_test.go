@@ -122,6 +122,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{SnapLeak, "snapleak"},
 		{CtxFlow, filepath.Join("ctxflow", "server")},
 		{CtxFlow, filepath.Join("ctxflow", "lib")},
+		{LockOrder, "lockorder"},
+		{HotAlloc, "hotalloc"},
+		{KeyComplete, "keycomplete"},
+		{Directive, "directive"},
 	}
 	for _, c := range cases {
 		t.Run(c.analyzer.Name+"/"+filepath.Base(c.dir), func(t *testing.T) {

@@ -26,7 +26,12 @@ import (
 //   - accesses through freshly constructed, not-yet-shared objects
 //     (`s := &System{...}`) need no lock;
 //   - accesses whose base the alias pass cannot resolve to a stable
-//     path are skipped rather than reported (lenient by design).
+//     path are skipped rather than reported (lenient by design);
+//   - a static call to a function whose interprocedural summary says it
+//     acquires a mutex on every return path (`lockAll`) adds that lock
+//     to the caller's set, and one that releases on every path
+//     (`unlockAll`) removes it — helper-mediated locking no longer
+//     false-positives (summaries.go).
 var LockGuard = &Analyzer{
 	Name: "lockguard",
 	Doc:  "fields annotated `guarded by <mu>` must be accessed with the mutex held on every path",
@@ -79,6 +84,23 @@ func runLockGuard(p *Pass) {
 			return true
 		})
 	}
+}
+
+// calleeLockSummary returns the summarized exit lock effects of the
+// call's static callee, or nil.
+func (lg *lockguardFunc) calleeLockSummary(call *ast.CallExpr) *FuncSummary {
+	if lg.p.Prog == nil {
+		return nil
+	}
+	fn := calleeFunc(lg.p.Pkg.Info, call)
+	if fn == nil {
+		return nil
+	}
+	cs := lg.p.Prog.Summary(fn)
+	if cs == nil || (len(cs.ExitLocks) == 0 && len(cs.ExitUnlocks) == 0) {
+		return nil
+	}
+	return cs
 }
 
 // collectLockGuards parses every `// guarded by <mu>` field annotation
@@ -291,6 +313,14 @@ func (lg *lockguardFunc) walk(n ast.Node, st lockset, report, inDefer bool) {
 				}
 				return false
 			}
+			// Helper-mediated locking: a deferred helper-unlock keeps
+			// the lock held to function exit (like defer mu.Unlock()),
+			// so callee effects apply only to non-deferred calls.
+			if !inDefer {
+				if cs := lg.calleeLockSummary(x); cs != nil {
+					applyCalleeLockEffects(st, lg.p.Pkg.Info, lg.aliases, x, cs)
+				}
+			}
 		case *ast.SelectorExpr:
 			lg.checkAccess(x, st, report)
 		}
@@ -299,26 +329,9 @@ func (lg *lockguardFunc) walk(n ast.Node, st lockset, report, inDefer bool) {
 }
 
 // lockOp recognizes mu.Lock/Unlock/RLock/RUnlock calls on a resolvable
-// mutex path.
+// mutex path (shared recognizer in summaries.go).
 func (lg *lockguardFunc) lockOp(call *ast.CallExpr) (path, op string, ok bool) {
-	sel, isSel := call.Fun.(*ast.SelectorExpr)
-	if !isSel {
-		return "", "", false
-	}
-	switch sel.Sel.Name {
-	case "Lock", "Unlock", "RLock", "RUnlock":
-	default:
-		return "", "", false
-	}
-	tv, okT := lg.p.Pkg.Info.Types[sel.X]
-	if !okT || tv.Type == nil || !isMutexType(tv.Type) {
-		return "", "", false
-	}
-	p := lg.aliases.exprPath(sel.X)
-	if p == "" {
-		return "", "", false
-	}
-	return p, sel.Sel.Name, true
+	return mutexOpCall(lg.p.Pkg.Info, lg.aliases, call)
 }
 
 func applyLockOp(st lockset, path, op string) {

@@ -117,7 +117,7 @@ func (sl *snapLeak) checkSinks(f *ast.File) {
 				}
 			}
 		case *ast.CallExpr:
-			fn := calleeFunc(sl.p, n)
+			fn := calleeFunc(sl.p.Pkg.Info, n)
 			if fn == nil || !isShardPkg(fn.Pkg()) {
 				return true
 			}
@@ -191,19 +191,4 @@ func typeInShardPkg(t types.Type) bool {
 	}
 	named, ok := t.(*types.Named)
 	return ok && isShardPkg(named.Obj().Pkg())
-}
-
-// calleeFunc resolves the called function or method, or nil.
-func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return nil
-	}
-	fn, _ := p.Pkg.Info.Uses[id].(*types.Func)
-	return fn
 }

@@ -1,0 +1,47 @@
+// Package directive is a herlint fixture for the directive validator:
+// herlint: control comments must use a known verb, an explicit analyzer
+// list, and a dash-separated written reason.
+package directive
+
+import "sync"
+
+func ignores() int {
+	x := 1 //herlint:ignore // want `bare herlint:ignore suppresses nothing`
+	y := 2 //herlint:ignore nosuch — covered elsewhere // want `herlint:ignore names unknown analyzer(s) nosuch`
+	z := 3 //herlint:ignore floateq missing the dash // want `herlint:ignore requires a dash-separated written reason`
+	w := 4 //herlint:ignore floateq — a proper reason
+	v := 5 //herlint:ignore lockguard,mapiter — multiple analyzers with a reason
+	return x + y + z + w + v
+}
+
+//herlint:typo on the verb // want `unknown herlint directive "typo"`
+func unknownVerb() {}
+
+// hotWithArgs carries an argument the directive does not take.
+//
+//herlint:hot always // want `herlint:hot takes no arguments`
+func hotWithArgs() {}
+
+// hotValid is the accepted form.
+//
+//herlint:hot
+func hotValid() {}
+
+var misplacedHot = 6 //herlint:hot // want `herlint:hot must be part of a function declaration's doc comment`
+
+var misplacedKeyed = 7 //herlint:keyed someKey // want `herlint:keyed must be part of a type declaration's doc comment`
+
+// bareKeyed names no builder.
+//
+//herlint:keyed // want `malformed herlint:keyed`
+type bareKeyed struct {
+	mu sync.Mutex
+}
+
+// keyedValid is the accepted form; whether someKey exists is
+// keycomplete's business, not directive's.
+//
+//herlint:keyed someKey
+type keyedValid struct {
+	u int
+}

@@ -1,0 +1,112 @@
+// Package hotalloc is a herlint fixture for the hot-path allocation
+// analyzer: functions reachable from //herlint:hot roots must not
+// allocate per loop iteration.
+package hotalloc
+
+import "fmt"
+
+// Serve is a declared hot root: it and everything it reaches is
+// scanned.
+//
+//herlint:hot
+func Serve(items []int) string {
+	out := make([]string, 0, len(items)) // preallocated: fine
+	for _, v := range items {
+		out = append(out, fmt.Sprintf("item-%d", v)) // want `fmt.Sprintf in a loop on the hot path allocates per iteration`
+	}
+	return render(out)
+}
+
+// render is hot by reachability from Serve, not by annotation.
+func render(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s = s + p // want `string concatenation in a loop on the hot path allocates per iteration`
+	}
+	return s
+}
+
+// Merge is a second hot root exercising the growth and boxing checks.
+//
+//herlint:hot
+func Merge(chunks [][]int) ([]int, []any, map[int]bool) {
+	var merged []int
+	boxed := make([]any, 0, 8)
+	var last map[int]bool
+	for _, c := range chunks {
+		merged = append(merged, c...) // want `append to "merged" in a loop on the hot path grows a slice declared without capacity`
+		for _, v := range c {
+			boxed = append(boxed, any(v)) // want `conversion to interface type any in a loop on the hot path boxes the value`
+		}
+		last = map[int]bool{len(c): true} // want `map literal in a loop on the hot path allocates a hashtable per iteration`
+	}
+	return merged, boxed, last
+}
+
+// Cleanup exercises the defer-in-loop and make(map) checks.
+//
+//herlint:hot
+func Cleanup(files []func() error) map[string]int {
+	var m map[string]int
+	for _, close := range files {
+		defer close()            // want `defer inside a loop on the hot path`
+		m = make(map[string]int) // want `make(map) in a loop on the hot path allocates a hashtable per iteration`
+	}
+	return m
+}
+
+// Fanout defers inside per-iteration goroutine closures: those frames
+// unwind when each closure returns, so no finding.
+//
+//herlint:hot
+func Fanout(jobs []func()) {
+	done := make(chan struct{}, len(jobs))
+	for _, j := range jobs {
+		go func(j func()) {
+			defer func() { done <- struct{}{} }()
+			j()
+		}(j)
+	}
+	for range jobs {
+		<-done
+	}
+}
+
+// keyFor is a string-building helper: it allocates and returns a
+// string, so calling it per iteration is the Sprintf-wrapper pattern.
+func keyFor(v int) string {
+	return fmt.Sprintf("key-%d", v)
+}
+
+// Lookup calls the helper from a hot loop.
+//
+//herlint:hot
+func Lookup(items []int, cache map[string]int) int {
+	total := 0
+	for _, v := range items {
+		total += cache[keyFor(v)] // want `call to keyFor in a loop on the hot path allocates per iteration (string-building helper)`
+	}
+	return total
+}
+
+// cold has the same shapes but is not reachable from any hot root:
+// nothing is reported.
+func cold(items []int) string {
+	s := ""
+	for _, v := range items {
+		s = s + fmt.Sprintf("%d", v)
+	}
+	return s
+}
+
+// Preallocated shows the accepted patterns: capacity given up front,
+// no per-iteration maps, strconv-free building outside the loop.
+//
+//herlint:hot
+func Preallocated(items []int) []int {
+	doubled := make([]int, 0, len(items))
+	for _, v := range items {
+		doubled = append(doubled, v*2)
+	}
+	return doubled
+}

@@ -1,0 +1,125 @@
+// Package keycomplete is a herlint fixture for cache-key completeness:
+// every field of a keyed request struct that is read on the compute
+// path must flow into the declared key builder, with nil-ness
+// preserved when the compute path distinguishes it.
+package keycomplete
+
+import "fmt"
+
+// task mirrors the shard work item: u and sources are keyed, reply is
+// exempt, mode is read by compute but missing from the key.
+//
+//herlint:keyed taskKey
+type task struct {
+	u       int
+	sources []int
+	mode    string // want `field "mode" of keyed struct task is read on the compute path`
+	// nonkey: reply is the response channel; it cannot affect the result
+	reply chan int
+	// nonkey:
+	traced bool // want `nonkey exemption on task.traced requires a reason`
+	unused int
+}
+
+// taskKey distinguishes nil sources from an explicit empty list — the
+// contract the analyzer checks interprocedurally.
+func taskKey(u int, sources []int) string {
+	if sources == nil {
+		return fmt.Sprintf("task:%d:all", u)
+	}
+	return fmt.Sprintf("task:%d:%v", u, sources)
+}
+
+func computeTask(t *task) int {
+	key := taskKey(t.u, t.sources)
+	if t.mode == "strict" {
+		return len(key) * 2
+	}
+	if t.sources == nil {
+		return len(key)
+	}
+	t.reply <- len(key)
+	if t.traced {
+		return 1
+	}
+	return 0
+}
+
+// apairReq reproduces the PR-5 nil-vs-empty bug: compute distinguishes
+// nil sources, but the key builder folds nil and empty into the same
+// string.
+//
+//herlint:keyed apairKeyBroken
+type apairReq struct {
+	sources []int // want `nil-vs-empty: field "sources" of keyed struct apairReq is nil-checked on the compute path`
+}
+
+// apairKeyBroken never compares sources against nil: "all of the
+// graph" (nil) and "explicitly none" (empty) share a key.
+func apairKeyBroken(sources []int) string {
+	return fmt.Sprintf("apair:%v", sources)
+}
+
+func computeAPair(r *apairReq) int {
+	_ = apairKeyBroken(r.sources)
+	if r.sources == nil {
+		return -1 // "all sources" semantics
+	}
+	return len(r.sources)
+}
+
+// fixedReq is the corrected shape: the builder nil-checks, matching the
+// compute path, so the struct is silent.
+//
+//herlint:keyed apairKeyFixed
+type fixedReq struct {
+	sources []int
+}
+
+func apairKeyFixed(sources []int) string {
+	if sources == nil {
+		return "apair:all"
+	}
+	return fmt.Sprintf("apair:%v", sources)
+}
+
+func computeFixed(r *fixedReq) int {
+	_ = apairKeyFixed(r.sources)
+	if r.sources == nil {
+		return -1
+	}
+	return len(r.sources)
+}
+
+// aliasReq shows a field flowing to the builder through a
+// single-assignment local alias.
+//
+//herlint:keyed aliasKey
+type aliasReq struct {
+	names []string
+}
+
+func aliasKey(names []string) string {
+	if names == nil {
+		return "alias:all"
+	}
+	return fmt.Sprintf("alias:%v", names)
+}
+
+func computeAlias(r *aliasReq) int {
+	ns := r.names
+	_ = aliasKey(ns)
+	if r.names == nil {
+		return 0
+	}
+	return len(r.names)
+}
+
+// badDirective exercises the directive-resolution diagnostics.
+//
+//herlint:keyed noSuchBuilder // want `herlint:keyed names "noSuchBuilder", which is not a function in this package`
+type badDirective struct {
+	v int
+}
+
+func useBadDirective(b *badDirective) int { return b.v }

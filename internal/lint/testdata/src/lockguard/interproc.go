@@ -1,0 +1,32 @@
+package lockguard
+
+// Helper-mediated locking: the interprocedural summaries tell lockguard
+// that lockAll leaves mu held on every return path and unlockAll
+// releases it, so accesses between the two are guarded.
+
+func (b *box) lockAll()   { b.mu.Lock() }
+func (b *box) unlockAll() { b.mu.Unlock() }
+
+// touch locks and fully unlocks: net-zero exit effect, no credit.
+func (b *box) touch() {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func (b *box) goodHelperLocked() int {
+	b.lockAll()
+	n := b.n
+	b.unlockAll()
+	return n
+}
+
+func (b *box) badAfterHelperUnlock() int {
+	b.lockAll()
+	b.unlockAll()
+	return b.n // want `read of "n" requires mu held`
+}
+
+func (b *box) badAfterBalancedHelper() int {
+	b.touch()
+	return b.n // want `read of "n" requires mu held`
+}

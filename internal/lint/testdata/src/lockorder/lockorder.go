@@ -1,0 +1,87 @@
+// Package lockorder is a herlint fixture for the lock-order analyzer:
+// the global acquisition-order graph must be acyclic. The A/B pair
+// seeds a direct two-lock cycle; the C/D pair seeds a cycle where one
+// direction is only visible interprocedurally, through a helper's
+// summarized Acquires; the E/F pair is locked in a consistent
+// hierarchy everywhere and must stay silent.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.RWMutex }
+
+type E struct{ mu sync.Mutex }
+
+type F struct{ mu sync.Mutex }
+
+// abPath takes A.mu then B.mu: the forward direction.
+func abPath(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "potential deadlock: lock-order cycle .*\.A\.mu → .*\.B\.mu → .*\.A\.mu"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// baPath takes them in the opposite order: together with abPath this
+// closes the cycle.
+func baPath(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// lockD acquires D.mu transiently; callers inherit the acquisition via
+// the interprocedural summary even though no D lock is visible at the
+// call site.
+func lockD(d *D) {
+	d.mu.RLock()
+	d.mu.RUnlock()
+}
+
+// cdPath holds C.mu across a call that acquires D.mu: a C→D edge with
+// no direct D lock in this function.
+func cdPath(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d) // want "potential deadlock: lock-order cycle .*\.C\.mu → .*\.D\.mu → .*\.C\.mu"
+	c.mu.Unlock()
+}
+
+// dcPath takes D.mu then C.mu directly, closing the C/D cycle.
+func dcPath(c *C, d *D) {
+	d.mu.RLock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	d.mu.RUnlock()
+}
+
+// efOne and efTwo both respect the E-before-F hierarchy: no cycle, no
+// finding.
+func efOne(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func efTwo(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+}
+
+// seqPath releases E.mu before taking F.mu: sequential acquisition adds
+// no ordering edge.
+func seqPath(e *E, f *F) {
+	e.mu.Lock()
+	e.mu.Unlock()
+	f.mu.Lock()
+	f.mu.Unlock()
+}

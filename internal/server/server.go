@@ -375,6 +375,7 @@ func pairParams(r *http.Request, needVertex bool) (rel string, tuple int, vertex
 	return rel, tuple, vertex, nil
 }
 
+//herlint:hot
 func (s *Server) handleSPair(w http.ResponseWriter, r *http.Request) {
 	rel, tuple, vertex, err := pairParams(r, true)
 	if err != nil {
@@ -462,6 +463,7 @@ func (s *Server) vpairMatches(ctx context.Context, rel string, tuple int) ([]her
 	return out.pairs, out.err
 }
 
+//herlint:hot
 func (s *Server) handleVPair(w http.ResponseWriter, r *http.Request) {
 	rel, tuple, _, err := pairParams(r, false)
 	if err != nil {
@@ -490,6 +492,7 @@ func (s *Server) handleVPair(w http.ResponseWriter, r *http.Request) {
 	rsp.End()
 }
 
+//herlint:hot
 func (s *Server) handleAPair(w http.ResponseWriter, r *http.Request) {
 	workers := 1
 	if q := r.URL.Query().Get("workers"); q != "" {
@@ -567,10 +570,14 @@ func (s *Server) handleAPair(w http.ResponseWriter, r *http.Request) {
 		Vertex int32  `json:"vertex"`
 	}
 	out := make([]pairJSON, 0, len(shown))
+	buf := make([]byte, 0, 64) // reused per row instead of Sprintf allocating twice
 	for _, m := range shown {
 		label := ""
 		if ref, ok := s.sys.TupleOf(m.U); ok {
-			label = fmt.Sprintf("%s/%d", ref.Relation, ref.TupleID)
+			buf = append(buf[:0], ref.Relation...)
+			buf = append(buf, '/')
+			buf = strconv.AppendInt(buf, int64(ref.TupleID), 10)
+			label = string(buf)
 		}
 		out = append(out, pairJSON{Tuple: label, Vertex: int32(m.V)})
 	}

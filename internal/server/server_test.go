@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strconv"
 	"strings"
 	"sync"
@@ -200,6 +201,14 @@ func TestAPairEndpoint(t *testing.T) {
 	}
 	if body["count"].(float64) != 2 {
 		t.Errorf("count = %v", body["count"])
+	}
+	// Tuple labels are "relation/id" — pinned so the manual append
+	// formatting (which replaced fmt.Sprintf) can't drift.
+	for _, m := range body["matches"].([]interface{}) {
+		label := m.(map[string]interface{})["tuple"].(string)
+		if !regexp.MustCompile(`^[A-Za-z_]\w*/\d+$`).MatchString(label) {
+			t.Errorf("tuple label %q not in relation/id form", label)
+		}
 	}
 	if code, _ := get(t, New(sys), "/apair?workers=nope"); code != http.StatusBadRequest {
 		t.Errorf("bad workers = %d", code)

@@ -300,7 +300,7 @@ func (e *Engine) applyEdgeDelta(st *shardState, d *Delta) error {
 	}
 	forget := reverseRegion(st.g, d.From, maxLen)
 
-	var touched []*shardWorker
+	touched := make([]*shardWorker, 0, len(st.shards))
 	for i, w := range st.shards {
 		lfrom, ok := w.localOf(d.From)
 		if !ok || !expandEdges(int(w.depthOf[lfrom]), st.radius, w.blocking && w.isOwned[lfrom]) {
@@ -514,7 +514,7 @@ func reverseRegion(g *graph.Graph, v graph.VID, hops int) map[graph.VID]bool {
 	region := map[graph.VID]bool{v: true}
 	frontier := []graph.VID{v}
 	for d := 0; len(frontier) > 0 && (hops < 0 || d < hops); d++ {
-		var next []graph.VID
+		next := make([]graph.VID, 0, len(frontier))
 		for _, x := range frontier {
 			for _, in := range g.In(x) {
 				if !region[in] {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -115,17 +116,30 @@ func (e *Engine) generation() uint64 {
 
 // task is one unit of per-shard work. reply is buffered (capacity 1)
 // so a worker never blocks on an abandoned request.
+//
+// The struct is a cached compute request: herlint's keycomplete check
+// enforces that every field the compute path reads either flows into
+// one of the declared key builders or carries a written exemption.
+//
+//herlint:keyed vpairKey,apairKey
 type task struct {
-	ctx     context.Context
+	// nonkey: per-request cancellation; decides whether the result is
+	// delivered, never what it is
+	ctx context.Context
+	// nonkey: the op selects the builder, and the builders' key spaces
+	// are disjoint by construction ("vpair:" vs "apair:" prefixes)
 	op      taskOp
 	u       graph.VID   // VPair source
 	sources []graph.VID // APair sources
-	reply   chan taskResult
+	// nonkey: response channel, carries the result out
+	reply chan taskResult
 	// enqueuedAt is stamped at enqueue when the worker measures queue
 	// wait (metrics registered) or the request carries a span; zero
 	// otherwise, so the disabled path never reads the clock.
+	// nonkey: observability timestamp, cannot affect the match set
 	enqueuedAt time.Time
-	traced     bool // request carries a span: worker must stamp times
+	// nonkey: tracing flag, only controls whether timestamps are stamped
+	traced bool // request carries a span: worker must stamp times
 }
 
 type taskOp int
@@ -152,6 +166,8 @@ type taskResult struct {
 // run is the worker's drain loop: one goroutine per shard owns the
 // matcher, so the (deliberately non-thread-safe) core.Matcher needs no
 // locking and its cache warms across requests.
+//
+//herlint:hot
 func (w *shardWorker) run() {
 	for t := range w.queue {
 		if t.op == opBarrier {
@@ -202,16 +218,16 @@ func (w *shardWorker) run() {
 // triggered a rebuild.
 func (e *Engine) VPair(ctx context.Context, u graph.VID) ([]core.Pair, error) {
 	e.met.vpairRequests.Inc()
-	key := "vpair:" + fmt.Sprint(u)
-	return e.serve(ctx, key, u, &task{op: opVPair, u: u})
+	t := &task{op: opVPair, u: u}
+	return e.serve(ctx, vpairKey(t.u), t.u, t)
 }
 
 // APair computes all matches for the given G_D source vertices (nil
 // means every vertex of G_D) across the shards.
 func (e *Engine) APair(ctx context.Context, sources []graph.VID) ([]core.Pair, error) {
 	e.met.apairRequests.Inc()
-	return e.serve(ctx, apairKey(sources), graph.NoVertex,
-		&task{op: opAPair, sources: sources})
+	t := &task{op: opAPair, sources: sources}
+	return e.serve(ctx, apairKey(t.sources), graph.NoVertex, t)
 }
 
 // scopeOf parses a request prototype into the cache entry's vertex
@@ -227,6 +243,12 @@ func scopeOf(proto *task) keyScope {
 		}
 	}
 	return sc
+}
+
+// vpairKey builds the cache key of a single-source VPair request. The
+// "vpair:" prefix keeps its key space disjoint from apairKey's.
+func vpairKey(u graph.VID) string {
+	return "vpair:" + strconv.FormatInt(int64(u), 10)
 }
 
 // apairKey folds the source set into the cache key so distinct source
@@ -323,6 +345,8 @@ func (e *Engine) serve(ctx context.Context, key string, scope graph.VID, proto *
 // compute scatters proto to every shard worker and gathers the merged,
 // sorted, override-reconciled match set. Admission control happens at
 // enqueue: any full queue sheds the whole request with ErrOverloaded.
+//
+//herlint:hot
 func (e *Engine) compute(ctx context.Context, gen uint64, scope graph.VID, proto *task) ([]core.Pair, error) {
 	st, release, err := e.state(gen)
 	if err != nil {
@@ -359,7 +383,8 @@ func (e *Engine) compute(ctx context.Context, gen uint64, scope graph.VID, proto
 	}
 	ssp.End()
 	gsp := sp.Child("gather")
-	var merged []core.Pair
+	results := make([]taskResult, len(tasks))
+	total := 0
 	for i, t := range tasks {
 		select {
 		case r := <-t.reply:
@@ -372,17 +397,24 @@ func (e *Engine) compute(ctx context.Context, gen uint64, scope graph.VID, proto
 				// reads: enqueue→dequeue is queue wait, dequeue→done is
 				// compute. The shard span nests both under gather.
 				shSp := gsp.ChildInterval("shard", t.enqueuedAt, r.doneAt)
-				shSp.SetAttr("shard", fmt.Sprint(st.shards[i].id))
+				shSp.SetAttr("shard", strconv.Itoa(st.shards[i].id))
 				shSp.ChildInterval("queue_wait", t.enqueuedAt, r.dequeuedAt)
 				shSp.ChildInterval("compute", r.dequeuedAt, r.doneAt)
 			}
-			merged = append(merged, r.pairs...)
+			results[i] = r
+			total += len(r.pairs)
 		case <-ctx.Done():
 			gsp.End()
 			return nil, ctx.Err()
 		}
 	}
 	gsp.End()
+	// One allocation sized to the gathered total, instead of letting
+	// append re-grow (and re-copy) the merged slice shard by shard.
+	merged := make([]core.Pair, 0, total)
+	for _, r := range results {
+		merged = append(merged, r.pairs...)
+	}
 	msp := sp.Child("merge")
 	core.SortPairs(merged)
 	if e.cfg.Overrides != nil {

@@ -262,7 +262,7 @@ func buildWorker(cfg Config, frag *graph.Fragment, radius int, docD func(graph.V
 	}
 	frontier := frag.Owned
 	for d := 0; len(frontier) > 0 && expandEdges(d, radius, blocking); d++ {
-		var next []graph.VID
+		next := make([]graph.VID, 0, len(frontier))
 		for _, gv := range frontier {
 			for _, e := range cfg.G.Out(gv) {
 				if depthOf[e.To] < 0 {

@@ -658,3 +658,25 @@ func TestQueueWaitAttributionMetrics(t *testing.T) {
 		t.Errorf("apair gather count = %d, want 1", n)
 	}
 }
+
+// TestVPairKeyFormatAndDisjointSpaces: vpairKey must be stable per
+// vertex, injective over vertices, and prefixed so it can never
+// collide with any apairKey — the two builders share one cache/
+// singleflight namespace in Engine.serve.
+func TestVPairKeyFormatAndDisjointSpaces(t *testing.T) {
+	if got := vpairKey(7); got != "vpair:7" {
+		t.Fatalf("vpairKey(7) = %q, want %q", got, "vpair:7")
+	}
+	if vpairKey(1) == vpairKey(2) {
+		t.Fatal("distinct vertices share a vpair key")
+	}
+	for _, ak := range []string{
+		apairKey(nil),
+		apairKey([]graph.VID{}),
+		apairKey([]graph.VID{7}),
+	} {
+		if ak == vpairKey(7) {
+			t.Fatalf("apair key %q collides with vpair key space", ak)
+		}
+	}
+}

@@ -18,15 +18,30 @@ fail() {
     exit 1
 }
 
-unformatted=$(gofmt -l . 2>/dev/null || true)
-if [ -n "$unformatted" ]; then
-    echo "gofmt needed on:" >&2
-    echo "$unformatted" >&2
-    fail gofmt
-fi
+# stage NAME CMD... runs CMD and prints its wall time, so any stage's
+# cost regression shows up in the banner, not just the lint stage's.
+stage() {
+    local name=$1
+    shift
+    local start
+    start=$(date +%s)
+    "$@" || fail "$name"
+    echo "check.sh: stage '$name' passed in $(($(date +%s) - start))s"
+}
 
-go vet ./... || fail "go vet"
-go build ./... || fail "go build"
+gofmt_clean() {
+    local unformatted
+    unformatted=$(gofmt -l . 2>/dev/null || true)
+    if [ -n "$unformatted" ]; then
+        echo "gofmt needed on:" >&2
+        echo "$unformatted" >&2
+        return 1
+    fi
+}
+
+stage gofmt gofmt_clean
+stage "go vet" go vet ./...
+stage "go build" go build ./...
 # Self-lint: the full analyzer suite over the whole module, minus the
 # committed baseline (each entry carries a written justification; a
 # stale entry fails the run). The wall time is printed so self-lint
@@ -34,12 +49,12 @@ go build ./... || fail "go build"
 lint_start=$(date +%s)
 go run ./cmd/herlint -baseline .herlint-baseline.json ./... || fail "herlint"
 echo "check.sh: herlint self-lint clean in $(($(date +%s) - lint_start))s"
-go test ./... || fail "go test"
-go test -race -short ./... || fail "go test -race -short"
+stage "go test" go test ./...
+stage "go test -race -short" go test -race -short ./...
 # The sharded serving engine is the most concurrency-dense code in the
 # repo (per-shard workers, singleflight, LRU cache, generation rebuilds),
 # so it gets a full (non-short) race pass on top of the module-wide one.
-go test -race ./internal/shard ./internal/server || fail "go test -race shard/server"
+stage "go test -race shard/server" go test -race ./internal/shard ./internal/server
 
 # Tier-2: differential correctness and fuzz smokes. The differential
 # suite re-runs internal/testkit with a widened seed sweep (the default
@@ -47,16 +62,19 @@ go test -race ./internal/shard ./internal/server || fail "go test -race shard/se
 # smokes give each Go-native fuzz target a bounded budget on top of the
 # committed corpora. Tune with TESTKIT_SEEDS / CHECK_FUZZTIME; set
 # CHECK_FUZZTIME=0 to skip fuzzing (e.g. on very slow machines).
-TESTKIT_SEEDS="${TESTKIT_SEEDS:-150}" go test -count=1 ./internal/testkit || fail "testkit differential"
+testkit_differential() {
+    TESTKIT_SEEDS="${TESTKIT_SEEDS:-150}" go test -count=1 ./internal/testkit
+}
+stage "testkit differential" testkit_differential
 
 # Delta-differential: the mutation-sequence harness asserts the
 # delta-maintained sharded engine stays byte-identical to a from-scratch
 # sequential rebuild after every mutation prefix (1/2/4/8 shards,
 # blocking on and off), plus the shard-level delta edge cases and the
 # System-level end-to-end emission path.
-go test -count=1 -run 'TestMutationSequenceDifferential|FuzzMutationSequence' ./internal/testkit || fail "delta differential (testkit)"
-go test -count=1 -run 'TestDelta' ./internal/shard || fail "delta differential (shard)"
-go test -count=1 -run 'TestSystemDeltaDifferential|TestConcurrentMutateWhileServing' . || fail "delta differential (system)"
+stage "delta differential (testkit)" go test -count=1 -run 'TestMutationSequenceDifferential|FuzzMutationSequence' ./internal/testkit
+stage "delta differential (shard)" go test -count=1 -run 'TestDelta' ./internal/shard
+stage "delta differential (system)" go test -count=1 -run 'TestSystemDeltaDifferential|TestConcurrentMutateWhileServing' .
 
 # Serving smoke: boot the real herserve binary, issue one traced
 # request, and assert the observability surface end to end — /metrics
@@ -65,17 +83,17 @@ go test -count=1 -run 'TestSystemDeltaDifferential|TestConcurrentMutateWhileServ
 if [ "${CHECK_SMOKE:-1}" != "0" ]; then
     smokedir=$(mktemp -d)
     trap 'rm -rf "$smokedir"' EXIT
-    go build -o "$smokedir/herserve" ./cmd/herserve || fail "smoke build herserve"
-    go run ./scripts/servesmoke -herserve "$smokedir/herserve" || fail "serving smoke"
+    stage "smoke build herserve" go build -o "$smokedir/herserve" ./cmd/herserve
+    stage "serving smoke" go run ./scripts/servesmoke -herserve "$smokedir/herserve"
 fi
 
 fuzztime="${CHECK_FUZZTIME:-10s}"
 if [ "$fuzztime" != "0" ]; then
-    go test -run='^$' -fuzz='^FuzzReadTSV$' -fuzztime="$fuzztime" ./internal/graph || fail "fuzz FuzzReadTSV"
-    go test -run='^$' -fuzz='^FuzzReadCSV$' -fuzztime="$fuzztime" ./internal/relational || fail "fuzz FuzzReadCSV"
-    go test -run='^$' -fuzz='^FuzzConvert$' -fuzztime="$fuzztime" ./internal/json2graph || fail "fuzz FuzzConvert"
-    go test -run='^$' -fuzz='^FuzzServeHTTP$' -fuzztime="$fuzztime" ./internal/server || fail "fuzz FuzzServeHTTP"
-    go test -run='^$' -fuzz='^FuzzMutationSequence$' -fuzztime="$fuzztime" ./internal/testkit || fail "fuzz FuzzMutationSequence"
+    stage "fuzz FuzzReadTSV" go test -run='^$' -fuzz='^FuzzReadTSV$' -fuzztime="$fuzztime" ./internal/graph
+    stage "fuzz FuzzReadCSV" go test -run='^$' -fuzz='^FuzzReadCSV$' -fuzztime="$fuzztime" ./internal/relational
+    stage "fuzz FuzzConvert" go test -run='^$' -fuzz='^FuzzConvert$' -fuzztime="$fuzztime" ./internal/json2graph
+    stage "fuzz FuzzServeHTTP" go test -run='^$' -fuzz='^FuzzServeHTTP$' -fuzztime="$fuzztime" ./internal/server
+    stage "fuzz FuzzMutationSequence" go test -run='^$' -fuzz='^FuzzMutationSequence$' -fuzztime="$fuzztime" ./internal/testkit
 fi
 
 echo "check.sh: all gates passed"
