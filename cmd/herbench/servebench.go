@@ -41,7 +41,8 @@ type serveRecord struct {
 }
 
 type serveVariant struct {
-	Mode       string  `json:"mode"` // "single" or "sharded"
+	Mode       string  `json:"mode"`           // "single" or "sharded" (plus "-rw" for the mixed phase)
+	View       string  `json:"view,omitempty"` // non-direct rule view the requests addressed (empty = direct)
 	Shards     int     `json:"shards"`
 	HaloRadius int     `json:"haloRadius,omitempty"`
 	Requests   int     `json:"requests"`
@@ -179,11 +180,23 @@ func runServeBench(path, dsName string, entities, clients int, seed int64) error
 		return err
 	}
 
-	// The query mix: every tuple of every relation, round-robin.
-	var urls []string
+	// Host a non-direct rule view on the same system: direct-shaped
+	// rules under a distinct name, so requests addressed to it exercise
+	// the full per-view path (own extraction, matcher, delta log and —
+	// sharded — its own engine) over the same matching workload, making
+	// the view variants' throughput directly comparable to the direct
+	// ones.
+	if err := sys.AddViewDef(mirrorViewDef(d.DB)); err != nil {
+		return err
+	}
+
+	// The query mix: every tuple of every relation, round-robin; the
+	// view mix is the same tuples addressed through ?view=.
+	var urls, viewURLs []string
 	for _, relName := range d.DB.RelationNames() {
 		for _, tp := range d.DB.Relation(relName).Tuples {
 			urls = append(urls, fmt.Sprintf("/vpair?rel=%s&tuple=%d", relName, tp.ID))
+			viewURLs = append(viewURLs, fmt.Sprintf("/vpair?view=mirror&rel=%s&tuple=%d", relName, tp.ID))
 		}
 	}
 	if len(urls) == 0 {
@@ -231,6 +244,29 @@ func runServeBench(path, dsName string, entities, clients int, seed int64) error
 			rec.SpeedupAt4 = v.RPS / single.RPS
 		}
 	}
+
+	// Per-view serving: the same mix addressed to the hosted "mirror"
+	// view, sequentially and through its dedicated sharded engine. The
+	// deltas are the cost of first-class view serving relative to the
+	// direct variants above.
+	viewSingle := server.New(sys)
+	viewSingle.MaxInflight = clients
+	before = snapStages(reg, 0)
+	vv := driveServer(viewSingle, viewURLs, clients, runFor)
+	vv.Mode, vv.View, vv.Shards = "single", "mirror", 0
+	vv.Stages, vv.CacheHits, vv.CacheMisses = stageDelta(before, snapStages(reg, 0))
+	rec.Variants = append(rec.Variants, vv)
+
+	viewSharded, err := server.NewSharded(sys, 4)
+	if err != nil {
+		return err
+	}
+	beforeV := snapStages(reg, 4)
+	vv = driveServer(viewSharded, viewURLs, clients, runFor)
+	vv.Mode, vv.View, vv.Shards = "sharded", "mirror", 4
+	vv.Stages, vv.CacheHits, vv.CacheMisses = stageDelta(beforeV, snapStages(reg, 4))
+	viewSharded.Close()
+	rec.Variants = append(rec.Variants, vv)
 
 	// Mixed read+write phase: the same read mix with a concurrent writer
 	// applying AddTuple at a steady cadence. Runs after the read-only
@@ -293,6 +329,24 @@ func runServeBench(path, dsName string, entities, clients int, seed int64) error
 	fmt.Printf("wrote %s: single %.0f req/s, sharded(4) speedup %.1fx, rw %.0f writes/s at %.0f%% cache survival\n",
 		path, single.RPS, rec.SpeedupAt4, vrw.WritesPerSecond, vrw.CacheSurvivalRate*100)
 	return nil
+}
+
+// mirrorViewDef builds the benchmark's non-direct view: direct-shaped
+// rules (every relation a vertex rule with all attributes projected,
+// every foreign key a single-step edge) under the name "mirror", so the
+// per-view serving path does the same matching work as the canonical
+// mapping and the throughput delta isolates the view machinery itself.
+func mirrorViewDef(db *her.Database) *her.ViewDef {
+	d := her.NewViewDef("mirror")
+	for _, relName := range db.RelationNames() {
+		d.Vertex(relName).ProjectAll()
+	}
+	for _, relName := range db.RelationNames() {
+		for _, fk := range db.Relation(relName).Schema.ForeignKeys {
+			d.Edge(fk.Attr, relName, fk.Attr)
+		}
+	}
+	return d
 }
 
 // driveServerRW runs driveServer's read mix while one writer goroutine

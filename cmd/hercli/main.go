@@ -8,6 +8,15 @@
 // It builds the system, trains the parameter functions (Learn module),
 // selects thresholds on the annotated validation split, then answers the
 // request and reports timing — a miniature of Fig. 2's architecture.
+//
+// Two subcommands work with graph views (rule-defined extractions over
+// D, see internal/view) without training:
+//
+//	hercli views -dataset DBLP -views rules.view
+//	hercli extract -dataset DBLP -views rules.view -view slim > slim.tsv
+//
+// The -views flag (also accepted by the query modes) loads view
+// definition files — comma-separated — into the system.
 package main
 
 import (
@@ -15,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"her"
@@ -26,8 +36,115 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// loadViewFiles parses every comma-separated view definition file into
+// the system.
+func loadViewFiles(sys *her.System, files string) error {
+	if files == "" {
+		return nil
+	}
+	for _, path := range strings.Split(files, ",") {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = sys.LoadViewFile(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// buildSystem generates the dataset and assembles an untrained system
+// with its view files loaded — all the view subcommands need.
+func buildSystem(name string, entities int, viewFiles string) (*her.System, error) {
+	cfg, ok := dataset.ByName(name, entities)
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := her.New(d.DB, d.G, her.Options{Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	if err := loadViewFiles(sys, viewFiles); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// runViews lists the hosted views: name, rule count, graph size and
+// generation — the CLI twin of GET /views.
+func runViews(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hercli views", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("dataset", "Synthetic", "dataset name")
+	entities := fs.Int("entities", 150, "matchable entity count")
+	viewFiles := fs.String("views", "", "comma-separated view definition files")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	sys, err := buildSystem(*name, *entities, *viewFiles)
+	if err != nil {
+		fmt.Fprintf(stderr, "hercli: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%-16s %6s %8s %8s %6s\n", "VIEW", "RULES", "|V|", "|E|", "GEN")
+	for _, vn := range sys.ViewNames() {
+		vh, err := sys.View(vn)
+		if err != nil {
+			continue
+		}
+		info := vh.Info()
+		fmt.Fprintf(stdout, "%-16s %6d %8d %8d %6d\n",
+			info.Name, info.Rules, info.Vertices, info.Edges, info.Generation)
+	}
+	return 0
+}
+
+// runExtract dumps one view's materialized graph as TSV on stdout —
+// the CLI twin of GET /extract.
+func runExtract(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hercli extract", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("dataset", "Synthetic", "dataset name")
+	entities := fs.Int("entities", 150, "matchable entity count")
+	viewFiles := fs.String("views", "", "comma-separated view definition files")
+	viewName := fs.String("view", her.DirectViewName, "view to extract")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	sys, err := buildSystem(*name, *entities, *viewFiles)
+	if err != nil {
+		fmt.Fprintf(stderr, "hercli: %v\n", err)
+		return 1
+	}
+	vh, err := sys.View(*viewName)
+	if err != nil {
+		fmt.Fprintf(stderr, "hercli: %v\n", err)
+		return 1
+	}
+	if err := vh.WriteTSV(stdout); err != nil {
+		fmt.Fprintf(stderr, "hercli: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
 // run is main with testable plumbing: explicit args, writers and exit code.
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		switch args[0] {
+		case "views":
+			return runViews(args[1:], stdout, stderr)
+		case "extract":
+			return runExtract(args[1:], stdout, stderr)
+		}
+	}
 	fs := flag.NewFlagSet("hercli", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	name := fs.String("dataset", "Synthetic", "dataset name")
@@ -36,6 +153,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tuple := fs.Int("tuple", 0, "tuple id within the main relation (spair/vpair/explain)")
 	vertex := fs.Int("vertex", -1, "graph vertex id (spair/explain)")
 	workers := fs.Int("workers", 1, "workers for apair")
+	viewFiles := fs.String("views", "", "comma-separated view definition files to load")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -58,6 +176,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	sys, err := her.New(d.DB, d.G, her.Options{Seed: 7})
 	if err != nil {
+		return fail(err)
+	}
+	if err := loadViewFiles(sys, *viewFiles); err != nil {
 		return fail(err)
 	}
 	start := time.Now()

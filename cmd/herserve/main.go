@@ -36,6 +36,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	"her"
@@ -52,6 +53,7 @@ func main() {
 	noMetrics := flag.Bool("no-metrics", false, "disable the metrics registry (drops /metrics content)")
 	models := flag.String("models", "", "load learned parameters from this file instead of training")
 	saveModels := flag.String("save-models", "", "write learned parameters to this file after training")
+	views := flag.String("views", "", "comma-separated view definition files; each view becomes a linking target addressable with ?view=")
 	shards := flag.Int("shards", 0, "serve /vpair and /apair from this many halo-replicated shards (0 = single sequential matcher)")
 	deadlineMS := flag.Int("deadline-ms", 0, "per-request matching deadline in milliseconds (0 = unbounded; expired requests answer 503)")
 	maxInflight := flag.Int("max-inflight", 0, "bound on concurrent sequential matches, abandoned ones included (0 = default 64; saturation answers 429)")
@@ -76,6 +78,22 @@ func main() {
 	sys, err := her.New(d.DB, d.G, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *views != "" {
+		// Load views before NewSharded so every view gets its own shard
+		// engine in sharded mode.
+		for _, path := range strings.Split(*views, ",") {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			err = sys.LoadViewFile(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+		}
+		log.Printf("hosting views: %s", strings.Join(sys.ViewNames(), ", "))
 	}
 
 	if *models != "" {

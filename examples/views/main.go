@@ -1,0 +1,135 @@
+// Graph views: define a rule-based virtual graph over the relational
+// database and link against it instead of the full direct mapping G_D.
+// The view here keeps only red products, shapes factories as bare
+// plant-labeled vertices (matching how the knowledge graph models
+// them), and turns the product→factory foreign key into a made_at
+// edge. The same rules live in rules.view next to this file, ready for
+// `herserve -views` / `hercli extract -views`.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"her"
+)
+
+// rules mirrors rules.view — embedded so `go run ./examples/views`
+// works from any directory.
+const rules = `
+view redline
+vertex product where color = red
+attrs  product name color
+vertex factory label plant
+edge   made_at from product via factory
+`
+
+func main() {
+	// A product catalog with a factory dimension: products reference
+	// factories through a foreign key.
+	factory, err := her.NewSchema("factory", []string{"plant", "country"}, "plant")
+	if err != nil {
+		log.Fatal(err)
+	}
+	product, err := her.NewSchema("product", []string{"name", "color", "factory"}, "name",
+		her.ForeignKey{Attr: "factory", RefRelation: "factory"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := her.NewDatabase(factory, product)
+	db.Relation("factory").MustInsert("Plant 12", "Portugal")
+	db.Relation("factory").MustInsert("Plant 9", "Vietnam")
+	db.Relation("product").MustInsert("Aurora Trail Runner", "red", "Plant 12")
+	db.Relation("product").MustInsert("Comet Road Cruiser", "blue", "Plant 9")
+	db.Relation("product").MustInsert("Dune Desert Boot", "red", "Plant 9")
+
+	// The knowledge graph describes the red products with different
+	// vocabulary; the blue one is absent, so a view that filters to red
+	// products matches G wall to wall.
+	g := her.NewGraph()
+	addProduct := func(name, color, plant string) her.VertexID {
+		p := g.AddVertex("product")
+		g.MustAddEdge(p, g.AddVertex(name), "productName")
+		g.MustAddEdge(p, g.AddVertex(color), "hasColor")
+		f := g.AddVertex(plant)
+		g.MustAddEdge(p, f, "assembledAt")
+		return p
+	}
+	p1 := addProduct("Aurora Trail Runner", "red", "Plant 12")
+	addProduct("Dune Desert Boot", "red", "Plant 9")
+
+	sys, err := her.New(db, g, her.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train the path metric on the view's vocabulary (the view projects
+	// name/color and renames the FK edge to made_at).
+	pairs := []her.PathPair{
+		{A: []string{"name"}, B: []string{"productName"}, Match: true},
+		{A: []string{"color"}, B: []string{"hasColor"}, Match: true},
+		{A: []string{"made_at"}, B: []string{"assembledAt"}, Match: true},
+		{A: []string{"name"}, B: []string{"hasColor"}, Match: false},
+		{A: []string{"color"}, B: []string{"assembledAt"}, Match: false},
+	}
+	var training []her.PathPair
+	for i := 0; i < 30; i++ {
+		training = append(training, pairs...)
+	}
+	if err := sys.TrainPathModel(training, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.TrainRanker(50, 120); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.SetThresholds(her.Thresholds{Sigma: 0.75, Delta: 1.0, K: 5}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Host the view. LoadViewFile accepts the same bytes herserve's
+	// -views flag reads from disk; AddViewDef takes builder-made defs.
+	if err := sys.LoadViewFile(strings.NewReader(rules)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("views hosted: %s\n", strings.Join(sys.ViewNames(), ", "))
+
+	vh, err := sys.View("redline")
+	if err != nil {
+		log.Fatal(err)
+	}
+	info := vh.Info()
+	fmt.Printf("view %s: %d rules, |V|=%d |E|=%d, %d tuples\n",
+		info.Name, info.Rules, info.Vertices, info.Edges, info.Tuples)
+
+	// VPair against the view: only red products are candidate sources.
+	for _, tupleID := range []int{0, 1, 2} {
+		matches, err := vh.VPair("product", tupleID)
+		if err != nil {
+			// The blue product has no vertex in this view.
+			fmt.Printf("VPair(product/%d): %v\n", tupleID, err)
+			continue
+		}
+		for _, m := range matches {
+			fmt.Printf("VPair(product/%d) -> graph vertex %d (%s)\n",
+				tupleID, m.V, g.Label(m.V))
+		}
+	}
+
+	// SPair and Explain work the same way: the view handle resolves
+	// tuples into ITS vertex space, not G_D's.
+	match, err := vh.SPair("product", 0, p1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SPair(product/0, p1) via redline = %v\n", match)
+
+	// Views are incrementally maintained: a new red product extends the
+	// view in place (appends bump the view generation).
+	gen := vh.Generation()
+	if _, err := sys.AddTuple("product", "Ember Fell Runner", "red", "Plant 12"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after AddTuple: generation %d -> %d, |V|=%d\n",
+		gen, vh.Generation(), vh.Info().Vertices)
+}

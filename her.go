@@ -114,9 +114,15 @@ type System struct {
 
 	mu        sync.Mutex         // serializes matching and mutation
 	matcher   *core.Matcher      // guarded by mu
+	ix        *index.Inverted    // guarded by mu — the G-side blocking index, shared by all views
 	gen       core.CandidateGen  // guarded by mu — swapped whole on index rebuilds
 	overrides map[core.Pair]bool // guarded by mu — user-verified pairs (Section IV refinement)
 	lastPar   *bsp.Stats         // guarded by mu — stats of the most recent parallel APair run
+
+	// views hosts the named graph views (viewapi.go); each carries its
+	// own G_D-side graph, mapping, matcher, generation and delta log.
+	// Guarded by mu.
+	views map[string]*viewState
 
 	// generation counts semantic mutations: incremental updates to D or
 	// G, feedback, retraining, threshold changes — anything that can
@@ -194,16 +200,22 @@ func (s *System) paramsLocked() core.Params {
 // buildCandidateGenLocked constructs the blocking inverted index:
 // non-leaf vertices of G indexed by their own label plus 1-hop neighbor
 // labels ("critical information"), queried with the tuple vertex's
-// label plus its attribute values. Callers hold s.mu (construction-time
+// label plus its attribute values. The index is over G only, so every
+// hosted view shares it — each view pairs it with neighborhood docs
+// over its own G_D-side graph. Callers hold s.mu (construction-time
 // calls own the System exclusively).
 func (s *System) buildCandidateGenLocked() {
 	ix := index.BuildDocs(s.G,
 		func(v graph.VID) bool { return !s.G.IsLeaf(v) },
 		index.NeighborhoodDoc(s.G))
+	s.ix = ix
 	docD := index.NeighborhoodDoc(s.GD)
 	min := s.opts.MinSharedTokens
 	s.gen = func(u graph.VID) []graph.VID {
 		return ix.Lookup(docD(u), min)
+	}
+	for _, vs := range s.views {
+		vs.rebuildGenFrom(ix, min)
 	}
 }
 
@@ -217,9 +229,11 @@ func (s *System) resetMatcherLocked() error {
 	// Every matcher reset is a semantic change (new scorers, thresholds
 	// or feedback) that can flip verdicts anywhere: record it as a reset
 	// delta, which poisons incremental maintenance and forces external
-	// engines into a full rebuild with total cache invalidation.
+	// engines into a full rebuild with total cache invalidation. The
+	// hosted views share the scorers and thresholds, so each gets the
+	// same treatment: a rebuilt matcher and a reset delta in its own log.
 	s.recordDelta(shard.Delta{Kind: shard.DeltaReset})
-	return nil
+	return s.resetViewsLocked()
 }
 
 // recordDelta stamps d with the next generation, records it in the

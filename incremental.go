@@ -55,6 +55,12 @@ func (s *System) AddTuple(rel string, values ...string) (int, error) {
 		}
 	}
 	s.recordDelta(d)
+	// Hosted views see the same insertion through their own extraction
+	// rules: append-only extension when sound, recompile + reset when the
+	// new tuple resolves a reference that dangled at extraction time.
+	if err := s.extendViewsLocked(rel, id); err != nil {
+		return 0, err
+	}
 	return id, nil
 }
 
@@ -68,6 +74,11 @@ func (s *System) AddGraphVertex(label string) VertexID {
 	defer s.mu.Unlock()
 	v := s.G.AddVertex(label)
 	s.recordDelta(shard.Delta{Kind: shard.DeltaGraphVertex, V: v, Label: label})
+	// G is shared by every view, so each view's engine mirror needs the
+	// same delta in its own log.
+	for _, name := range s.sortedViewNamesLocked() {
+		s.views[name].record(shard.Delta{Kind: shard.DeltaGraphVertex, V: v, Label: label})
+	}
 	return v
 }
 
@@ -86,8 +97,17 @@ func (s *System) AddGraphEdge(from, to VertexID, label string) error {
 		s.rankerG.Invalidate(v)
 	}
 	s.matcher.ForgetVertices(func(v graph.VID) bool { return affected[v] })
+	// The affected set is G-side, so it applies verbatim to every view's
+	// cached decisions; buildCandidateGenLocked refreshes the shared
+	// index and every view's generator with it.
+	for _, name := range s.sortedViewNamesLocked() {
+		s.views[name].matcher.ForgetVertices(func(v graph.VID) bool { return affected[v] })
+	}
 	s.buildCandidateGenLocked()
 	s.recordDelta(shard.Delta{Kind: shard.DeltaGraphEdge, From: from, To: to, Label: label})
+	for _, name := range s.sortedViewNamesLocked() {
+		s.views[name].record(shard.Delta{Kind: shard.DeltaGraphEdge, From: from, To: to, Label: label})
+	}
 	return nil
 }
 

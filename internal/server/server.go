@@ -60,8 +60,12 @@ import (
 type Server struct {
 	sys *her.System
 	eng *shard.Engine // non-nil in sharded mode (NewSharded)
-	mux *http.ServeMux
-	reg *obs.Registry
+	// viewEngs holds one shard engine per named view present when
+	// NewSharded built the server (views.go); nil in single-system mode.
+	viewEngs map[string]*shard.Engine
+	extract  extractCache // memoized GET /extract rendering (views.go)
+	mux      *http.ServeMux
+	reg      *obs.Registry
 	// MaxAPairMatches caps the matches returned inline by /apair
 	// (default 1000); the full count is always reported.
 	MaxAPairMatches int
@@ -123,6 +127,8 @@ func New(sys *her.System) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("/views", s.handleViews)
+	s.mux.HandleFunc("/extract", s.handleExtract)
 	return s
 }
 
@@ -148,16 +154,40 @@ func NewSharded(sys *her.System, shards int) (*Server, error) {
 	}
 	s := New(sys)
 	s.eng = eng
+	// Every named view present now gets its own engine over the view's
+	// ShardConfig — its own snapshots, generation anchor and delta log.
+	for _, name := range sys.ViewNames() {
+		if name == her.DirectViewName {
+			continue
+		}
+		vh, err := sys.View(name)
+		if err != nil {
+			continue
+		}
+		ve, err := shard.NewEngine(vh.ShardConfig(shards))
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		if s.viewEngs == nil {
+			s.viewEngs = make(map[string]*shard.Engine)
+		}
+		s.viewEngs[name] = ve
+	}
 	return s, nil
 }
 
 // Engine exposes the sharded engine (nil in single-system mode).
 func (s *Server) Engine() *shard.Engine { return s.eng }
 
-// Close stops the shard workers; a no-op in single-system mode.
+// Close stops the shard workers (direct and per-view); a no-op in
+// single-system mode.
 func (s *Server) Close() {
 	if s.eng != nil {
 		s.eng.Close()
+	}
+	for _, ve := range s.viewEngs {
+		ve.Close()
 	}
 }
 
@@ -245,7 +275,7 @@ func writeMatchErr(w http.ResponseWriter, err error, fallback int) {
 var knownEndpoints = map[string]bool{
 	"/healthz": true, "/spair": true, "/vpair": true, "/apair": true,
 	"/explain": true, "/feedback": true, "/stats": true, "/metrics": true,
-	"/debug/requests": true,
+	"/debug/requests": true, "/views": true, "/extract": true,
 }
 
 // statusRecorder captures the status code written by a handler.
@@ -382,6 +412,11 @@ func (s *Server) handleSPair(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	vh, err := s.viewParam(r, "/spair")
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
 	if !s.sys.GraphValid(vertex) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown vertex %d", vertex))
 		return
@@ -394,7 +429,7 @@ func (s *Server) handleSPair(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	spair := s.spairFn
 	if spair == nil {
-		spair = s.sys.SPair
+		spair = vh.SPair
 	}
 	type res struct {
 		match bool
@@ -422,9 +457,9 @@ type matchJSON struct {
 }
 
 // vpairMatches routes a VPair request to the configured backend: the
-// test seam, the sharded engine, or the sequential system call wrapped
-// in the deadline runner.
-func (s *Server) vpairMatches(ctx context.Context, rel string, tuple int) ([]her.Pair, error) {
+// test seam, the view's sharded engine, or the sequential view call
+// wrapped in the deadline runner.
+func (s *Server) vpairMatches(ctx context.Context, vh *her.ViewHandle, rel string, tuple int) ([]her.Pair, error) {
 	if s.vpairFn != nil {
 		type res struct {
 			pairs []her.Pair
@@ -440,21 +475,21 @@ func (s *Server) vpairMatches(ctx context.Context, rel string, tuple int) ([]her
 		return out.pairs, out.err
 	}
 	sp := obs.SpanFrom(ctx)
-	if s.eng != nil {
+	if eng := s.engineFor(vh.Name()); eng != nil {
 		rsp := sp.Child("resolve")
-		u, err := s.sys.TupleVertex(rel, tuple)
+		u, err := vh.TupleVertex(rel, tuple)
 		rsp.End()
 		if err != nil {
 			return nil, err
 		}
-		return s.eng.VPair(ctx, u)
+		return eng.VPair(ctx, u)
 	}
 	type res struct {
 		pairs []her.Pair
 		err   error
 	}
 	out, err := runSeq(ctx, s.seqSlots(), func() res {
-		p, e := s.sys.VPairTraced(rel, tuple, sp)
+		p, e := vh.VPairTraced(rel, tuple, sp)
 		return res{pairs: p, err: e}
 	})
 	if err != nil {
@@ -470,13 +505,18 @@ func (s *Server) handleVPair(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	vh, err := s.viewParam(r, "/vpair")
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
 	ctx, cancel, err := s.reqContext(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	defer cancel()
-	matches, err := s.vpairMatches(ctx, rel, tuple)
+	matches, err := s.vpairMatches(ctx, vh, rel, tuple)
 	if err != nil {
 		writeMatchErr(w, err, http.StatusNotFound)
 		return
@@ -508,6 +548,11 @@ func (s *Server) handleAPair(w http.ResponseWriter, r *http.Request) {
 		}
 		workers = n
 	}
+	vh, err := s.viewParam(r, "/apair")
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
 	ctx, cancel, err := s.reqContext(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -517,6 +562,35 @@ func (s *Server) handleAPair(w http.ResponseWriter, r *http.Request) {
 	var matches []her.Pair
 	var statsOut interface{}
 	switch {
+	case s.apairFn == nil && !vh.IsDirect():
+		// Named view: scatter-gather on the view's engine when it has
+		// one, the view's sequential matcher otherwise. (The BSP workers
+		// parameter applies only to the direct view's parallel engine.)
+		if eng := s.engineFor(vh.Name()); eng != nil {
+			matches, err = eng.APair(ctx, vh.SourceVertices())
+			if err != nil {
+				writeMatchErr(w, err, http.StatusInternalServerError)
+				return
+			}
+			info := eng.Snapshot()
+			statsOut = map[string]interface{}{
+				"view":       vh.Name(),
+				"shards":     info.Shards,
+				"haloRadius": info.HaloRadius,
+				"generation": info.Generation,
+			}
+			break
+		}
+		type res struct{ pairs []her.Pair }
+		out, rErr := runSeq(ctx, s.seqSlots(), func() res {
+			return res{pairs: vh.APair()}
+		})
+		if rErr != nil {
+			writeMatchErr(w, rErr, http.StatusInternalServerError)
+			return
+		}
+		matches = out.pairs
+		statsOut = map[string]interface{}{"view": vh.Name(), "mode": "sequential"}
 	case s.apairFn != nil || s.eng == nil:
 		apair := s.apairFn
 		if apair == nil {
@@ -573,7 +647,7 @@ func (s *Server) handleAPair(w http.ResponseWriter, r *http.Request) {
 	buf := make([]byte, 0, 64) // reused per row instead of Sprintf allocating twice
 	for _, m := range shown {
 		label := ""
-		if ref, ok := s.sys.TupleOf(m.U); ok {
+		if ref, ok := vh.TupleOf(m.U); ok {
 			buf = append(buf[:0], ref.Relation...)
 			buf = append(buf, '/')
 			buf = strconv.AppendInt(buf, int64(ref.TupleID), 10)
@@ -594,16 +668,21 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if !s.sys.GraphValid(vertex) {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown vertex %d", vertex))
-		return
-	}
-	u, err := s.sys.TupleVertex(rel, tuple)
+	vh, err := s.viewParam(r, "/explain")
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	ex, err := s.sys.Explain(u, vertex)
+	if !s.sys.GraphValid(vertex) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown vertex %d", vertex))
+		return
+	}
+	u, err := vh.TupleVertex(rel, tuple)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	ex, err := vh.Explain(u, vertex)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
@@ -614,7 +693,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	var lineage []lineageJSON
 	for _, p := range ex.Lineage {
-		lineage = append(lineage, lineageJSON{U: s.sys.GDLabel(p.U), V: s.sys.GraphLabel(p.V)})
+		lineage = append(lineage, lineageJSON{U: vh.GDLabel(p.U), V: s.sys.GraphLabel(p.V)})
 	}
 	schema := map[string]string{}
 	for _, sm := range ex.SchemaMatches {
@@ -678,6 +757,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.eng != nil {
 		out["shard"] = s.eng.Snapshot()
 	}
+	out["views"] = s.viewStats()
 	if ps, ok := s.sys.LastParallelStats(); ok {
 		stepMillis := make([]float64, len(ps.SuperstepDurations))
 		for i, d := range ps.SuperstepDurations {

@@ -1,0 +1,70 @@
+package view
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzViewRuleParse holds the parser to its contract: arbitrary input
+// is either rejected with an error or parsed into definitions whose
+// String() rendering reparses to the same definitions. The parser must
+// never panic — hostile rule files reach it through hercli -views and
+// herserve -views.
+func FuzzViewRuleParse(f *testing.F) {
+	seeds := []string{
+		"view v\nvertex main\n",
+		"view direct-ish\nvertex main where color = red label key\nattrs main *\n",
+		"view j\nvertex a\nvertex b\nattrs a x y\nedge e from a via f.g\nclosure c from b via p depth 3\n",
+		"view q\nvertex r where a ~ \"x y\" and b != \"\\\"q\\\"\"\n",
+		"# comment only\nview c\nvertex m # trailing\n",
+		"view bad\nvertex\n",
+		"vertex before view\n",
+		"view dup\nvertex m\nvertex m\n",
+		"view v\nclosure c from r via f depth 99\n",
+		"view v\nvertex \"sp ace\" label \"with#hash\"\nattrs \"sp ace\" \"a b\"\n",
+		"view v\nvertex m\nedge e from m via \"\"\n",
+		"view n1\nvertex a\nview n2\nvertex b\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		defs, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		if len(defs) == 0 {
+			t.Fatal("Parse returned no definitions and no error")
+		}
+		for _, d := range defs {
+			re, err := Parse([]byte(d.String()))
+			if err != nil {
+				t.Fatalf("String() output does not reparse: %v\nrendered:\n%s", err, d.String())
+			}
+			if len(re) != 1 {
+				t.Fatalf("String() of one def reparsed to %d defs", len(re))
+			}
+			if !reflect.DeepEqual(normalizeDef(d), normalizeDef(re[0])) {
+				t.Fatalf("round trip diverges:\noriginal:  %#v\nreparsed: %#v\nrendered:\n%s",
+					d, re[0], d.String())
+			}
+		}
+	})
+}
+
+// normalizeDef maps nil and empty rule slices to a comparable shape:
+// the builder and the parser may differ on nil-vs-empty for slices the
+// definition semantics treat identically.
+func normalizeDef(d *Def) Def {
+	out := Def{Name: d.Name}
+	out.Vertices = append([]VertexRule{}, d.Vertices...)
+	out.Edges = append([]EdgeRule{}, d.Edges...)
+	for i := range out.Vertices {
+		out.Vertices[i].Where = append([]Predicate{}, out.Vertices[i].Where...)
+		out.Vertices[i].Attrs = append([]string{}, out.Vertices[i].Attrs...)
+	}
+	for i := range out.Edges {
+		out.Edges[i].Path = append([]string{}, out.Edges[i].Path...)
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package view
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the declarative rule language. One file holds
+// one or more view definitions; '#' starts a comment; blank lines are
+// ignored. The grammar, one directive per line:
+//
+//	view <name>
+//	vertex <relation> [where <attr> <op> <value> [and ...]] [label <attr>]
+//	attrs <relation> <attr>... | attrs <relation> *
+//	edge <label> from <relation> via <fk>[.<fk>...]
+//	closure <label> from <relation> via <fk> depth <n>
+//
+// Values may be double-quoted (Go string syntax) when they contain
+// spaces. Operators are = != ~ (substring). The parser rejects
+// malformed input with positioned errors and never panics — the
+// FuzzViewRuleParse target enforces that, plus a String() round trip.
+
+// maxLineLen bounds one directive line; maxDefs bounds definitions per
+// file. Both keep hostile inputs from ballooning memory.
+const (
+	maxLineLen = 64 * 1024
+	maxDefs    = 256
+)
+
+// Parse reads every view definition in src. Each definition starts
+// with a `view <name>` line; rules belong to the most recent one.
+func Parse(src []byte) ([]*Def, error) {
+	var defs []*Def
+	var cur *Def
+	sc := bufio.NewScanner(strings.NewReader(string(src)))
+	sc.Buffer(make([]byte, 0, 4096), maxLineLen)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields, err := splitFields(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("view: line %d: %v", lineNo, err)
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "view":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("view: line %d: want `view <name>`", lineNo)
+			}
+			if len(defs) >= maxDefs {
+				return nil, fmt.Errorf("view: line %d: too many view definitions (max %d)", lineNo, maxDefs)
+			}
+			cur = NewDef(fields[1])
+			defs = append(defs, cur)
+		case "vertex":
+			if cur == nil {
+				return nil, fmt.Errorf("view: line %d: rule before any `view` line", lineNo)
+			}
+			if err := parseVertex(cur, fields[1:]); err != nil {
+				return nil, fmt.Errorf("view: line %d: %v", lineNo, err)
+			}
+		case "attrs":
+			if cur == nil {
+				return nil, fmt.Errorf("view: line %d: rule before any `view` line", lineNo)
+			}
+			if err := parseAttrs(cur, fields[1:]); err != nil {
+				return nil, fmt.Errorf("view: line %d: %v", lineNo, err)
+			}
+		case "edge", "closure":
+			if cur == nil {
+				return nil, fmt.Errorf("view: line %d: rule before any `view` line", lineNo)
+			}
+			if err := parseEdge(cur, fields[0] == "closure", fields[1:]); err != nil {
+				return nil, fmt.Errorf("view: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("view: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("view: %v", err)
+	}
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("view: no view definitions")
+	}
+	for _, d := range defs {
+		if err := d.check(); err != nil {
+			return nil, err
+		}
+	}
+	return defs, nil
+}
+
+// ParseReader is Parse over a stream (the CLI's file-loading path).
+func ParseReader(r io.Reader) ([]*Def, error) {
+	src, err := io.ReadAll(io.LimitReader(r, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("view: %v", err)
+	}
+	return Parse(src)
+}
+
+// parseVertex handles `vertex <relation> [where ...] [label <attr>]`.
+func parseVertex(d *Def, f []string) error {
+	if len(f) == 0 {
+		return fmt.Errorf("want `vertex <relation> ...`")
+	}
+	r := d.Vertex(f[0])
+	f = f[1:]
+	for len(f) > 0 {
+		switch f[0] {
+		case "where", "and":
+			if len(f) < 4 {
+				return fmt.Errorf("want `%s <attr> <op> <value>`", f[0])
+			}
+			r.Filter(f[1], f[2], f[3])
+			f = f[4:]
+		case "label":
+			if len(f) != 2 {
+				return fmt.Errorf("want `label <attr>` at line end")
+			}
+			r.Label(f[1])
+			f = f[2:]
+		default:
+			return fmt.Errorf("unexpected token %q in vertex rule", f[0])
+		}
+	}
+	return nil
+}
+
+// parseAttrs handles `attrs <relation> <attr>...` / `attrs <relation> *`.
+// The relation must already have a vertex rule in the current view.
+func parseAttrs(d *Def, f []string) error {
+	if len(f) < 2 {
+		return fmt.Errorf("want `attrs <relation> <attr>...` or `attrs <relation> *`")
+	}
+	var r *VertexRule
+	for i := range d.Vertices {
+		if d.Vertices[i].Relation == f[0] {
+			r = &d.Vertices[i]
+			break
+		}
+	}
+	if r == nil {
+		return fmt.Errorf("attrs for relation %s before its vertex rule", f[0])
+	}
+	if len(f) == 2 && f[1] == "*" {
+		r.ProjectAll()
+		return nil
+	}
+	for _, a := range f[1:] {
+		if a == "*" {
+			return fmt.Errorf("`*` cannot be mixed with named attributes")
+		}
+	}
+	r.Project(f[1:]...)
+	return nil
+}
+
+// parseEdge handles `edge <label> from <relation> via <fk>[.<fk>...]`
+// and `closure <label> from <relation> via <fk> depth <n>`.
+func parseEdge(d *Def, closure bool, f []string) error {
+	if len(f) < 4 || f[1] != "from" || f[3] != "via" {
+		return fmt.Errorf("want `edge <label> from <relation> via <path>`")
+	}
+	if len(f) < 5 {
+		return fmt.Errorf("missing foreign-key path after `via`")
+	}
+	label, rel, pathStr := f[0], f[2], f[4]
+	rest := f[5:]
+	path := strings.Split(pathStr, ".")
+	for _, p := range path {
+		if p == "" {
+			return fmt.Errorf("empty step in foreign-key path %q", pathStr)
+		}
+	}
+	if !closure {
+		if len(rest) != 0 {
+			return fmt.Errorf("unexpected tokens after edge path: %v", rest)
+		}
+		d.Edge(label, rel, path...)
+		return nil
+	}
+	if len(rest) != 2 || rest[0] != "depth" {
+		return fmt.Errorf("want `closure ... depth <n>`")
+	}
+	depth, err := strconv.Atoi(rest[1])
+	if err != nil || depth < 1 || depth > MaxClosureDepth {
+		return fmt.Errorf("closure depth %q out of range [1,%d]", rest[1], MaxClosureDepth)
+	}
+	if len(path) != 1 {
+		return fmt.Errorf("closure follows exactly one foreign key, got path %q", pathStr)
+	}
+	d.ClosureEdge(label, rel, path[0], depth)
+	return nil
+}
+
+// splitFields tokenizes one directive line: whitespace-separated
+// fields, with double-quoted tokens (Go string syntax) kept whole and
+// '#' starting a comment outside quotes.
+func splitFields(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		if c == ' ' || c == '\t' {
+			i++
+			continue
+		}
+		if c == '#' {
+			break
+		}
+		if c == '"' {
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated quoted value")
+			}
+			tok, err := strconv.Unquote(line[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted value %s: %v", line[i:j+1], err)
+			}
+			out = append(out, tok)
+			i = j + 1
+			continue
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+			j++
+		}
+		out = append(out, line[i:j])
+		i = j
+	}
+	return out, nil
+}

@@ -94,6 +94,9 @@ func (s *System) TrainRanker(sampleVertices, epochs int) error {
 	s.lm = lm
 	s.rankerD = ranking.NewRanker(s.GD, lm, o.MaxPathLen)
 	s.rankerG = ranking.NewRanker(s.G, lm, o.MaxPathLen)
+	s.mu.Lock()
+	s.rebuildViewRankersLocked()
+	s.mu.Unlock()
 	s.ResetMatchState()
 	return nil
 }

@@ -138,6 +138,7 @@ func (s *System) LoadModels(r io.Reader) error {
 		s.lm = lm
 		s.rankerD = ranking.NewRanker(s.GD, lm, s.opts.MaxPathLen)
 		s.rankerG = ranking.NewRanker(s.G, lm, s.opts.MaxPathLen)
+		s.rebuildViewRankersLocked()
 	}
 	s.overrides = make(map[core.Pair]bool, len(f.Overrides))
 	for _, e := range f.Overrides {

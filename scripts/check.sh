@@ -76,6 +76,13 @@ stage "delta differential (testkit)" go test -count=1 -run 'TestMutationSequence
 stage "delta differential (shard)" go test -count=1 -run 'TestDelta' ./internal/shard
 stage "delta differential (system)" go test -count=1 -run 'TestSystemDeltaDifferential|TestConcurrentMutateWhileServing' .
 
+# View differential: the built-in direct view must stay byte-identical
+# to rdb2rdf.Map (golden DB + generated schema sweep), incremental view
+# maintenance must equal re-extraction from scratch after every
+# mutation, and sharded serving over a non-direct view must equal the
+# sequential matcher at 1/2/4/8 shards.
+stage "view differential" go test -count=1 -run 'TestDirectViewDifferential|TestViewMutationDifferential|TestViewDeltaReplayDifferential|TestViewShardedDifferential' ./internal/testkit
+
 # Serving smoke: boot the real herserve binary, issue one traced
 # request, and assert the observability surface end to end — /metrics
 # parses strictly and /debug/requests serves a well-formed span tree
@@ -94,6 +101,7 @@ if [ "$fuzztime" != "0" ]; then
     stage "fuzz FuzzConvert" go test -run='^$' -fuzz='^FuzzConvert$' -fuzztime="$fuzztime" ./internal/json2graph
     stage "fuzz FuzzServeHTTP" go test -run='^$' -fuzz='^FuzzServeHTTP$' -fuzztime="$fuzztime" ./internal/server
     stage "fuzz FuzzMutationSequence" go test -run='^$' -fuzz='^FuzzMutationSequence$' -fuzztime="$fuzztime" ./internal/testkit
+    stage "fuzz FuzzViewRuleParse" go test -run='^$' -fuzz='^FuzzViewRuleParse$' -fuzztime="$fuzztime" ./internal/view
 fi
 
 echo "check.sh: all gates passed"

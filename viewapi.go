@@ -1,0 +1,565 @@
+package her
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"her/internal/core"
+	"her/internal/graph"
+	"her/internal/index"
+	"her/internal/ranking"
+	"her/internal/shard"
+	"her/internal/view"
+)
+
+// This file hosts named graph views (internal/view) as first-class
+// linking targets: every view carries its own G_D-side graph, mapping,
+// matcher, candidate generator, generation counter and delta log, all
+// maintained by the same write paths that maintain the direct mapping.
+// The reserved view "direct" is the System's own canonical state — the
+// rdb2rdf machinery stays exactly as it was, and a ViewHandle for it
+// just delegates — so existing callers pay nothing for the view layer.
+//
+// Maintenance rides PR 7's delta machinery per view: AddTuple
+// re-extracts each view's fresh region and records a DeltaTuple in that
+// view's log; G mutations fan out as graph deltas; and any change
+// append-only extraction cannot express — a new tuple resolving a
+// reference that dangled at extraction time — recompiles the view and
+// records a DeltaReset, which forces that view's serving engines into
+// the full rebuild they need.
+
+// ViewDef re-exports the view definition type for the builder API.
+type ViewDef = view.Def
+
+// DirectViewName is the reserved name of the built-in direct view.
+const DirectViewName = view.DirectName
+
+// NewViewDef starts a view definition (builder API); see internal/view.
+func NewViewDef(name string) *ViewDef { return view.NewDef(name) }
+
+// ParseViews parses view definitions in the rule language.
+func ParseViews(src []byte) ([]*ViewDef, error) { return view.Parse(src) }
+
+// viewState is the per-view mirror of the System's canonical-graph
+// state. All fields are guarded by System.mu except generation, which
+// serving engines read without the lock (same contract as
+// System.generation).
+type viewState struct {
+	def     *view.Def
+	gd      *graph.Graph
+	mapping *view.Mapping
+	rankerD *ranking.Ranker
+	matcher *core.Matcher
+	gen     core.CandidateGen
+
+	generation atomic.Uint64
+	deltas     *shard.DeltaLog
+}
+
+// record stamps d with the view's next generation, logs it, then
+// publishes the bump — the same stamp-record-bump sequence as
+// System.recordDelta, serialized by the same lock.
+func (vs *viewState) record(d shard.Delta) {
+	d.Gen = vs.generation.Load() + 1
+	vs.deltas.Record(d)
+	vs.generation.Add(1)
+}
+
+// rebuildGenFrom derives the view's candidate generator from the shared
+// G-side inverted index and the view's own G_D-side neighborhood docs.
+func (vs *viewState) rebuildGenFrom(ix *index.Inverted, minShared int) {
+	docD := index.NeighborhoodDoc(vs.gd)
+	vs.gen = func(u graph.VID) []graph.VID {
+		return ix.Lookup(docD(u), minShared)
+	}
+}
+
+// publishMetricsLocked refreshes the view's her_view_* gauges.
+func (s *System) publishViewMetricsLocked(name string, vs *viewState) {
+	reg := s.opts.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Gauge(fmt.Sprintf("her_view_vertices{view=%q}", name)).Set(float64(vs.gd.NumVertices()))
+	reg.Gauge(fmt.Sprintf("her_view_edges{view=%q}", name)).Set(float64(vs.gd.NumEdges()))
+	reg.Gauge(fmt.Sprintf("her_view_generation{view=%q}", name)).Set(float64(vs.generation.Load()))
+}
+
+// AddViewDef compiles def against the System's database and installs it
+// as a named view. The name "direct" is reserved for the built-in
+// canonical mapping.
+func (s *System) AddViewDef(def *ViewDef) error {
+	if def == nil {
+		return fmt.Errorf("her: nil view definition")
+	}
+	if s.DB == nil {
+		return fmt.Errorf("her: views need a relational database (built with NewFromGraphs)")
+	}
+	if def.Name == DirectViewName {
+		return fmt.Errorf("her: view name %q is reserved for the canonical mapping", DirectViewName)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.views[def.Name]; dup {
+		return fmt.Errorf("her: view %q already exists", def.Name)
+	}
+	t0 := time.Now()
+	gd, mapping, err := view.Compile(def, s.DB)
+	if err != nil {
+		return err
+	}
+	vs := &viewState{
+		def:     def,
+		gd:      gd,
+		mapping: mapping,
+		rankerD: ranking.NewRanker(gd, s.lm, s.opts.MaxPathLen),
+		deltas:  shard.NewDeltaLog(0),
+	}
+	vs.rebuildGenFrom(s.ix, s.opts.MinSharedTokens)
+	m, err := core.NewMatcher(vs.gd, s.G, vs.rankerD, s.rankerG, s.paramsLocked())
+	if err != nil {
+		return err
+	}
+	m.SetMetrics(s.opts.Metrics)
+	vs.matcher = m
+	if s.views == nil {
+		s.views = make(map[string]*viewState)
+	}
+	s.views[def.Name] = vs
+	if reg := s.opts.Metrics; reg != nil {
+		reg.Histogram(fmt.Sprintf("her_view_extract_seconds{view=%q}", def.Name),
+			nil).ObserveSince(t0)
+	}
+	s.publishViewMetricsLocked(def.Name, vs)
+	return nil
+}
+
+// LoadViewFile parses a view definition file and installs every view in
+// it — the loading path behind hercli/herserve's -views flag.
+func (s *System) LoadViewFile(r io.Reader) error {
+	defs, err := view.ParseReader(r)
+	if err != nil {
+		return err
+	}
+	for _, d := range defs {
+		if err := s.AddViewDef(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ViewNames lists the hosted views: "direct" first, then the named
+// views in sorted order.
+func (s *System) ViewNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.views)+1)
+	out = append(out, DirectViewName)
+	for name := range s.views {
+		out = append(out, name)
+	}
+	sort.Strings(out[1:])
+	return out
+}
+
+// View resolves a view by name; "" and "direct" name the built-in
+// canonical mapping. The returned handle addresses queries at the
+// view's graph and mapping.
+func (s *System) View(name string) (*ViewHandle, error) {
+	if name == "" || name == DirectViewName {
+		return &ViewHandle{sys: s, name: DirectViewName}, nil
+	}
+	s.mu.Lock()
+	vs := s.views[name]
+	s.mu.Unlock()
+	if vs == nil {
+		return nil, fmt.Errorf("her: unknown view %q", name)
+	}
+	return &ViewHandle{sys: s, name: name, vs: vs}, nil
+}
+
+// sortedViewNamesLocked returns the named views in deterministic order;
+// callers hold s.mu.
+func (s *System) sortedViewNamesLocked() []string {
+	names := make([]string, 0, len(s.views))
+	for n := range s.views {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// resetViewsLocked rebuilds every view's matcher around the current
+// scorers and thresholds and records a reset delta per view — the
+// view-side half of resetMatcherLocked. Callers hold s.mu.
+func (s *System) resetViewsLocked() error {
+	for _, name := range s.sortedViewNamesLocked() {
+		vs := s.views[name]
+		m, err := core.NewMatcher(vs.gd, s.G, vs.rankerD, s.rankerG, s.paramsLocked())
+		if err != nil {
+			return err
+		}
+		m.SetMetrics(s.opts.Metrics)
+		vs.matcher = m
+		vs.record(shard.Delta{Kind: shard.DeltaReset})
+		s.publishViewMetricsLocked(name, vs)
+	}
+	return nil
+}
+
+// rebuildViewRankersLocked rebinds every view's G_D-side ranker to a
+// new language model, mirroring what TrainRanker/LoadModels do for the
+// canonical ranker. The subsequent matcher reset rebuilds the matchers
+// around the new rankers. Callers hold s.mu.
+func (s *System) rebuildViewRankersLocked() {
+	for _, vs := range s.views {
+		vs.rankerD = ranking.NewRanker(vs.gd, s.lm, s.opts.MaxPathLen)
+	}
+}
+
+// recompileViewLocked re-extracts a view from scratch — the fallback
+// when append-only maintenance cannot express a change — and records a
+// reset delta. Callers hold s.mu.
+func (s *System) recompileViewLocked(name string, vs *viewState) error {
+	t0 := time.Now()
+	gd, mapping, err := view.Compile(vs.def, s.DB)
+	if err != nil {
+		return err
+	}
+	vs.gd, vs.mapping = gd, mapping
+	vs.rankerD = ranking.NewRanker(gd, s.lm, s.opts.MaxPathLen)
+	vs.rebuildGenFrom(s.ix, s.opts.MinSharedTokens)
+	m, err := core.NewMatcher(vs.gd, s.G, vs.rankerD, s.rankerG, s.paramsLocked())
+	if err != nil {
+		return err
+	}
+	m.SetMetrics(s.opts.Metrics)
+	vs.matcher = m
+	vs.record(shard.Delta{Kind: shard.DeltaReset})
+	if reg := s.opts.Metrics; reg != nil {
+		reg.Counter(fmt.Sprintf("her_view_resets_total{view=%q}", name)).Inc()
+		reg.Histogram(fmt.Sprintf("her_view_extract_seconds{view=%q}", name),
+			nil).ObserveSince(t0)
+	}
+	s.publishViewMetricsLocked(name, vs)
+	return nil
+}
+
+// extendViewsLocked maintains every named view after tuple (rel, id)
+// was appended to the database: append-only extension with a DeltaTuple
+// when sound, full recompile with a DeltaReset when the new tuple
+// resolves a dangling reference. Callers hold s.mu.
+func (s *System) extendViewsLocked(rel string, id int) error {
+	for _, name := range s.sortedViewNamesLocked() {
+		vs := s.views[name]
+		if vs.mapping.ResolvesDangling(s.DB, rel, id) {
+			if err := s.recompileViewLocked(name, vs); err != nil {
+				return err
+			}
+			continue
+		}
+		base := vs.gd.NumVertices()
+		if err := view.ExtendTuple(vs.gd, vs.mapping, vs.def, s.DB, rel, id); err != nil {
+			// Extension is best-effort; a full recompile is always sound.
+			if err := s.recompileViewLocked(name, vs); err != nil {
+				return err
+			}
+			continue
+		}
+		d := shard.Delta{Kind: shard.DeltaTuple, GDBase: base}
+		for v := base; v < vs.gd.NumVertices(); v++ {
+			d.GDLabels = append(d.GDLabels, vs.gd.Label(graph.VID(v)))
+			for _, e := range vs.gd.Out(graph.VID(v)) {
+				d.GDEdges = append(d.GDEdges, shard.GDEdge{From: graph.VID(v), To: e.To, Label: e.Label})
+			}
+		}
+		vs.record(d)
+		if reg := s.opts.Metrics; reg != nil {
+			reg.Counter(fmt.Sprintf("her_view_delta_tuples_total{view=%q}", name)).Inc()
+		}
+		s.publishViewMetricsLocked(name, vs)
+	}
+	return nil
+}
+
+// ViewInfo describes one hosted view for /stats and the CLI.
+type ViewInfo struct {
+	Name       string `json:"name"`
+	Rules      int    `json:"rules"`
+	Vertices   int    `json:"vertices"`
+	Edges      int    `json:"edges"`
+	Tuples     int    `json:"tuples"`
+	Generation uint64 `json:"generation"`
+}
+
+// ViewHandle addresses queries at one hosted view. For the built-in
+// direct view it delegates to the System's canonical state (including
+// user-verified overrides); named views answer from their own graph,
+// mapping and matcher. Overrides are pairs in the direct view's vertex
+// space, so named views do not consult them.
+type ViewHandle struct {
+	sys  *System
+	name string
+	vs   *viewState // nil for the direct view
+}
+
+// Name returns the view's name.
+func (h *ViewHandle) Name() string { return h.name }
+
+// IsDirect reports whether this is the built-in canonical view.
+func (h *ViewHandle) IsDirect() bool { return h.vs == nil }
+
+// Generation reports the view's mutation generation.
+func (h *ViewHandle) Generation() uint64 {
+	if h.vs == nil {
+		return h.sys.Generation()
+	}
+	return h.vs.generation.Load()
+}
+
+// Info snapshots the view's shape for /stats and the CLI.
+func (h *ViewHandle) Info() ViewInfo {
+	s := h.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := ViewInfo{Name: h.name, Generation: h.Generation()}
+	if h.vs == nil {
+		info.Vertices = s.GD.NumVertices()
+		info.Edges = s.GD.NumEdges()
+		if s.Mapping != nil {
+			info.Tuples = s.Mapping.NumTupleVertices()
+			info.Rules = view.Direct(s.DB).RuleCount()
+		}
+		return info
+	}
+	info.Rules = h.vs.def.RuleCount()
+	info.Vertices = h.vs.gd.NumVertices()
+	info.Edges = h.vs.gd.NumEdges()
+	info.Tuples = h.vs.mapping.NumTupleVertices()
+	return info
+}
+
+// TupleOf reports which tuple a view-graph vertex materializes (the
+// inverse of TupleVertex), under the system lock.
+func (h *ViewHandle) TupleOf(u VertexID) (TupleRef, bool) {
+	if h.vs == nil {
+		return h.sys.TupleOf(u)
+	}
+	s := h.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return h.vs.mapping.TupleOf(u)
+}
+
+// TupleVertex resolves a tuple to its vertex in this view's graph.
+func (h *ViewHandle) TupleVertex(rel string, tupleID int) (VertexID, error) {
+	if h.vs == nil {
+		return h.sys.TupleVertex(rel, tupleID)
+	}
+	s := h.sys
+	s.mu.Lock()
+	u, ok := h.vs.mapping.VertexOf(rel, tupleID)
+	s.mu.Unlock()
+	if !ok {
+		return NoVertex, fmt.Errorf("her: view %s: tuple %s/%d not materialized", h.name, rel, tupleID)
+	}
+	return u, nil
+}
+
+// GDLabel returns the label of vertex u in this view's graph.
+func (h *ViewHandle) GDLabel(u VertexID) string {
+	if h.vs == nil {
+		return h.sys.GDLabel(u)
+	}
+	s := h.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !h.vs.gd.Valid(u) {
+		return ""
+	}
+	return h.vs.gd.Label(u)
+}
+
+// SPair checks whether the tuple and vertex v refer to the same entity,
+// through this view's extraction.
+func (h *ViewHandle) SPair(rel string, tupleID int, v VertexID) (bool, error) {
+	if h.vs == nil {
+		return h.sys.SPair(rel, tupleID, v)
+	}
+	u, err := h.TupleVertex(rel, tupleID)
+	if err != nil {
+		return false, err
+	}
+	s := h.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return h.vs.matcher.Match(u, v), nil
+}
+
+// VPair finds all vertices of G matching the tuple through this view.
+func (h *ViewHandle) VPair(rel string, tupleID int) ([]Pair, error) {
+	if h.vs == nil {
+		return h.sys.VPair(rel, tupleID)
+	}
+	u, err := h.TupleVertex(rel, tupleID)
+	if err != nil {
+		return nil, err
+	}
+	s := h.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return h.vs.matcher.VPair(u, h.vs.gen), nil
+}
+
+// VPairTraced is VPair with request tracing (see System.VPairTraced).
+func (h *ViewHandle) VPairTraced(rel string, tupleID int, sp *Span) ([]Pair, error) {
+	if h.vs == nil {
+		return h.sys.VPairTraced(rel, tupleID, sp)
+	}
+	rsp := sp.Child("resolve")
+	u, err := h.TupleVertex(rel, tupleID)
+	rsp.End()
+	if err != nil {
+		return nil, err
+	}
+	s := h.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h.vs.matcher.SetSpan(sp)
+	defer h.vs.matcher.SetSpan(nil)
+	return h.vs.matcher.VPair(u, h.vs.gen), nil
+}
+
+// SourceVertices returns the view's tuple vertices in relation order —
+// the source set its APair ranges over.
+func (h *ViewHandle) SourceVertices() []VertexID {
+	if h.vs == nil {
+		return h.sys.SourceVertices()
+	}
+	s := h.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return h.sourcesLocked()
+}
+
+func (h *ViewHandle) sourcesLocked() []graph.VID {
+	s := h.sys
+	names := s.DB.RelationNames()
+	total := 0
+	for _, relName := range names {
+		total += len(s.DB.Relation(relName).Tuples)
+	}
+	out := make([]graph.VID, 0, total)
+	for _, relName := range names {
+		rel := s.DB.Relation(relName)
+		out = append(out, h.vs.mapping.TupleVertices(relName, len(rel.Tuples))...)
+	}
+	return out
+}
+
+// APair computes all matches across the view and G sequentially.
+func (h *ViewHandle) APair() []Pair {
+	if h.vs == nil {
+		return h.sys.APair()
+	}
+	s := h.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return h.vs.matcher.APair(h.sourcesLocked(), h.vs.gen)
+}
+
+// Explain explains a confirmed match of this view (running the match
+// first if needed).
+func (h *ViewHandle) Explain(u, v VertexID) (*Explanation, error) {
+	if h.vs == nil {
+		return h.sys.Explain(u, v)
+	}
+	s := h.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !h.vs.matcher.Match(u, v) {
+		return nil, fmt.Errorf("her: view %s: (%d, %d) is not a match", h.name, u, v)
+	}
+	sm, err := h.vs.matcher.SchemaMatches(u, v)
+	if err != nil {
+		return nil, err
+	}
+	return &Explanation{
+		Witness:       h.vs.matcher.Witness(u, v),
+		Lineage:       h.vs.matcher.Lineage(u, v),
+		SchemaMatches: sm,
+	}, nil
+}
+
+// CanonicalDump serializes a named view in the vertex-id-independent
+// form of view.CanonicalDump — the equality the mutation-sequence
+// differential compares, since append-only maintenance and a fresh
+// recompile interleave vertex ids differently while denoting the same
+// graph. Errors on the direct view (its mapping is the rdb2rdf one).
+func (h *ViewHandle) CanonicalDump() (string, error) {
+	if h.vs == nil {
+		return "", fmt.Errorf("her: CanonicalDump is for named views; the direct view is pinned byte-identically instead")
+	}
+	s := h.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return view.CanonicalDump(h.vs.gd, h.vs.mapping, s.DB), nil
+}
+
+// Def returns the view's definition (nil for the direct view, whose
+// definition is implicit — view.Direct(db) builds the equivalent).
+func (h *ViewHandle) Def() *ViewDef {
+	if h.vs == nil {
+		return nil
+	}
+	return h.vs.def
+}
+
+// WriteTSV serializes the view's graph (cloned under the system lock,
+// written without it) — hercli extract and GET /extract use this.
+func (h *ViewHandle) WriteTSV(w io.Writer) error {
+	s := h.sys
+	s.mu.Lock()
+	var g *graph.Graph
+	if h.vs == nil {
+		g = s.GD.Clone()
+	} else {
+		g = h.vs.gd.Clone()
+	}
+	s.mu.Unlock()
+	return g.WriteTSV(w)
+}
+
+// ShardConfig assembles a sharded serving engine configuration over
+// this view — the per-view analog of System.ShardConfig, anchored to
+// the view's own generation counter and delta log. The direct view
+// keeps the canonical configuration (including override routing).
+func (h *ViewHandle) ShardConfig(shards int) shard.Config {
+	if h.vs == nil {
+		return h.sys.ShardConfig(shards)
+	}
+	s, vs := h.sys, h.vs
+	cfg := shard.Config{
+		Shards:     shards,
+		Generation: vs.generation.Load,
+		Deltas:     vs.deltas.Since,
+		Metrics:    s.Metrics(),
+	}
+	cfg.Snapshot = func(c shard.Config) shard.Config {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		c.GD, c.G = vs.gd.Clone(), s.G.Clone()
+		c.LM = s.lm
+		c.RankerD = ranking.NewRanker(c.GD, s.lm, s.opts.MaxPathLen)
+		c.Params = s.paramsLocked()
+		c.MaxPathLen = s.opts.MaxPathLen
+		c.MinSharedTokens = s.opts.MinSharedTokens
+		c.SnapGen = vs.generation.Load()
+		return c
+	}
+	return cfg.Snapshot(cfg)
+}
